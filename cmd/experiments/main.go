@@ -1,0 +1,86 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation and writes them as text (stdout) and CSV files.
+//
+// Usage:
+//
+//	experiments                       # the full suite into ./results
+//	experiments -only figure5,table3  # a subset
+//	experiments -workloads astar,mix1 # restrict the workload set
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"time"
+
+	"hmem/internal/experiments"
+)
+
+func main() {
+	var (
+		outDir    = flag.String("out", "results", "directory for CSV output ('' = none)")
+		only      = flag.String("only", "", "comma-separated experiment ids (default: all)")
+		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 14)")
+		records   = flag.Int("records", 0, "trace records per core (0 = default)")
+		scale     = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
+	)
+	flag.Parse()
+
+	opts := experiments.DefaultOptions()
+	if *records > 0 {
+		opts.RecordsPerCore = *records
+	}
+	if *scale > 0 {
+		opts.ScaleDiv = *scale
+	}
+	if *workloads != "" {
+		opts.Workloads = strings.Split(*workloads, ",")
+	}
+	runner := experiments.NewRunner(opts)
+
+	want := map[string]bool{}
+	if *only != "" {
+		for _, id := range strings.Split(*only, ",") {
+			want[strings.TrimSpace(id)] = true
+		}
+	}
+
+	if *outDir != "" {
+		if err := os.MkdirAll(*outDir, 0o755); err != nil {
+			fatal(err)
+		}
+	}
+
+	for _, exp := range runner.All() {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		start := time.Now()
+		table, err := exp.Run()
+		if err != nil {
+			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+		}
+		fmt.Println(table)
+		fmt.Printf("(%s took %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
+		if *outDir != "" {
+			f, err := os.Create(filepath.Join(*outDir, exp.ID+".csv"))
+			if err != nil {
+				fatal(err)
+			}
+			if err := table.WriteCSV(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

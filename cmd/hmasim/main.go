@@ -1,0 +1,61 @@
+// Command hmasim runs one workload under one placement policy on the
+// simulated heterogeneous memory architecture and prints IPC and SER
+// against the DDR-only baseline.
+//
+// Usage:
+//
+//	hmasim -workload mix1 -policy wr2-ratio [-records 40000] [-scale 64]
+//	hmasim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"hmem"
+)
+
+func main() {
+	var (
+		workloadName = flag.String("workload", "mix1", "workload name (see -list)")
+		policyName   = flag.String("policy", "perf-focused", "placement policy (see -list)")
+		records      = flag.Int("records", 0, "trace records per core (0 = default)")
+		scale        = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
+		seed         = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		list         = flag.Bool("list", false, "list workloads and policies, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("workloads:")
+		for _, w := range hmem.Workloads() {
+			fmt.Printf("  %s\n", w)
+		}
+		fmt.Println("benchmarks (usable as homogeneous workloads):")
+		for _, b := range hmem.Benchmarks() {
+			fmt.Printf("  %s\n", b)
+		}
+		fmt.Println("policies:")
+		for _, p := range hmem.Policies() {
+			fmt.Printf("  %s\n", p)
+		}
+		return
+	}
+
+	opts := &hmem.Options{RecordsPerCore: *records, ScaleDiv: *scale, Seed: *seed}
+	res, err := hmem.Evaluate(*workloadName, hmem.PolicyName(*policyName), opts)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "hmasim:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("workload        %s\n", res.Workload)
+	fmt.Printf("policy          %s\n", res.Policy)
+	fmt.Printf("IPC (per core)  %.3f\n", res.IPC)
+	fmt.Printf("IPC vs DDR-only %.2fx\n", res.IPCvsDDROnly)
+	fmt.Printf("SER vs DDR-only %.2fx\n", res.SERvsDDROnly)
+	fmt.Printf("mean memory AVF %.2f%%\n", 100*res.MeanAVF)
+	if res.PagesMigrated > 0 {
+		fmt.Printf("pages migrated  %d\n", res.PagesMigrated)
+	}
+}

@@ -1,0 +1,38 @@
+// Quickstart: evaluate one workload under the two headline policies and see
+// the performance/reliability trade-off the paper is about.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"hmem"
+)
+
+func main() {
+	// Keep the run small: a quarter of the default trace length.
+	opts := &hmem.Options{RecordsPerCore: 10000}
+
+	results, err := hmem.Compare("astar", []hmem.PolicyName{
+		hmem.PolicyDDROnly,
+		hmem.PolicyPerfFocused,
+		hmem.PolicyWr2Ratio,
+	}, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("astar on the scaled Table 1 HMA (16 cores, HBM+DDR3):")
+	fmt.Printf("%-16s %-8s %-16s %-16s\n", "policy", "IPC", "IPC vs DDR-only", "SER vs DDR-only")
+	for _, r := range results {
+		fmt.Printf("%-16s %-8.3f %-16s %-16s\n",
+			r.Policy, r.IPC,
+			fmt.Sprintf("%.2fx", r.IPCvsDDROnly),
+			fmt.Sprintf("%.2fx", r.SERvsDDROnly))
+	}
+	fmt.Println()
+	fmt.Println("perf-focused buys bandwidth with a huge soft-error exposure;")
+	fmt.Println("the Wr2 heuristic keeps most of the speed at a fraction of the SER.")
+}

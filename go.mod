@@ -1,0 +1,3 @@
+module hmem
+
+go 1.22

@@ -1,0 +1,190 @@
+// Package hmem is a from-scratch reproduction of "Reliability-Aware Data
+// Placement for Heterogeneous Memory Architecture" (Gupta et al., HPCA
+// 2018): a full simulation stack for studying how page placement across a
+// fast-but-fragile HBM tier and a slow-but-safe DDR tier trades performance
+// (IPC) against reliability (soft error rate), plus the paper's static
+// placement policies, AVF heuristics, dynamic migration mechanisms, and
+// program-annotation pinning.
+//
+// The facade below exposes the common workflows; the full machinery lives in
+// the internal packages (see DESIGN.md for the system inventory):
+//
+//	workload   synthetic SPEC-like 16-core trace generation (Table 2 mixes)
+//	cachesim   L1/L2 filtering for CPU-level traces
+//	memsim     cycle-level two-tier DRAM timing (Table 1 configuration)
+//	avf        per-cache-line ACE tracking, per-page AVF
+//	ecc        SEC-DED(72,64) and RS(18,16) ChipKill codecs
+//	faultsim   Monte-Carlo DRAM fault studies (FIT -> uncorrectable rates)
+//	core       hotness/risk statistics, quadrants, placement policies, SER
+//	mea        Misra-Gries hot-page tracking (MemPod-style)
+//	migration  perf-focused, Full Counter, and Cross Counter mechanisms
+//	annotate   program-structure annotation and pinning
+//	sim        the 16-core full-system simulator
+//	experiments one driver per paper table/figure
+//
+// A minimal session:
+//
+//	res, err := hmem.Evaluate("mix1", hmem.PolicyWr2Ratio, nil)
+//	fmt.Printf("IPC gain %.2fx, SER %.0fx of DDR-only\n",
+//		res.IPCvsDDROnly, res.SERvsDDROnly)
+package hmem
+
+import (
+	"fmt"
+
+	"hmem/internal/core"
+	"hmem/internal/experiments"
+	"hmem/internal/migration"
+	"hmem/internal/sim"
+	"hmem/internal/workload"
+)
+
+// PolicyName selects one of the paper's placement schemes.
+type PolicyName string
+
+// The available schemes. The first six are static (profile-guided); the
+// last three are dynamic migration mechanisms.
+const (
+	PolicyDDROnly            PolicyName = "ddr-only"
+	PolicyPerfFocused        PolicyName = "perf-focused"
+	PolicyReliabilityFocused PolicyName = "reliability-focused"
+	PolicyBalanced           PolicyName = "balanced"
+	PolicyWrRatio            PolicyName = "wr-ratio"
+	PolicyWr2Ratio           PolicyName = "wr2-ratio"
+	PolicyPerfMigration      PolicyName = "perf-migration"
+	PolicyFCMigration        PolicyName = "fc-migration"
+	PolicyCCMigration        PolicyName = "cc-migration"
+	PolicyAnnotation         PolicyName = "annotation"
+)
+
+// Policies lists every scheme name.
+func Policies() []PolicyName {
+	return []PolicyName{
+		PolicyDDROnly, PolicyPerfFocused, PolicyReliabilityFocused,
+		PolicyBalanced, PolicyWrRatio, PolicyWr2Ratio,
+		PolicyPerfMigration, PolicyFCMigration, PolicyCCMigration,
+		PolicyAnnotation,
+	}
+}
+
+// Workloads lists the evaluated workload names: nine homogeneous benchmarks
+// and the five Table 2 mixes. Any of the 17 benchmark names is also accepted
+// by Evaluate as a homogeneous workload.
+func Workloads() []string {
+	var out []string
+	for _, s := range workload.AllSpecs() {
+		out = append(out, s.Name)
+	}
+	return out
+}
+
+// Benchmarks lists all benchmark profile names.
+func Benchmarks() []string { return workload.Names() }
+
+// Options tunes an evaluation; the zero value uses the defaults from the
+// experiments package (1/64 capacity scale, 40 K records/core).
+type Options = experiments.Options
+
+// Result summarizes one workload x policy evaluation.
+type Result struct {
+	Workload string
+	Policy   PolicyName
+	// IPC is the absolute per-core IPC; the vs fields are ratios against
+	// the same workload's baselines.
+	IPC           float64
+	IPCvsDDROnly  float64
+	SERvsDDROnly  float64
+	MeanAVF       float64
+	PagesMigrated uint64
+}
+
+// Evaluate runs one workload under one policy and reports IPC/SER against
+// the DDR-only baseline. opts may be nil for defaults.
+func Evaluate(workloadName string, policy PolicyName, opts *Options) (Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	r := experiments.NewRunner(o)
+	return evaluate(r, workloadName, policy)
+}
+
+func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Result, error) {
+	spec, err := workload.SpecByName(workloadName)
+	if err != nil {
+		return Result{}, err
+	}
+	prof, err := r.ProfileOf(spec)
+	if err != nil {
+		return Result{}, err
+	}
+
+	var res sim.Result
+	switch policy {
+	case PolicyDDROnly:
+		res = prof.Result
+	case PolicyPerfFocused:
+		res, err = r.RunStatic(spec, core.PerfFocused{})
+	case PolicyReliabilityFocused:
+		res, err = r.RunStatic(spec, core.ReliabilityFocused{})
+	case PolicyBalanced:
+		res, err = r.RunStatic(spec, core.Balanced{})
+	case PolicyWrRatio:
+		res, err = r.RunStatic(spec, core.WrRatio{})
+	case PolicyWr2Ratio:
+		res, err = r.RunStatic(spec, core.Wr2Ratio{})
+	case PolicyPerfMigration:
+		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+			return migration.NewPerf(r.Options().FCIntervalCycles)
+		}, core.PerfFocused{})
+	case PolicyFCMigration:
+		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+			return migration.NewFullCounter(r.Options().FCIntervalCycles)
+		}, core.Balanced{})
+	case PolicyCCMigration:
+		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+			ratio := int(r.Options().FCIntervalCycles / r.Options().MEAIntervalCycles)
+			return migration.NewCrossCounter(r.Options().MEAIntervalCycles, ratio, 32)
+		}, core.Balanced{})
+	case PolicyAnnotation:
+		res, err = r.RunAnnotation(spec)
+	default:
+		return Result{}, fmt.Errorf("hmem: unknown policy %q", policy)
+	}
+	if err != nil {
+		return Result{}, err
+	}
+
+	_, rel, err := r.SEROf(res)
+	if err != nil {
+		return Result{}, err
+	}
+	return Result{
+		Workload:      workloadName,
+		Policy:        policy,
+		IPC:           res.IPC,
+		IPCvsDDROnly:  res.IPC / prof.Result.IPC,
+		SERvsDDROnly:  rel,
+		MeanAVF:       res.MeanAVF(),
+		PagesMigrated: res.PagesMigrated,
+	}, nil
+}
+
+// Compare evaluates several policies on one workload with shared profiling
+// (much cheaper than repeated Evaluate calls).
+func Compare(workloadName string, policies []PolicyName, opts *Options) ([]Result, error) {
+	var o Options
+	if opts != nil {
+		o = *opts
+	}
+	r := experiments.NewRunner(o)
+	out := make([]Result, 0, len(policies))
+	for _, p := range policies {
+		res, err := evaluate(r, workloadName, p)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}

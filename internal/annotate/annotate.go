@@ -1,0 +1,108 @@
+// Package annotate implements the paper's §7 program-annotation placement:
+// a programmer (or profile-guided compiler) marks a handful of program
+// structures as hot and low-risk; the ELF loader pins their pages in HBM,
+// marked immune to migration. The selection below plays the role of the
+// profile-guided annotator: it ranks structures by how much hot, low-risk
+// traffic they contain per page and annotates greedily until HBM is full
+// (or no structure with useful content remains).
+//
+// An annotation is a *source-level* act: the 16 copies of a benchmark share
+// one program, so instances of the same structure across cores are grouped —
+// annotating "mcf.hot-scratch.0" pins that structure's pages in every copy.
+// Figure 17 counts these grouped annotations.
+package annotate
+
+import (
+	"sort"
+
+	"hmem/internal/core"
+	"hmem/internal/workload"
+)
+
+// Annotation is one selected (source-level) structure: all instances across
+// the workload's processes.
+type Annotation struct {
+	// Name is the structure's source-level name.
+	Name string
+	// Instances are the per-process occurrences.
+	Instances []workload.Structure
+	// Pages is the union of all instances' page ranges (the pin set).
+	Pages []uint64
+	// Value is the hot∧low-risk access mass; Density is Value per page
+	// (the greedy ranking key).
+	Value   float64
+	Density float64
+}
+
+// Select returns the annotations chosen for an HBM of capacityPages, plus
+// the flattened pin list. Structures with no hot∧low-risk content are never
+// annotated; structures whose combined instances don't fit the remaining
+// capacity are skipped (an annotation pins every instance or none).
+func Select(structs []workload.Structure, stats []core.PageStats, capacityPages int) ([]Annotation, []uint64) {
+	if capacityPages <= 0 || len(structs) == 0 || len(stats) == 0 {
+		return nil, nil
+	}
+	q := core.Quadrants(stats)
+	byPage := make(map[uint64]core.PageStats, len(stats))
+	for _, s := range stats {
+		byPage[s.Page] = s
+	}
+
+	groups := make(map[string]*Annotation)
+	var order []string
+	for _, st := range structs {
+		g := groups[st.Name]
+		if g == nil {
+			g = &Annotation{Name: st.Name}
+			groups[st.Name] = g
+			order = append(order, st.Name)
+		}
+		g.Instances = append(g.Instances, st)
+		for i := 0; i < st.Pages; i++ {
+			page := st.FirstPage + uint64(i)
+			g.Pages = append(g.Pages, page)
+			p, ok := byPage[page]
+			if !ok {
+				continue
+			}
+			if q.Classify(p) == core.HotLowRisk {
+				g.Value += float64(p.Accesses())
+			}
+		}
+	}
+
+	cands := make([]Annotation, 0, len(groups))
+	for _, name := range order {
+		g := groups[name]
+		if g.Value <= 0 || len(g.Pages) == 0 {
+			continue
+		}
+		g.Density = g.Value / float64(len(g.Pages))
+		cands = append(cands, *g)
+	}
+	sort.Slice(cands, func(i, j int) bool {
+		if cands[i].Density != cands[j].Density {
+			return cands[i].Density > cands[j].Density
+		}
+		return cands[i].Name < cands[j].Name
+	})
+
+	var chosen []Annotation
+	var pins []uint64
+	remaining := capacityPages
+	for _, c := range cands {
+		if len(c.Pages) > remaining {
+			continue
+		}
+		chosen = append(chosen, c)
+		pins = append(pins, c.Pages...)
+		remaining -= len(c.Pages)
+		if remaining == 0 {
+			break
+		}
+	}
+	return chosen, pins
+}
+
+// Count is the Figure 17 metric: how many structures must be annotated.
+func Count(annotations []Annotation) int { return len(annotations) }

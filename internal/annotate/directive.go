@@ -1,0 +1,92 @@
+package annotate
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+
+	"hmem/internal/workload"
+)
+
+// Directive files are the source-level artifact of §7: the list of
+// structures a program pins in HBM. The paper's flow compiles annotations
+// into the binary and has "the program's ELF loader instruct the memory
+// controller to pin annotated data structures"; here the directive file
+// stands in for the annotated binary, and ResolvePins plays the loader.
+//
+// Format: one directive per line,
+//
+//	pin <structure-name>
+//
+// with '#' comments and blank lines ignored.
+
+// ErrBadDirective indicates a malformed directives line.
+var ErrBadDirective = errors.New("annotate: malformed directive")
+
+// WriteDirectives serializes chosen annotations as a directive file.
+func WriteDirectives(w io.Writer, annotations []Annotation) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# hmem pin directives (see §7 of the paper)")
+	for _, a := range annotations {
+		if _, err := fmt.Fprintf(bw, "pin %s\n", a.Name); err != nil {
+			return fmt.Errorf("annotate: writing directive for %s: %w", a.Name, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ParseDirectives reads a directive file and returns the structure names to
+// pin, in file order, deduplicated.
+func ParseDirectives(r io.Reader) ([]string, error) {
+	var out []string
+	seen := map[string]bool{}
+	sc := bufio.NewScanner(r)
+	line := 0
+	for sc.Scan() {
+		line++
+		text := strings.TrimSpace(sc.Text())
+		if text == "" || strings.HasPrefix(text, "#") {
+			continue
+		}
+		fields := strings.Fields(text)
+		if len(fields) != 2 || fields[0] != "pin" {
+			return nil, fmt.Errorf("%w at line %d: %q", ErrBadDirective, line, text)
+		}
+		if !seen[fields[1]] {
+			seen[fields[1]] = true
+			out = append(out, fields[1])
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("annotate: reading directives: %w", err)
+	}
+	return out, nil
+}
+
+// ResolvePins is the loader step: it maps directive names onto the loaded
+// program's structure instances and returns the page pin list (sorted).
+// Unknown names are reported as an error — a stale directive file should
+// fail loudly, not silently pin nothing.
+func ResolvePins(names []string, structs []workload.Structure) ([]uint64, error) {
+	byName := map[string][]workload.Structure{}
+	for _, st := range structs {
+		byName[st.Name] = append(byName[st.Name], st)
+	}
+	var pins []uint64
+	for _, name := range names {
+		instances, ok := byName[name]
+		if !ok {
+			return nil, fmt.Errorf("annotate: directive names unknown structure %q", name)
+		}
+		for _, st := range instances {
+			for i := 0; i < st.Pages; i++ {
+				pins = append(pins, st.FirstPage+uint64(i))
+			}
+		}
+	}
+	sort.Slice(pins, func(i, j int) bool { return pins[i] < pins[j] })
+	return pins, nil
+}

@@ -1,0 +1,126 @@
+package annotate
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+
+	"hmem/internal/workload"
+)
+
+func TestDirectiveRoundTrip(t *testing.T) {
+	anns := []Annotation{{Name: "mcf.hot-scratch.0"}, {Name: "mcf.hot-scratch.1"}}
+	var buf bytes.Buffer
+	if err := WriteDirectives(&buf, anns); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ParseDirectives(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "mcf.hot-scratch.0" || names[1] != "mcf.hot-scratch.1" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseDirectivesSkipsCommentsAndDedupes(t *testing.T) {
+	in := "# header\n\npin a\npin b\npin a\n  # trailing\n"
+	names, err := ParseDirectives(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(names) != 2 || names[0] != "a" || names[1] != "b" {
+		t.Fatalf("names = %v", names)
+	}
+}
+
+func TestParseDirectivesRejectsGarbage(t *testing.T) {
+	for _, in := range []string{"unpin a", "pin", "pin a b", "frobnicate"} {
+		if _, err := ParseDirectives(strings.NewReader(in)); !errors.Is(err, ErrBadDirective) {
+			t.Errorf("%q: expected ErrBadDirective, got %v", in, err)
+		}
+	}
+}
+
+func TestResolvePins(t *testing.T) {
+	structs := []workload.Structure{
+		{Name: "buf", FirstPage: 10, Pages: 2},  // core 0 instance
+		{Name: "buf", FirstPage: 100, Pages: 3}, // core 1 instance
+		{Name: "table", FirstPage: 50, Pages: 1},
+	}
+	pins, err := ResolvePins([]string{"buf"}, structs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []uint64{10, 11, 100, 101, 102}
+	if len(pins) != len(want) {
+		t.Fatalf("pins = %v", pins)
+	}
+	for i := range want {
+		if pins[i] != want[i] {
+			t.Fatalf("pins = %v, want %v", pins, want)
+		}
+	}
+	if _, err := ResolvePins([]string{"missing"}, structs); err == nil {
+		t.Fatal("stale directive must fail loudly")
+	}
+}
+
+func TestDirectiveEndToEnd(t *testing.T) {
+	// Full §7 flow on a real benchmark: profile -> Select -> write the
+	// directive file -> parse it back -> loader resolves pins -> the pins
+	// match Select's output set.
+	prof, err := workload.Lookup("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g := workload.NewGenerator(prof, 0, 20000, 5)
+	counts := map[uint64]*corePageStats{}
+	for {
+		rec, err := g.Next()
+		if err != nil {
+			break
+		}
+		ps := counts[rec.Page()]
+		if ps == nil {
+			ps = &corePageStats{page: rec.Page()}
+			counts[rec.Page()] = ps
+		}
+		if rec.Kind.IsWrite() {
+			ps.writes++
+		} else {
+			ps.reads++
+		}
+	}
+	stats := statsFromCounts(counts)
+
+	anns, pins := Select(g.Structures(), stats, 256)
+	if len(anns) == 0 {
+		t.Skip("nothing annotatable at this trace length")
+	}
+	var buf bytes.Buffer
+	if err := WriteDirectives(&buf, anns); err != nil {
+		t.Fatal(err)
+	}
+	names, err := ParseDirectives(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resolved, err := ResolvePins(names, g.Structures())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(resolved) != len(pins) {
+		t.Fatalf("loader resolved %d pages, Select pinned %d", len(resolved), len(pins))
+	}
+	set := map[uint64]bool{}
+	for _, p := range pins {
+		set[p] = true
+	}
+	for _, p := range resolved {
+		if !set[p] {
+			t.Fatalf("resolved page %d not in Select's pin set", p)
+		}
+	}
+}

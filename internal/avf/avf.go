@@ -1,0 +1,177 @@
+// Package avf computes the Architectural Vulnerability Factor of memory at
+// cache-line granularity and aggregates it per 4 KiB page, following §4.1 of
+// the paper: "we perform AVF analysis on memory at a cache line granularity
+// because memory reads and writes occur at cache line granularity. We sum the
+// AVF of individual cache lines to compose the AVF of a page."
+//
+// The ACE-interval rules come from Figure 3: the interval between two
+// consecutive accesses to a line is ACE (architecturally correct execution —
+// a particle strike there becomes a program-visible error) iff the interval
+// ends in a read. Write→read and read→read gaps are ACE; read→write and
+// write→write gaps are dead (the strike is masked by the overwrite). The
+// tail after a line's final access is dead, as is any prefix before its first
+// observed access.
+//
+// Because dynamic schemes move pages between tiers mid-run, every ACE
+// interval is attributed to the tier the page occupied when the interval
+// started, splitting a page's soft-error exposure across tiers.
+package avf
+
+import (
+	"sort"
+
+	"hmem/internal/trace"
+)
+
+// Tier identifies one memory tier of the HMA.
+type Tier uint8
+
+// The two tiers of the paper's configuration.
+const (
+	TierDDR Tier = iota // off-package, high-reliability (ChipKill)
+	TierHBM             // on-package, high-bandwidth, low-reliability (SEC-DED)
+	numTiers
+)
+
+// String returns the tier's name.
+func (t Tier) String() string {
+	switch t {
+	case TierDDR:
+		return "DDR"
+	case TierHBM:
+		return "HBM"
+	default:
+		return "Tier(?)"
+	}
+}
+
+type pageState struct {
+	lastAccess [trace.LinesPerPage]int64
+	// tierBits records, per line, the tier the page was in at the line's
+	// last access (bit set = HBM).
+	tierBits uint64
+	// touched marks lines that have been accessed at least once.
+	touched uint64
+	// ace accumulates ACE cycles per tier across all lines of the page.
+	ace [numTiers]int64
+	// reads/writes give per-page access counts for cross-checks.
+	reads, writes uint64
+}
+
+// Tracker accumulates ACE time for every page it observes. The zero value is
+// not usable; construct with NewTracker. Not safe for concurrent use.
+type Tracker struct {
+	pages map[uint64]*pageState
+}
+
+// NewTracker returns an empty tracker.
+func NewTracker() *Tracker {
+	return &Tracker{pages: make(map[uint64]*pageState)}
+}
+
+// Access records an access to line lineInPage (0..63) of page at cycle `at`,
+// residing in tier. Accesses to a line must be fed in non-decreasing time
+// order; the tracker panics on time travel since that indicates a simulator
+// bug upstream.
+func (t *Tracker) Access(page uint64, lineInPage int, at int64, write bool, tier Tier) {
+	if lineInPage < 0 || lineInPage >= trace.LinesPerPage {
+		panic("avf: line index out of page")
+	}
+	ps := t.pages[page]
+	if ps == nil {
+		ps = &pageState{}
+		t.pages[page] = ps
+	}
+	bit := uint64(1) << uint(lineInPage)
+	if ps.touched&bit != 0 {
+		last := ps.lastAccess[lineInPage]
+		if at < last {
+			panic("avf: accesses out of time order")
+		}
+		if !write {
+			// Interval ends in a read: ACE, charged to the tier the page
+			// occupied when the interval started.
+			startTier := TierDDR
+			if ps.tierBits&bit != 0 {
+				startTier = TierHBM
+			}
+			ps.ace[startTier] += at - last
+		}
+	}
+	ps.lastAccess[lineInPage] = at
+	ps.touched |= bit
+	if tier == TierHBM {
+		ps.tierBits |= bit
+	} else {
+		ps.tierBits &^= bit
+	}
+	if write {
+		ps.writes++
+	} else {
+		ps.reads++
+	}
+}
+
+// MigratePage re-tags a page's open intervals to a new tier. An ACE interval
+// that spans the migration is charged wholly to the destination tier: at
+// migration time the interval's outcome (read or write) is still unknown, so
+// a faithful split is impossible without lookahead. Migrations are rare per
+// page relative to accesses, so the attribution error is small (documented
+// in DESIGN.md).
+func (t *Tracker) MigratePage(page uint64, to Tier) {
+	ps := t.pages[page]
+	if ps == nil {
+		return
+	}
+	if to == TierHBM {
+		ps.tierBits = ^uint64(0)
+	} else {
+		ps.tierBits = 0
+	}
+}
+
+// PageAVF describes one page's vulnerability over a run of totalCycles.
+type PageAVF struct {
+	Page   uint64
+	AVF    float64           // whole-page AVF in [0,1]
+	ByTier [numTiers]float64 // tier-attributed AVF shares; sum == AVF
+	Reads  uint64
+	Writes uint64
+}
+
+// Snapshot returns the per-page AVF over a run that lasted totalCycles,
+// ordered by page id (a deterministic order keeps downstream floating-point
+// aggregation bit-reproducible). totalCycles must be positive.
+func (t *Tracker) Snapshot(totalCycles int64) []PageAVF {
+	if totalCycles <= 0 {
+		panic("avf: Snapshot with non-positive duration")
+	}
+	denom := float64(trace.LinesPerPage) * float64(totalCycles)
+	out := make([]PageAVF, 0, len(t.pages))
+	for page, ps := range t.pages {
+		p := PageAVF{Page: page, Reads: ps.reads, Writes: ps.writes}
+		for tier := Tier(0); tier < numTiers; tier++ {
+			p.ByTier[tier] = float64(ps.ace[tier]) / denom
+			p.AVF += p.ByTier[tier]
+		}
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Page < out[j].Page })
+	return out
+}
+
+// PageCount returns the number of distinct pages observed.
+func (t *Tracker) PageCount() int { return len(t.pages) }
+
+// MeanAVF returns the mean page AVF over totalCycles — the paper's Figure 2
+// metric ("Average AVF of memory").
+func (t *Tracker) MeanAVF(totalCycles int64) float64 {
+	if len(t.pages) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range t.Snapshot(totalCycles) {
+		sum += p.AVF
+	}
+	return sum / float64(len(t.pages))
+}

@@ -1,0 +1,302 @@
+// Package cachesim implements the cache hierarchy used to filter CPU-level
+// traces down to main-memory traffic, standing in for the Moola multicore
+// cache simulator in the paper's methodology (§3.1: "to only capture the
+// main memory activity, we perform cache filtering using Moola").
+//
+// The model is a classic set-associative, true-LRU, write-back,
+// write-allocate cache. Hierarchies compose private L1 I/D caches with a
+// shared L2 (Table 1: 32 KB 2-way L1I, 16 KB 4-way L1D, 16 MB 16-way L2).
+package cachesim
+
+import (
+	"fmt"
+
+	"hmem/internal/trace"
+)
+
+// Config describes one cache level.
+type Config struct {
+	Name      string
+	SizeBytes int
+	Assoc     int
+	LineSize  int
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	switch {
+	case c.LineSize <= 0 || c.LineSize&(c.LineSize-1) != 0:
+		return fmt.Errorf("cachesim: %s: LineSize must be a positive power of two", c.Name)
+	case c.Assoc <= 0:
+		return fmt.Errorf("cachesim: %s: Assoc must be positive", c.Name)
+	case c.SizeBytes <= 0 || c.SizeBytes%(c.LineSize*c.Assoc) != 0:
+		return fmt.Errorf("cachesim: %s: SizeBytes must be a positive multiple of LineSize*Assoc", c.Name)
+	}
+	return nil
+}
+
+// Stats counts cache activity.
+type Stats struct {
+	Hits, Misses, Evictions, Writebacks uint64
+}
+
+// MissRate returns misses / (hits + misses).
+func (s Stats) MissRate() float64 {
+	t := s.Hits + s.Misses
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Misses) / float64(t)
+}
+
+type way struct {
+	tag   uint64
+	valid bool
+	dirty bool
+	lru   uint64 // larger = more recently used
+}
+
+// Cache is a single set-associative write-back cache. Not safe for
+// concurrent use.
+type Cache struct {
+	cfg     Config
+	sets    [][]way
+	setMask uint64
+	shift   uint
+	clock   uint64
+	stats   Stats
+}
+
+// New builds a cache; it panics on an invalid configuration.
+func New(cfg Config) *Cache {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	nsets := cfg.SizeBytes / (cfg.LineSize * cfg.Assoc)
+	if nsets&(nsets-1) != 0 {
+		panic(fmt.Sprintf("cachesim: %s: set count %d must be a power of two", cfg.Name, nsets))
+	}
+	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
+	for s := uint(0); 1<<s < cfg.LineSize; s++ {
+		c.shift = s + 1
+	}
+	c.sets = make([][]way, nsets)
+	backing := make([]way, nsets*cfg.Assoc)
+	for i := range c.sets {
+		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
+	}
+	return c
+}
+
+// Config returns the cache's configuration.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a snapshot of the counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+// Result describes the outcome of one access.
+type Result struct {
+	Hit bool
+	// Fill is true when a miss requires fetching the line from below.
+	Fill bool
+	// Writeback holds the victim's byte address when a dirty line was
+	// evicted; valid only when HasWriteback is true.
+	Writeback    uint64
+	HasWriteback bool
+}
+
+// Access performs a read (write=false) or write (write=true) of the line
+// containing addr and returns what the next level must do.
+func (c *Cache) Access(addr uint64, write bool) Result {
+	lineAddr := addr >> c.shift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(len64(c.setMask))
+	c.clock++
+
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			set[i].lru = c.clock
+			if write {
+				set[i].dirty = true
+			}
+			c.stats.Hits++
+			return Result{Hit: true}
+		}
+	}
+	c.stats.Misses++
+
+	// Choose victim: first invalid way, else true-LRU.
+	victim := 0
+	for i := range set {
+		if !set[i].valid {
+			victim = i
+			break
+		}
+		if set[i].lru < set[victim].lru {
+			victim = i
+		}
+	}
+	res := Result{Fill: true}
+	if set[victim].valid {
+		c.stats.Evictions++
+		if set[victim].dirty {
+			c.stats.Writebacks++
+			victimLine := set[victim].tag<<uint(len64(c.setMask)) | (lineAddr & c.setMask)
+			res.Writeback = victimLine << c.shift
+			res.HasWriteback = true
+		}
+	}
+	set[victim] = way{tag: tag, valid: true, dirty: write, lru: c.clock}
+	return res
+}
+
+// Contains reports whether the line holding addr is resident (no LRU side
+// effects). Used by tests.
+func (c *Cache) Contains(addr uint64) bool {
+	lineAddr := addr >> c.shift
+	set := c.sets[lineAddr&c.setMask]
+	tag := lineAddr >> uint(len64(c.setMask))
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// len64 returns the number of bits needed to represent mask (mask is 2^k-1).
+func len64(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		n++
+		mask >>= 1
+	}
+	return n
+}
+
+// HierarchyConfig configures one core's cache stack. L2 may be shared
+// between hierarchies by passing the same *Cache to NewHierarchy.
+type HierarchyConfig struct {
+	L1I Config
+	L1D Config
+}
+
+// Table1Hierarchy returns the paper's per-core L1 configuration.
+func Table1Hierarchy() HierarchyConfig {
+	return HierarchyConfig{
+		L1I: Config{Name: "L1I", SizeBytes: 32 * 1024, Assoc: 2, LineSize: trace.LineSize},
+		L1D: Config{Name: "L1D", SizeBytes: 16 * 1024, Assoc: 4, LineSize: trace.LineSize},
+	}
+}
+
+// Table1L2 returns the paper's shared L2 configuration (16 MB, 16-way).
+// A scale divisor shrinks it for reduced-scale experiments.
+func Table1L2(scaleDiv int) Config {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	return Config{Name: "L2", SizeBytes: 16 * 1024 * 1024 / scaleDiv, Assoc: 16, LineSize: trace.LineSize}
+}
+
+// Hierarchy filters one core's CPU-level accesses through private L1s and a
+// (possibly shared) L2, emitting only main-memory traffic.
+type Hierarchy struct {
+	l1i, l1d *Cache
+	l2       *Cache
+}
+
+// NewHierarchy builds a per-core hierarchy on top of a shared L2.
+func NewHierarchy(cfg HierarchyConfig, l2 *Cache) *Hierarchy {
+	return &Hierarchy{l1i: New(cfg.L1I), l1d: New(cfg.L1D), l2: l2}
+}
+
+// L1I, L1D, and L2 expose the component caches (for stats).
+func (h *Hierarchy) L1I() *Cache { return h.l1i }
+func (h *Hierarchy) L1D() *Cache { return h.l1d }
+func (h *Hierarchy) L2() *Cache  { return h.l2 }
+
+// Filter pushes one CPU-level record through the hierarchy and appends any
+// resulting main-memory requests to out (fills as reads, L2 dirty evictions
+// as writes), returning the extended slice. The caller owns gap accounting.
+func (h *Hierarchy) Filter(rec trace.Record, out []trace.Record) []trace.Record {
+	l1 := h.l1d
+	if rec.Kind == trace.InstFetch {
+		l1 = h.l1i
+	}
+	r1 := l1.Access(rec.Addr, rec.Kind.IsWrite())
+	if r1.HasWriteback {
+		// L1 victim is written into L2 (write-back); may cascade.
+		out = h.accessL2(trace.Record{Addr: r1.Writeback, PC: rec.PC, Kind: trace.Write}, true, out)
+	}
+	if r1.Hit {
+		return out
+	}
+	// L1 miss: fill from L2. The fill itself is a read at L2 regardless of
+	// whether the missing access was a write (write-allocate).
+	return h.accessL2(trace.Record{Addr: rec.Addr, PC: rec.PC, Kind: trace.Read}, false, out)
+}
+
+// accessL2 performs an L2 access; isWriteback marks L1 victim installs.
+func (h *Hierarchy) accessL2(rec trace.Record, isWriteback bool, out []trace.Record) []trace.Record {
+	res := h.l2.Access(rec.Addr, isWriteback)
+	if res.HasWriteback {
+		out = append(out, trace.Record{Addr: res.Writeback, PC: rec.PC, Kind: trace.Write})
+	}
+	if res.Fill && !isWriteback {
+		out = append(out, trace.Record{Addr: rec.Addr, PC: rec.PC, Kind: trace.Read})
+	} else if res.Fill && isWriteback {
+		// Dirty L1 victim missed in L2: the line is installed dirty and
+		// will reach memory when evicted; no immediate memory read is
+		// needed because the victim carries the full line.
+		_ = res
+	}
+	return out
+}
+
+// FilterStream adapts a CPU-level trace.Stream into a main-memory-level
+// stream, accumulating instruction gaps across filtered (cache-hit)
+// requests: a hit still costs roughly one instruction slot, so hits add one
+// instruction each to the gap of the next emitted request.
+type FilterStream struct {
+	src     trace.Stream
+	h       *Hierarchy
+	pending []trace.Record
+	gap     uint64
+	done    bool
+}
+
+// NewFilterStream wraps src with hierarchy h.
+func NewFilterStream(src trace.Stream, h *Hierarchy) *FilterStream {
+	return &FilterStream{src: src, h: h}
+}
+
+// Next implements trace.Stream.
+func (f *FilterStream) Next() (trace.Record, error) {
+	for {
+		if len(f.pending) > 0 {
+			out := f.pending[0]
+			f.pending = f.pending[1:]
+			out.Gap = clampGap(f.gap)
+			f.gap = 0
+			return out, nil
+		}
+		if f.done {
+			return trace.Record{}, errEOF
+		}
+		rec, err := f.src.Next()
+		if err != nil {
+			f.done = true
+			if isEOF(err) {
+				return trace.Record{}, errEOF
+			}
+			return trace.Record{}, err
+		}
+		f.gap += uint64(rec.Gap)
+		before := len(f.pending)
+		f.pending = f.h.Filter(rec, f.pending)
+		if len(f.pending) == before {
+			// Fully filtered: the access cost one instruction slot.
+			f.gap++
+		}
+	}
+}

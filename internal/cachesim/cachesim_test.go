@@ -1,0 +1,302 @@
+package cachesim
+
+import (
+	"errors"
+	"io"
+	"testing"
+	"testing/quick"
+
+	"hmem/internal/trace"
+	"hmem/internal/xrand"
+)
+
+func tiny() Config {
+	return Config{Name: "T", SizeBytes: 1024, Assoc: 2, LineSize: 64} // 8 sets
+}
+
+func TestConfigValidate(t *testing.T) {
+	if err := tiny().Validate(); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	bad := []Config{
+		{Name: "a", SizeBytes: 1024, Assoc: 2, LineSize: 0},
+		{Name: "b", SizeBytes: 1024, Assoc: 2, LineSize: 48},
+		{Name: "c", SizeBytes: 1024, Assoc: 0, LineSize: 64},
+		{Name: "d", SizeBytes: 0, Assoc: 2, LineSize: 64},
+		{Name: "e", SizeBytes: 1000, Assoc: 2, LineSize: 64},
+	}
+	for _, c := range bad {
+		if err := c.Validate(); err == nil {
+			t.Errorf("%s: invalid config accepted", c.Name)
+		}
+	}
+}
+
+func TestNewPanicsOnNonPow2Sets(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(Config{Name: "x", SizeBytes: 3 * 64 * 2, Assoc: 2, LineSize: 64}) // 3 sets
+}
+
+func TestHitAfterMiss(t *testing.T) {
+	c := New(tiny())
+	r := c.Access(0x1000, false)
+	if r.Hit || !r.Fill {
+		t.Fatalf("first access should miss+fill: %+v", r)
+	}
+	r = c.Access(0x1000, false)
+	if !r.Hit {
+		t.Fatalf("second access should hit: %+v", r)
+	}
+	// Same line, different byte offset.
+	if r = c.Access(0x1004, false); !r.Hit {
+		t.Fatalf("same-line access should hit: %+v", r)
+	}
+	st := c.Stats()
+	if st.Hits != 2 || st.Misses != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+}
+
+func TestLRUEviction(t *testing.T) {
+	c := New(tiny()) // 8 sets, 2-way; set stride = 64*8 = 512
+	a, b, d := uint64(0), uint64(512), uint64(1024)
+	c.Access(a, false)
+	c.Access(b, false)
+	c.Access(a, false) // a is now MRU
+	c.Access(d, false) // evicts b (LRU)
+	if !c.Contains(a) || c.Contains(b) || !c.Contains(d) {
+		t.Fatal("LRU eviction picked the wrong victim")
+	}
+}
+
+func TestDirtyWriteback(t *testing.T) {
+	c := New(tiny())
+	c.Access(0, true) // dirty
+	c.Access(512, false)
+	r := c.Access(1024, false) // evicts line 0 (dirty)
+	if !r.HasWriteback || r.Writeback != 0 {
+		t.Fatalf("expected writeback of addr 0: %+v", r)
+	}
+	if c.Stats().Writebacks != 1 {
+		t.Fatalf("stats = %+v", c.Stats())
+	}
+	// Clean eviction: no writeback.
+	r = c.Access(1536, false) // evicts 512 (clean)
+	if r.HasWriteback {
+		t.Fatalf("clean eviction produced writeback: %+v", r)
+	}
+}
+
+func TestWritebackAddressReconstruction(t *testing.T) {
+	c := New(tiny())
+	addr := uint64(0x13A40) // arbitrary
+	c.Access(addr, true)
+	set := (addr / 64) & 7
+	// Fill the same set until the dirty line is evicted.
+	var wb Result
+	for i := uint64(1); i < 3; i++ {
+		wb = c.Access(addr+i*512, false)
+	}
+	if !wb.HasWriteback {
+		t.Fatal("dirty line never evicted")
+	}
+	if (wb.Writeback/64)&7 != set {
+		t.Fatalf("writeback %x not in victim's set", wb.Writeback)
+	}
+	if wb.Writeback != addr&^uint64(63) {
+		t.Fatalf("writeback addr = %#x, want %#x", wb.Writeback, addr&^uint64(63))
+	}
+}
+
+func TestMissRateSmallWorkingSet(t *testing.T) {
+	c := New(tiny())
+	// Working set fits: after warmup, all hits.
+	for pass := 0; pass < 10; pass++ {
+		for line := uint64(0); line < 16; line++ {
+			c.Access(line*64, false)
+		}
+	}
+	// Exactly the 16 cold misses; every subsequent pass hits.
+	if m := c.Stats().Misses; m != 16 {
+		t.Fatalf("resident working set misses = %d, want 16 (cold only)", m)
+	}
+	// Streaming working set 100x the cache: high miss rate.
+	c2 := New(tiny())
+	for pass := 0; pass < 3; pass++ {
+		for line := uint64(0); line < 1600; line++ {
+			c2.Access(line*64, false)
+		}
+	}
+	if mr := c2.Stats().MissRate(); mr < 0.99 {
+		t.Fatalf("streaming miss rate = %v, want ~1", mr)
+	}
+}
+
+func TestStatsConsistencyProperty(t *testing.T) {
+	f := func(seed uint64) bool {
+		c := New(tiny())
+		rng := xrand.New(seed)
+		n := 200 + rng.Intn(800)
+		for i := 0; i < n; i++ {
+			c.Access(rng.Uint64n(1<<16)&^63, rng.Bool(0.3))
+		}
+		st := c.Stats()
+		return st.Hits+st.Misses == uint64(n) &&
+			st.Writebacks <= st.Evictions &&
+			st.Evictions <= st.Misses
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHierarchyFiltersHits(t *testing.T) {
+	l2 := New(Table1L2(16))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	var out []trace.Record
+	// First access misses everywhere -> one memory read.
+	out = h.Filter(trace.Record{Addr: 0x8000, Kind: trace.Read}, out)
+	if len(out) != 1 || out[0].Kind != trace.Read || out[0].Addr != 0x8000 {
+		t.Fatalf("cold miss output = %+v", out)
+	}
+	// Repeat: L1 hit -> no memory traffic.
+	out = h.Filter(trace.Record{Addr: 0x8000, Kind: trace.Read}, nil)
+	if len(out) != 0 {
+		t.Fatalf("L1 hit produced memory traffic: %+v", out)
+	}
+}
+
+func TestHierarchyInstFetchUsesL1I(t *testing.T) {
+	l2 := New(Table1L2(16))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	h.Filter(trace.Record{Addr: 0x4000, Kind: trace.InstFetch}, nil)
+	if h.L1I().Stats().Misses != 1 || h.L1D().Stats().Misses != 0 {
+		t.Fatal("instruction fetch did not route to L1I")
+	}
+	h.Filter(trace.Record{Addr: 0x4000, Kind: trace.Read}, nil)
+	if h.L1D().Stats().Misses != 1 {
+		t.Fatal("data read did not route to L1D")
+	}
+}
+
+func TestHierarchyDirtyEvictionReachesMemory(t *testing.T) {
+	// Small L2 so we can force evictions quickly.
+	l2 := New(Config{Name: "L2", SizeBytes: 4096, Assoc: 2, LineSize: 64}) // 32 sets
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	// Dirty a line (write misses L1, fills L2; L1 holds it dirty).
+	h.Filter(trace.Record{Addr: 0, Kind: trace.Write}, nil)
+	// Force the dirty line out of L1D (16KB/4-way: 64 sets, stride 4096).
+	var memWrites int
+	for i := uint64(1); i < 400; i++ {
+		out := h.Filter(trace.Record{Addr: i * 4096 * 16, Kind: trace.Read}, nil)
+		for _, r := range out {
+			if r.Kind == trace.Write {
+				memWrites++
+			}
+		}
+	}
+	if memWrites == 0 {
+		t.Fatal("dirty data never reached memory")
+	}
+}
+
+func TestFilterStreamGapAccumulation(t *testing.T) {
+	l2 := New(Table1L2(16))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	src := trace.NewSliceStream([]trace.Record{
+		{Gap: 10, Addr: 0x1000, Kind: trace.Read}, // cold miss -> emitted
+		{Gap: 5, Addr: 0x1000, Kind: trace.Read},  // hit -> filtered
+		{Gap: 7, Addr: 0x1000, Kind: trace.Read},  // hit -> filtered
+		{Gap: 3, Addr: 0x2000, Kind: trace.Read},  // cold miss -> emitted
+	})
+	fs := NewFilterStream(src, h)
+	r1, err := fs.Next()
+	if err != nil || r1.Addr != 0x1000 || r1.Gap != 10 {
+		t.Fatalf("first emission: %+v, %v", r1, err)
+	}
+	r2, err := fs.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Gap = 5 + 7 (+2 for the two filtered accesses) + 3 = 17.
+	if r2.Addr != 0x2000 || r2.Gap != 17 {
+		t.Fatalf("second emission: %+v, want gap 17", r2)
+	}
+	if _, err := fs.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestFilterStreamEOFIsSticky(t *testing.T) {
+	l2 := New(Table1L2(16))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	fs := NewFilterStream(trace.NewSliceStream(nil), h)
+	for i := 0; i < 3; i++ {
+		if _, err := fs.Next(); !errors.Is(err, io.EOF) {
+			t.Fatalf("call %d: expected EOF, got %v", i, err)
+		}
+	}
+}
+
+func TestSharedL2AcrossHierarchies(t *testing.T) {
+	l2 := New(Table1L2(16))
+	h1 := NewHierarchy(Table1Hierarchy(), l2)
+	h2 := NewHierarchy(Table1Hierarchy(), l2)
+	// Core 1 brings a line into shared L2.
+	h1.Filter(trace.Record{Addr: 0xA000, Kind: trace.Read}, nil)
+	// Core 2 misses L1 but should hit shared L2 -> no memory traffic.
+	out := h2.Filter(trace.Record{Addr: 0xA000, Kind: trace.Read}, nil)
+	if len(out) != 0 {
+		t.Fatalf("shared L2 miss: %+v", out)
+	}
+}
+
+func TestFilterReducesTraffic(t *testing.T) {
+	l2 := New(Table1L2(64))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	rng := xrand.New(42)
+	// 80/20 locality: most accesses to a small hot set.
+	emitted := 0
+	const n = 20000
+	for i := 0; i < n; i++ {
+		var addr uint64
+		if rng.Bool(0.8) {
+			addr = rng.Uint64n(64) * 64 // hot: 4 KB
+		} else {
+			addr = rng.Uint64n(1<<22) &^ 63
+		}
+		out := h.Filter(trace.Record{Addr: addr, Kind: trace.Read}, nil)
+		emitted += len(out)
+	}
+	if ratio := float64(emitted) / n; ratio > 0.5 {
+		t.Fatalf("cache filtered only %.0f%% of traffic", 100*(1-ratio))
+	}
+}
+
+func BenchmarkCacheAccess(b *testing.B) {
+	c := New(Table1L2(1))
+	rng := xrand.New(3)
+	addrs := make([]uint64, 1<<14)
+	for i := range addrs {
+		addrs[i] = rng.Uint64n(1<<28) &^ 63
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Access(addrs[i&(1<<14-1)], i&7 == 0)
+	}
+}
+
+func BenchmarkHierarchyFilter(b *testing.B) {
+	l2 := New(Table1L2(4))
+	h := NewHierarchy(Table1Hierarchy(), l2)
+	rng := xrand.New(3)
+	buf := make([]trace.Record, 0, 4)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf = h.Filter(trace.Record{Addr: rng.Uint64n(1<<26) &^ 63, Kind: trace.Read}, buf[:0])
+	}
+}

@@ -1,0 +1,20 @@
+package cachesim
+
+import (
+	"errors"
+	"io"
+	"math"
+)
+
+var errEOF = io.EOF
+
+func isEOF(err error) bool { return errors.Is(err, io.EOF) }
+
+// clampGap saturates an accumulated instruction gap into the 32-bit record
+// field.
+func clampGap(g uint64) uint32 {
+	if g > math.MaxUint32 {
+		return math.MaxUint32
+	}
+	return uint32(g)
+}

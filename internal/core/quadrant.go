@@ -1,0 +1,80 @@
+package core
+
+// Quadrant analysis (§4.2, Figure 4): the footprint is split around mean
+// hotness and mean AVF into four populations. The upper-left population —
+// hot and low-risk — is the opportunity this paper exploits: "hot and
+// low-risk pages account for anywhere between 9% and 39% of the entire
+// memory footprint".
+
+// Quadrant identifies one cell of the hotness/risk plane.
+type Quadrant uint8
+
+// The four quadrants.
+const (
+	HotLowRisk Quadrant = iota
+	HotHighRisk
+	ColdLowRisk
+	ColdHighRisk
+)
+
+// String names the quadrant.
+func (q Quadrant) String() string {
+	switch q {
+	case HotLowRisk:
+		return "hot+low-risk"
+	case HotHighRisk:
+		return "hot+high-risk"
+	case ColdLowRisk:
+		return "cold+low-risk"
+	case ColdHighRisk:
+		return "cold+high-risk"
+	default:
+		return "quadrant(?)"
+	}
+}
+
+// QuadrantSummary is the Figure 4 census of one workload.
+type QuadrantSummary struct {
+	MeanHotness float64
+	MeanAVF     float64
+	Count       [4]int
+	Total       int
+}
+
+// Classify places one page given the thresholds. Pages exactly at a
+// threshold fall on the cold/low side, matching a strict ">" hot test.
+func (s QuadrantSummary) Classify(p PageStats) Quadrant {
+	hot := float64(p.Accesses()) > s.MeanHotness
+	high := p.AVF > s.MeanAVF
+	switch {
+	case hot && !high:
+		return HotLowRisk
+	case hot && high:
+		return HotHighRisk
+	case !hot && !high:
+		return ColdLowRisk
+	default:
+		return ColdHighRisk
+	}
+}
+
+// Frac returns the fraction of pages in quadrant q.
+func (s QuadrantSummary) Frac(q Quadrant) float64 {
+	if s.Total == 0 {
+		return 0
+	}
+	return float64(s.Count[q]) / float64(s.Total)
+}
+
+// Quadrants computes the census with mean-hotness/mean-AVF thresholds.
+func Quadrants(stats []PageStats) QuadrantSummary {
+	s := QuadrantSummary{
+		MeanHotness: MeanHotness(stats),
+		MeanAVF:     MeanAVF(stats),
+		Total:       len(stats),
+	}
+	for _, p := range stats {
+		s.Count[s.Classify(p)]++
+	}
+	return s
+}

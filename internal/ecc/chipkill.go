@@ -1,0 +1,91 @@
+package ecc
+
+// ChipKill is a Reed-Solomon single-symbol-correct code over GF(2^8).
+// The DDRx tier transfers a 144-bit beat-pair on its 72-bit bus from 18 x4
+// chips; grouping each chip's two 4-bit beats gives 18 8-bit symbols:
+// 16 data symbols + 2 check symbols. Any error confined to one symbol — up
+// to all 8 bits of one chip — is corrected, which is exactly the
+// "single-ChipKill" property of Table 1. Errors spanning two or more chips
+// are uncorrectable; the decoder detects most such patterns (RS distance 3
+// guarantees single correction; double-symbol detection is probabilistic,
+// documented in DESIGN.md as the deviation from the b-adjacent SSC-DSD code
+// of Dell's white paper).
+
+// ChipKill code geometry.
+const (
+	CKDataSymbols  = 16
+	CKCheckSymbols = 2
+	CKSymbols      = CKDataSymbols + CKCheckSymbols
+)
+
+// CKWord is one chipkill codeword: 18 symbols, data in [0,16), checks at
+// indices 16 and 17.
+type CKWord [CKSymbols]byte
+
+// ckGen is the generator polynomial (x - α^0)(x - α^1) = x^2 + g1·x + g0.
+var ckGen = func() [3]byte {
+	// (x + 1)(x + α) over GF(256): coefficients [g0, g1, 1].
+	a := gfPow(1)
+	return [3]byte{gfMul(1, a), 1 ^ a, 1}
+}()
+
+// EncodeChipKill encodes 16 data symbols into a systematic codeword.
+func EncodeChipKill(data [CKDataSymbols]byte) CKWord {
+	// Systematic RS encoding: remainder of data·x^2 divided by generator.
+	var rem [2]byte
+	for _, d := range data {
+		feedback := d ^ rem[0]
+		rem[0] = rem[1] ^ gfMul(feedback, ckGen[1])
+		rem[1] = gfMul(feedback, ckGen[0])
+	}
+	var w CKWord
+	copy(w[:CKDataSymbols], data[:])
+	w[CKDataSymbols] = rem[0]
+	w[CKDataSymbols+1] = rem[1]
+	return w
+}
+
+// ckEval evaluates the received word as a polynomial at α^j. The codeword
+// symbol at index i is the coefficient of x^(n-1-i).
+func ckEval(w CKWord, j int) byte {
+	var acc byte
+	x := gfPow(j)
+	for _, c := range w[:] {
+		acc = gfMul(acc, x) ^ c
+	}
+	return acc
+}
+
+// DecodeChipKill decodes a possibly-corrupted codeword, returning the data
+// symbols and the decoder's verdict. Any single-symbol error (1-8 bit flips
+// within one chip) is corrected. Multi-symbol errors are uncorrectable and
+// usually detected; patterns that alias to a valid single-symbol correction
+// emerge as Corrected with wrong data (silent corruption), which callers
+// with ground truth can observe.
+func DecodeChipKill(w CKWord) (data [CKDataSymbols]byte, outcome Outcome) {
+	s0 := ckEval(w, 0)
+	s1 := ckEval(w, 1)
+
+	switch {
+	case s0 == 0 && s1 == 0:
+		outcome = OK
+	case s0 != 0 && s1 != 0:
+		// Single-error hypothesis: error magnitude s0 at polynomial degree
+		// log(s1/s0); degree d corresponds to symbol index n-1-d.
+		deg := gfLog[gfDiv(s1, s0)]
+		idx := CKSymbols - 1 - deg
+		if idx >= 0 && idx < CKSymbols {
+			w[idx] ^= s0
+			outcome = Corrected
+		} else {
+			outcome = DetectedUncorrectable
+		}
+	default:
+		// Exactly one syndrome zero: impossible for a single symbol error,
+		// so at least two symbols are corrupt.
+		outcome = DetectedUncorrectable
+	}
+
+	copy(data[:], w[:CKDataSymbols])
+	return data, outcome
+}

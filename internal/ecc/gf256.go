@@ -1,0 +1,71 @@
+// Package ecc implements the two error-correction codes of the paper's
+// Table 1 memory tiers as real, bit-level codecs:
+//
+//   - Hsiao-style SEC-DED(72,64) — single-error-correct, double-error-detect
+//     — the HBM tier's protection [21].
+//   - A Reed-Solomon single-symbol-correct code over GF(2^8), RS(18,16) —
+//     ChipKill-class symbol correction for the x4 DDRx tier [10]: 16 data
+//     symbols + 2 check symbols, one 8-bit symbol per DRAM chip per burst
+//     pair, so any single-chip failure (any number of bits within one
+//     symbol) is correctable.
+//
+// The fault simulator adjudicates millions of fault patterns per study; it
+// uses fast pattern-counting rules that are cross-validated against these
+// codecs by the package tests.
+package ecc
+
+// gf256 arithmetic with the AES-adjacent primitive polynomial x^8+x^4+x^3+x^2+1
+// (0x11D), precomputed exp/log tables.
+
+// The tables are built by a variable initializer (not func init) so that
+// other package-level initializers depending on gfMul/gfPow — like the
+// chipkill generator polynomial — are ordered after them by the spec's
+// initialization-dependency rules.
+var gfExp, gfLog = buildGFTables()
+
+func buildGFTables() ([512]byte, [256]int) {
+	var exp [512]byte
+	var log [256]int
+	x := 1
+	for i := 0; i < 255; i++ {
+		exp[i] = byte(x)
+		log[x] = i
+		x <<= 1
+		if x&0x100 != 0 {
+			x ^= 0x11D
+		}
+	}
+	for i := 255; i < 512; i++ {
+		exp[i] = exp[i-255]
+	}
+	log[0] = -1
+	return exp, log
+}
+
+// gfMul multiplies in GF(256).
+func gfMul(a, b byte) byte {
+	if a == 0 || b == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]+gfLog[b]]
+}
+
+// gfDiv divides a by b in GF(256); b must be non-zero.
+func gfDiv(a, b byte) byte {
+	if b == 0 {
+		panic("ecc: division by zero in GF(256)")
+	}
+	if a == 0 {
+		return 0
+	}
+	return gfExp[gfLog[a]-gfLog[b]+255]
+}
+
+// gfPow returns alpha^(e mod 255) where alpha is the primitive element.
+func gfPow(e int) byte {
+	e %= 255
+	if e < 0 {
+		e += 255
+	}
+	return gfExp[e]
+}

@@ -1,0 +1,87 @@
+package experiments
+
+import (
+	"hmem/internal/core"
+	"hmem/internal/migration"
+	"hmem/internal/report"
+	"hmem/internal/sim"
+	"hmem/internal/stats"
+	"hmem/internal/workload"
+)
+
+// AblationCC quantifies the two design choices in this reproduction's Cross
+// Counter implementation (DESIGN.md §6):
+//
+//   - the epoch blacklist — the reliability unit vetoes re-admission of a
+//     page it flushed as high-risk for a few epochs, so hot high-risk pages
+//     don't bounce back one MEA interval after every flush;
+//   - eviction hysteresis — a resident is flushed only when its Wr/Rd falls
+//     below half the epoch mean, so a uniformly low-risk HBM population
+//     doesn't churn against its own mean.
+//
+// Each variant reports IPC and SER relative to the performance-focused
+// migration baseline on a three-workload panel.
+func (r *Runner) AblationCC() (*report.Table, error) {
+	panel := []string{"astar", "mcf", "mix1"}
+	ratio := int(r.opts.FCIntervalCycles / r.opts.MEAIntervalCycles)
+	variants := []struct {
+		name  string
+		build func() sim.Migrator
+	}{
+		{"cc (full)", func() sim.Migrator {
+			return migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
+		}},
+		{"cc -blacklist", func() sim.Migrator {
+			m := migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
+			m.SetBlockEpochs(0)
+			return m
+		}},
+		{"cc -hysteresis", func() sim.Migrator {
+			m := migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
+			m.SetEvictHysteresis(1.0)
+			return m
+		}},
+		{"cc 8-entry MEA", func() sim.Migrator {
+			return migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 8)
+		}},
+	}
+
+	t := report.New("Ablation: Cross Counter design choices",
+		"variant", "IPC vs perf-migration", "SER vs perf-migration", "pages migrated (avg)")
+	for _, v := range variants {
+		var ipcs, sers []float64
+		var migrated uint64
+		for _, name := range panel {
+			spec, err := workload.SpecByName(name)
+			if err != nil {
+				return nil, err
+			}
+			perf, err := r.perfMigration(spec)
+			if err != nil {
+				return nil, err
+			}
+			res, err := r.RunDynamic(spec, "ablation/"+v.name, v.build, core.Balanced{})
+			if err != nil {
+				return nil, err
+			}
+			perfSER, _, err := r.SEROf(perf)
+			if err != nil {
+				return nil, err
+			}
+			resSER, _, err := r.SEROf(res)
+			if err != nil {
+				return nil, err
+			}
+			ipcs = append(ipcs, res.IPC/perf.IPC)
+			if perfSER > 0 {
+				sers = append(sers, resSER/perfSER)
+			}
+			migrated += res.PagesMigrated
+		}
+		t.AddRow(v.name, report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)),
+			report.Int(int(migrated/uint64(len(panel)))))
+	}
+	t.Note = "the blacklist is what converts eviction work into SER reduction; " +
+		"hysteresis suppresses self-churn of a low-risk resident set"
+	return t, nil
+}

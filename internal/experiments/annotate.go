@@ -1,0 +1,119 @@
+package experiments
+
+import (
+	"hmem/internal/annotate"
+	"hmem/internal/core"
+	"hmem/internal/report"
+	"hmem/internal/sim"
+	"hmem/internal/stats"
+	"hmem/internal/workload"
+)
+
+// annotationRun performs the §7 experiment for one workload: profile, pick
+// structures to annotate, pin their pages, and run with migrations disabled
+// for pinned pages (here: no migrator at all, matching the paper's static
+// annotation evaluation).
+func (r *Runner) annotationRun(spec workload.Spec) (sim.Result, []annotate.Annotation, error) {
+	prof, err := r.ProfileOf(spec)
+	if err != nil {
+		return sim.Result{}, nil, err
+	}
+	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages()))
+
+	key := spec.Name + "/annotation"
+	r.mu.Lock()
+	res, ok := r.statics[key]
+	r.mu.Unlock()
+	if !ok {
+		suite, err := r.buildSuite(spec)
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		res, err = sim.Run(r.cfg, suite.Streams(), pins, true, nil)
+		if err != nil {
+			return sim.Result{}, nil, err
+		}
+		r.mu.Lock()
+		r.statics[key] = res
+		r.mu.Unlock()
+	}
+	return res, ann, nil
+}
+
+// RunAnnotation exposes the §7 annotation run for the facade.
+func (r *Runner) RunAnnotation(spec workload.Spec) (sim.Result, error) {
+	res, _, err := r.annotationRun(spec)
+	return res, err
+}
+
+// Figure16 compares annotation-based placement against the perf-focused
+// static oracle (paper: SER ÷1.3 at 1.1% IPC cost).
+func (r *Runner) Figure16() (*report.Table, error) {
+	ordered, err := r.byMPKIDesc()
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Figure 16: program-annotation placement",
+		"workload", "IPC vs perf-focused", "SER vs perf-focused", "pinned pages")
+	var ipcs, sers []float64
+	for _, spec := range ordered {
+		perf, err := r.RunStatic(spec, core.PerfFocused{})
+		if err != nil {
+			return nil, err
+		}
+		res, ann, err := r.annotationRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		perfSER, _, err := r.SEROf(perf)
+		if err != nil {
+			return nil, err
+		}
+		resSER, _, err := r.SEROf(res)
+		if err != nil {
+			return nil, err
+		}
+		pinned := 0
+		for _, a := range ann {
+			pinned += len(a.Pages)
+		}
+		ipcRatio := res.IPC / perf.IPC
+		serRatio := 0.0
+		if perfSER > 0 {
+			serRatio = resSER / perfSER
+		}
+		ipcs = append(ipcs, ipcRatio)
+		sers = append(sers, serRatio)
+		t.AddRow(spec.Name, report.X(ipcRatio), report.X(serRatio), report.Int(pinned))
+	}
+	t.AddRow("average", report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)), "")
+	t.Note = "paper: SER reduced 1.3x at 1.1% IPC cost vs perf-focused placement"
+	return t, nil
+}
+
+// Figure17 counts how many structures must be annotated per workload
+// (paper: 1-6 for most, 39/45 for cactusADM/mix1, average 8).
+func (r *Runner) Figure17() (*report.Table, error) {
+	t := report.New("Figure 17: number of annotated program structures",
+		"workload", "annotations", "pages pinned")
+	total := 0
+	n := 0
+	for _, spec := range r.Workloads() {
+		_, ann, err := r.annotationRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		pinned := 0
+		for _, a := range ann {
+			pinned += len(a.Pages)
+		}
+		t.AddRow(spec.Name, report.Int(annotate.Count(ann)), report.Int(pinned))
+		total += annotate.Count(ann)
+		n++
+	}
+	if n > 0 {
+		t.Note = "average " + report.F(float64(total)/float64(n), 1) +
+			" annotations (paper: 8 on average, 1-6 for most workloads)"
+	}
+	return t, nil
+}

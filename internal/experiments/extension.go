@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"hmem/internal/annotate"
+	"hmem/internal/core"
+	"hmem/internal/migration"
+	"hmem/internal/report"
+	"hmem/internal/sim"
+	"hmem/internal/stats"
+	"hmem/internal/workload"
+)
+
+// ExtensionAnnotatedMigration evaluates the paper's closing suggestion
+// (§7): "Supplementing such an annotation-driven static data placement
+// scheme with a reliability-aware migration mechanism could potentially
+// further improve the overall reliability of the system." Annotated
+// structures stay pinned in HBM while the Full Counter mechanism manages
+// the remaining frames dynamically. Compared against annotation-only and
+// FC-only on every workload, all relative to the perf-focused static
+// oracle.
+func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
+	ordered, err := r.byMPKIDesc()
+	if err != nil {
+		return nil, err
+	}
+	t := report.New("Extension: annotations + reliability-aware migration (§7 future work)",
+		"workload", "annot IPC", "annot SER", "FC IPC", "FC SER", "annot+FC IPC", "annot+FC SER")
+
+	var aIPC, aSER, fIPC, fSER, cIPC, cSER []float64
+	for _, spec := range ordered {
+		perf, err := r.RunStatic(spec, core.PerfFocused{})
+		if err != nil {
+			return nil, err
+		}
+		perfSER, _, err := r.SEROf(perf)
+		if err != nil {
+			return nil, err
+		}
+		norm := func(res sim.Result) (float64, float64, error) {
+			resSER, _, err := r.SEROf(res)
+			if err != nil {
+				return 0, 0, err
+			}
+			serRatio := 0.0
+			if perfSER > 0 {
+				serRatio = resSER / perfSER
+			}
+			return res.IPC / perf.IPC, serRatio, nil
+		}
+
+		annot, _, err := r.annotationRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		fc, err := r.fcMigration(spec)
+		if err != nil {
+			return nil, err
+		}
+		combined, err := r.annotatedMigrationRun(spec)
+		if err != nil {
+			return nil, err
+		}
+
+		ai, as, err := norm(annot)
+		if err != nil {
+			return nil, err
+		}
+		fi, fs, err := norm(fc)
+		if err != nil {
+			return nil, err
+		}
+		ci, cs, err := norm(combined)
+		if err != nil {
+			return nil, err
+		}
+		aIPC, aSER = append(aIPC, ai), append(aSER, as)
+		fIPC, fSER = append(fIPC, fi), append(fSER, fs)
+		cIPC, cSER = append(cIPC, ci), append(cSER, cs)
+		t.AddRow(spec.Name, report.X(ai), report.X(as), report.X(fi), report.X(fs),
+			report.X(ci), report.X(cs))
+	}
+	t.AddRow("average",
+		report.X(stats.GeoMean(aIPC)), report.X(stats.GeoMean(aSER)),
+		report.X(stats.GeoMean(fIPC)), report.X(stats.GeoMean(fSER)),
+		report.X(stats.GeoMean(cIPC)), report.X(stats.GeoMean(cSER)))
+	t.Note = "IPC and SER relative to the perf-focused static oracle; the paper " +
+		"conjectures the combination improves on annotation alone"
+	return t, nil
+}
+
+// annotatedMigrationRun pins the annotated structures and lets the FC
+// mechanism manage the remaining HBM frames.
+func (r *Runner) annotatedMigrationRun(spec workload.Spec) (sim.Result, error) {
+	key := spec.Name + "/annotation+fc"
+	r.mu.Lock()
+	if res, ok := r.dynamics[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	prof, err := r.ProfileOf(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	// Pin annotations into at most half of HBM so the migration mechanism
+	// has frames to work with.
+	_, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages())/2)
+	suite, err := r.buildSuite(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.Run(r.cfg, suite.Streams(), pins, true,
+		migration.NewFullCounter(r.opts.FCIntervalCycles))
+	if err != nil {
+		return sim.Result{}, err
+	}
+	r.mu.Lock()
+	r.dynamics[key] = res
+	r.mu.Unlock()
+	return res, nil
+}

@@ -1,0 +1,255 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (the per-experiment index lives in DESIGN.md §4).
+// A Runner memoizes profiling runs, policy runs, and the fault study so the
+// full suite — and the bench harness wrapping it — does each expensive
+// simulation once.
+package experiments
+
+import (
+	"fmt"
+	"sync"
+
+	"hmem/internal/core"
+	"hmem/internal/faultsim"
+	"hmem/internal/sim"
+	"hmem/internal/workload"
+)
+
+// Options scales the experiment suite. The defaults reproduce every figure
+// at 1/64 of the paper's capacities with interval ratios preserved
+// (DESIGN.md §3 "Scale").
+type Options struct {
+	// ScaleDiv divides the Table 1 capacities (64 -> 16 MB HBM + 256 MB DDR).
+	ScaleDiv int
+	// RecordsPerCore is the trace length per core.
+	RecordsPerCore int
+	// Seed drives all generators.
+	Seed uint64
+	// FaultTrials is the Monte-Carlo trial count per stratum (§3.2).
+	FaultTrials int
+	// FCIntervalCycles is the scaled 100 ms full-counter interval.
+	FCIntervalCycles int64
+	// MEAIntervalCycles is the scaled 50 µs MEA interval.
+	MEAIntervalCycles int64
+	// Workloads restricts the evaluated set (nil = all 14).
+	Workloads []string
+}
+
+// DefaultOptions returns the standard reduced-scale configuration.
+func DefaultOptions() Options {
+	return Options{
+		ScaleDiv:       64,
+		RecordsPerCore: 40000,
+		Seed:           0x9AFE2018,
+		FaultTrials:    20000,
+		// The paper's 100 ms / 50 µs at 3.2 GHz are 320M / 160K cycles; at
+		// our ~100x-shorter simpoints we keep a large FC:MEA ratio (50:1).
+		FCIntervalCycles:  400_000,
+		MEAIntervalCycles: 8_000,
+	}
+}
+
+// Runner executes and memoizes experiment building blocks.
+type Runner struct {
+	opts Options
+	cfg  sim.Config
+
+	mu       sync.Mutex
+	fits     *faultsim.TierFITs
+	profiles map[string]*Profile
+	statics  map[string]sim.Result
+	dynamics map[string]sim.Result
+}
+
+// Profile is a workload's oracle profiling run: the DDR-only simulation
+// that yields per-page hotness and AVF (§4.2) and the DDR-only baselines.
+type Profile struct {
+	Suite  *workload.Suite
+	Result sim.Result
+	Stats  []core.PageStats
+}
+
+// NewRunner builds a runner; zero-value options fall back to defaults.
+func NewRunner(opts Options) *Runner {
+	def := DefaultOptions()
+	if opts.ScaleDiv <= 0 {
+		opts.ScaleDiv = def.ScaleDiv
+	}
+	if opts.RecordsPerCore <= 0 {
+		opts.RecordsPerCore = def.RecordsPerCore
+	}
+	if opts.Seed == 0 {
+		opts.Seed = def.Seed
+	}
+	if opts.FaultTrials <= 0 {
+		opts.FaultTrials = def.FaultTrials
+	}
+	if opts.FCIntervalCycles <= 0 {
+		opts.FCIntervalCycles = def.FCIntervalCycles
+	}
+	if opts.MEAIntervalCycles <= 0 {
+		opts.MEAIntervalCycles = def.MEAIntervalCycles
+	}
+	return &Runner{
+		opts:     opts,
+		cfg:      sim.DefaultConfig(opts.ScaleDiv),
+		profiles: make(map[string]*Profile),
+		statics:  make(map[string]sim.Result),
+		dynamics: make(map[string]sim.Result),
+	}
+}
+
+// Options returns the runner's resolved options.
+func (r *Runner) Options() Options { return r.opts }
+
+// Config returns the scaled machine configuration.
+func (r *Runner) Config() sim.Config { return r.cfg }
+
+// Workloads returns the evaluated workload specs.
+func (r *Runner) Workloads() []workload.Spec {
+	if len(r.opts.Workloads) == 0 {
+		return workload.AllSpecs()
+	}
+	var out []workload.Spec
+	for _, name := range r.opts.Workloads {
+		s, err := workload.SpecByName(name)
+		if err != nil {
+			panic(err) // options are programmer-provided constants
+		}
+		out = append(out, s)
+	}
+	return out
+}
+
+// Fits runs (once) the FaultSim studies and returns both tiers'
+// uncorrectable FIT per GB.
+func (r *Runner) Fits() (faultsim.TierFITs, error) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.fits != nil {
+		return *r.fits, nil
+	}
+	fits, err := faultsim.DefaultTierFITs(r.opts.FaultTrials)
+	if err != nil {
+		return faultsim.TierFITs{}, err
+	}
+	r.fits = &fits
+	return fits, nil
+}
+
+// SERModel returns the SER scorer backed by the fault study.
+func (r *Runner) SERModel() (core.SERModel, error) {
+	fits, err := r.Fits()
+	if err != nil {
+		return core.SERModel{}, err
+	}
+	return core.SERModel{Fits: fits}, nil
+}
+
+// buildSuite constructs a fresh suite for a spec (each simulation needs
+// fresh generators because streams are consumed).
+func (r *Runner) buildSuite(spec workload.Spec) (*workload.Suite, error) {
+	return spec.Build(r.opts.RecordsPerCore, r.opts.Seed)
+}
+
+// ProfileOf returns the memoized DDR-only profiling run for a workload.
+func (r *Runner) ProfileOf(spec workload.Spec) (*Profile, error) {
+	r.mu.Lock()
+	if p, ok := r.profiles[spec.Name]; ok {
+		r.mu.Unlock()
+		return p, nil
+	}
+	r.mu.Unlock()
+
+	suite, err := r.buildSuite(spec)
+	if err != nil {
+		return nil, err
+	}
+	res, err := sim.Run(r.cfg, suite.Streams(), nil, false, nil)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
+	}
+	p := &Profile{Suite: suite, Result: res, Stats: res.Stats()}
+	r.mu.Lock()
+	r.profiles[spec.Name] = p
+	r.mu.Unlock()
+	return p, nil
+}
+
+// RunStatic executes (memoized) a static-policy run: the policy selects HBM
+// residents from the oracle profile, and the workload re-runs with that
+// placement fixed.
+func (r *Runner) RunStatic(spec workload.Spec, policy core.Policy) (sim.Result, error) {
+	key := spec.Name + "/" + policy.Name()
+	r.mu.Lock()
+	if res, ok := r.statics[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	prof, err := r.ProfileOf(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	pages := policy.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+	suite, err := r.buildSuite(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.Run(r.cfg, suite.Streams(), pages, false, nil)
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, policy.Name(), err)
+	}
+	r.mu.Lock()
+	r.statics[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// RunDynamic executes (memoized by mechanism name) a migration run. The
+// initial placement warms HBM with the oracle hot set ("we assume a good
+// pre-measurement placement ... the top hot pages from our oracular static
+// placement"), or the hot∧low-risk set for reliability-aware mechanisms.
+func (r *Runner) RunDynamic(spec workload.Spec, mech string, build func() sim.Migrator, warm core.Policy) (sim.Result, error) {
+	key := spec.Name + "/" + mech
+	r.mu.Lock()
+	if res, ok := r.dynamics[key]; ok {
+		r.mu.Unlock()
+		return res, nil
+	}
+	r.mu.Unlock()
+
+	prof, err := r.ProfileOf(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	pages := warm.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+	suite, err := r.buildSuite(spec)
+	if err != nil {
+		return sim.Result{}, err
+	}
+	res, err := sim.Run(r.cfg, suite.Streams(), pages, false, build())
+	if err != nil {
+		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, mech, err)
+	}
+	r.mu.Lock()
+	r.dynamics[key] = res
+	r.mu.Unlock()
+	return res, nil
+}
+
+// SEROf scores a finished run against the DDR-only baseline, returning
+// (absolute SER, SER relative to all-DDR).
+func (r *Runner) SEROf(res sim.Result) (abs, rel float64, err error) {
+	m, err := r.SERModel()
+	if err != nil {
+		return 0, 0, err
+	}
+	abs = m.SER(res.Snapshot)
+	base := m.SERAllDDR(res.Snapshot)
+	if base == 0 {
+		return abs, 0, nil
+	}
+	return abs, abs / base, nil
+}

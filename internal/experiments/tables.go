@@ -1,0 +1,174 @@
+package experiments
+
+import (
+	"fmt"
+
+	"hmem/internal/core"
+	"hmem/internal/memsim"
+	"hmem/internal/report"
+	"hmem/internal/sim"
+	"hmem/internal/stats"
+	"hmem/internal/workload"
+)
+
+// Table1 renders the simulated system configuration (the paper's Table 1 at
+// the runner's scale).
+func (r *Runner) Table1() *report.Table {
+	t := report.New("Table 1: system configuration (scale 1/"+report.Int(r.opts.ScaleDiv)+")",
+		"component", "parameter", "value")
+	t.AddRow("processor", "cores", report.Int(workload.Cores))
+	t.AddRow("processor", "issue width", report.Int(r.cfg.IssueWidth))
+	t.AddRow("processor", "outstanding reads/core", report.Int(r.cfg.MaxOutstanding))
+	add := func(label string, c memsim.Config) {
+		t.AddRow(label, "capacity", fmt.Sprintf("%d MiB", c.CapacityBytes>>20))
+		t.AddRow(label, "channels", report.Int(c.Channels))
+		t.AddRow(label, "banks/rank", report.Int(c.BanksPerRank))
+		t.AddRow(label, "bus bytes/beat", report.Int(c.BusBytesPerBeat))
+		t.AddRow(label, "peak bandwidth", report.F(c.PeakBandwidth(), 1)+" B/cycle")
+	}
+	add("HBM (SEC-DED)", r.cfg.HBM)
+	add("DDR3 (ChipKill)", r.cfg.DDR)
+	return t
+}
+
+// Table2 renders the Table 2 mix compositions.
+func (r *Runner) Table2() *report.Table {
+	t := report.New("Table 2: mixed workloads", "mix", "composition")
+	for _, mix := range workload.MixSpecs() {
+		desc := ""
+		for i, m := range mix.Members {
+			if i > 0 {
+				desc += ", "
+			}
+			desc += fmt.Sprintf("%s x%d", m.Bench, m.Copies)
+		}
+		t.AddRow(mix.Name, desc)
+	}
+	return t
+}
+
+// Table3 is the paper's summary: every scheme's average IPC degradation and
+// SER improvement against its performance-focused baseline.
+func (r *Runner) Table3() (*report.Table, error) {
+	t := report.New("Table 3: summary of reliability-aware schemes",
+		"scheme", "IPC degradation", "SER improvement", "paper (IPC / SER)")
+	ordered, err := r.byMPKIDesc()
+	if err != nil {
+		return nil, err
+	}
+
+	addStatic := func(label string, pol core.Policy, paper string) error {
+		rows, err := r.staticComparison(pol, ordered)
+		if err != nil {
+			return err
+		}
+		avg := avgRow(rows)
+		t.AddRow(label, report.Pct(1-avg.IPCvsPerf), report.X(safeInv(avg.SERvsPerf)), paper)
+		return nil
+	}
+	if err := addStatic("reliability-focused (static)", core.ReliabilityFocused{}, "17% / 5.0x"); err != nil {
+		return nil, err
+	}
+	if err := addStatic("balanced (static)", core.Balanced{}, "14% / 3.0x"); err != nil {
+		return nil, err
+	}
+	if err := addStatic("Wr ratio (heuristic)", core.WrRatio{}, "8.1% / 1.8x"); err != nil {
+		return nil, err
+	}
+	if err := addStatic("Wr2 ratio (heuristic)", core.Wr2Ratio{}, "1% / 1.6x"); err != nil {
+		return nil, err
+	}
+
+	addDynamic := func(label string, run func(workload.Spec) (sim.Result, error), paper string) error {
+		var ipcs, sers []float64
+		for _, spec := range ordered {
+			perf, err := r.perfMigration(spec)
+			if err != nil {
+				return err
+			}
+			res, err := run(spec)
+			if err != nil {
+				return err
+			}
+			perfSER, _, err := r.SEROf(perf)
+			if err != nil {
+				return err
+			}
+			resSER, _, err := r.SEROf(res)
+			if err != nil {
+				return err
+			}
+			ipcs = append(ipcs, res.IPC/perf.IPC)
+			if perfSER > 0 {
+				sers = append(sers, resSER/perfSER)
+			}
+		}
+		t.AddRow(label, report.Pct(1-geo(ipcs)), report.X(safeInv(geo(sers))), paper)
+		return nil
+	}
+	if err := addDynamic("reliability-aware FC (dynamic)", r.fcMigration, "6% / 1.8x"); err != nil {
+		return nil, err
+	}
+	if err := addDynamic("reliability-aware CC (dynamic)", r.ccMigration, "4.9% / 1.5x"); err != nil {
+		return nil, err
+	}
+
+	// Annotations (vs static perf-focused).
+	var ipcs, sers []float64
+	for _, spec := range ordered {
+		perf, err := r.RunStatic(spec, core.PerfFocused{})
+		if err != nil {
+			return nil, err
+		}
+		res, _, err := r.annotationRun(spec)
+		if err != nil {
+			return nil, err
+		}
+		perfSER, _, err := r.SEROf(perf)
+		if err != nil {
+			return nil, err
+		}
+		resSER, _, err := r.SEROf(res)
+		if err != nil {
+			return nil, err
+		}
+		ipcs = append(ipcs, res.IPC/perf.IPC)
+		if perfSER > 0 {
+			sers = append(sers, resSER/perfSER)
+		}
+	}
+	t.AddRow("program annotations", report.Pct(1-geo(ipcs)), report.X(safeInv(geo(sers))), "1.1% / 1.3x")
+	t.Note = "IPC degradation and SER improvement vs the respective performance-focused baseline (Table 3)"
+	return t, nil
+}
+
+// TableHardwareCost reproduces the §6.3/§6.4.2 storage accounting at the
+// paper's full scale and at the experiment scale.
+func (r *Runner) TableHardwareCost() *report.Table {
+	t := report.New("Hardware cost of migration mechanisms (§6.3, §6.4.2)",
+		"mechanism", "scope", "bytes", "notes")
+	fullTotal := 17 * (1 << 30) / 4096
+	fullHBM := (1 << 30) / 4096
+	t.AddRow("Full Counters", "paper scale (17 GB HMA)",
+		report.Int(core.FCCostBytes(fullTotal)), "2x 8-bit counters per page (8.5 MB)")
+	t.AddRow("Full Counters (additional)", "paper scale",
+		report.Int(core.FCAdditionalCostBytes(fullTotal)), "extra vs perf-only tracking (4.25 MB)")
+	t.AddRow("Cross Counters", "paper scale (1 GB HBM)",
+		report.Int(core.CCCostBytes(fullHBM)), "512 KB risk + 100 KB MEA + 64 KB remap = 676 KB")
+	scaledTotal := int(r.cfg.HBM.Pages() + r.cfg.DDR.Pages())
+	scaledHBM := int(r.cfg.HBM.Pages())
+	t.AddRow("Full Counters", "experiment scale",
+		report.Int(core.FCCostBytes(scaledTotal)), "")
+	t.AddRow("Cross Counters", "experiment scale",
+		report.Int(core.CCCostBytes(scaledHBM)), "")
+	return t
+}
+
+func geo(vs []float64) float64 { return stats.GeoMean(vs) }
+
+func safeInv(v float64) float64 {
+	if v == 0 {
+		return 0
+	}
+	return 1 / v
+}

@@ -1,0 +1,91 @@
+// Package mea implements the Majority Element Algorithm (Misra-Gries
+// frequent-elements summary [6,33]) used by MemPod [50] and by this paper's
+// Cross Counter mechanism (§6.4) as the low-cost hotness tracker: a fixed
+// set of counters tracks the most frequently touched pages of the current
+// interval with strong theoretical guarantees and O(k) state, in contrast to
+// a full counter per addressable page.
+package mea
+
+import "sort"
+
+// Tracker is a k-counter Misra-Gries summary over page ids. The zero value
+// is unusable; construct with New. Not safe for concurrent use.
+type Tracker struct {
+	k        int
+	counts   map[uint64]uint64
+	observed uint64
+}
+
+// New returns a tracker with k counters (MemPod and the paper use 32).
+// It panics if k <= 0.
+func New(k int) *Tracker {
+	if k <= 0 {
+		panic("mea: k must be positive")
+	}
+	return &Tracker{k: k, counts: make(map[uint64]uint64, k+1)}
+}
+
+// K returns the counter budget.
+func (t *Tracker) K() int { return t.k }
+
+// Observed returns the number of observations in the current interval.
+func (t *Tracker) Observed() uint64 { return t.observed }
+
+// Observe feeds one page access. Classic Misra-Gries update: increment a
+// tracked entry, adopt the page if a counter is free, otherwise decrement
+// every counter (evicting zeros).
+func (t *Tracker) Observe(page uint64) {
+	t.observed++
+	if _, ok := t.counts[page]; ok {
+		t.counts[page]++
+		return
+	}
+	if len(t.counts) < t.k {
+		t.counts[page] = 1
+		return
+	}
+	for p, c := range t.counts {
+		if c <= 1 {
+			delete(t.counts, p)
+		} else {
+			t.counts[p] = c - 1
+		}
+	}
+}
+
+// Entry is one tracked page with its residual counter.
+type Entry struct {
+	Page  uint64
+	Count uint64
+}
+
+// Hot returns the tracked pages ordered by descending residual count
+// (ties by page id). These are the interval's migration candidates.
+func (t *Tracker) Hot() []Entry {
+	out := make([]Entry, 0, len(t.counts))
+	for p, c := range t.counts {
+		out = append(out, Entry{Page: p, Count: c})
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Count != out[j].Count {
+			return out[i].Count > out[j].Count
+		}
+		return out[i].Page < out[j].Page
+	})
+	return out
+}
+
+// Reset clears the summary for the next MEA interval.
+func (t *Tracker) Reset() {
+	t.counts = make(map[uint64]uint64, t.k+1)
+	t.observed = 0
+}
+
+// CostBytes returns the hardware cost of a k-entry MEA unit with the given
+// counter width in bits plus a page-id tag (52 bits for 4 KiB pages in a
+// 64-bit space), rounded up per entry.
+func CostBytes(k, counterBits int) int {
+	const tagBits = 52
+	perEntry := (counterBits + tagBits + 7) / 8
+	return k * perEntry
+}

@@ -1,0 +1,153 @@
+package mea
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmem/internal/xrand"
+)
+
+func TestNewPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic")
+		}
+	}()
+	New(0)
+}
+
+func TestTracksHeavyHitter(t *testing.T) {
+	tr := New(4)
+	// One page with 50% frequency among uniform noise must be tracked.
+	rng := xrand.New(1)
+	for i := 0; i < 10000; i++ {
+		if rng.Bool(0.5) {
+			tr.Observe(777)
+		} else {
+			tr.Observe(rng.Uint64n(1000))
+		}
+	}
+	hot := tr.Hot()
+	if len(hot) == 0 || hot[0].Page != 777 {
+		t.Fatalf("heavy hitter not at top: %+v", hot)
+	}
+}
+
+func TestMisraGriesGuarantee(t *testing.T) {
+	// Any element with frequency > n/(k+1) must survive in the summary.
+	k := 8
+	tr := New(k)
+	const n = 9000
+	// Element 42 appears n/4 times > n/9.
+	rng := xrand.New(2)
+	heavy := 0
+	for i := 0; i < n; i++ {
+		if i%4 == 0 {
+			tr.Observe(42)
+			heavy++
+		} else {
+			tr.Observe(1000 + rng.Uint64n(5000))
+		}
+	}
+	if tr.Observed() != n {
+		t.Fatalf("observed = %d", tr.Observed())
+	}
+	for _, e := range tr.Hot() {
+		if e.Page == 42 {
+			return
+		}
+	}
+	t.Fatalf("element with freq %d/%d (> n/(k+1)=%d) lost", heavy, n, n/(k+1))
+}
+
+func TestCounterBudgetNeverExceeded(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		k := 1 + rng.Intn(16)
+		tr := New(k)
+		for i := 0; i < 2000; i++ {
+			tr.Observe(rng.Uint64n(500))
+			if len(tr.counts) > k {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestHotOrderingDeterministic(t *testing.T) {
+	build := func() []Entry {
+		tr := New(8)
+		rng := xrand.New(3)
+		for i := 0; i < 5000; i++ {
+			tr.Observe(rng.Uint64n(100))
+		}
+		return tr.Hot()
+	}
+	a, b := build(), build()
+	if len(a) != len(b) {
+		t.Fatal("nondeterministic summary size")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatal("nondeterministic ordering")
+		}
+	}
+	// Descending counts.
+	for i := 1; i < len(a); i++ {
+		if a[i].Count > a[i-1].Count {
+			t.Fatal("Hot() not sorted by count")
+		}
+	}
+}
+
+func TestReset(t *testing.T) {
+	tr := New(4)
+	tr.Observe(1)
+	tr.Observe(1)
+	tr.Reset()
+	if len(tr.Hot()) != 0 || tr.Observed() != 0 {
+		t.Fatal("reset incomplete")
+	}
+}
+
+func TestDecrementEvictsSingletons(t *testing.T) {
+	tr := New(2)
+	tr.Observe(1) // counts: 1->1
+	tr.Observe(2) // counts: 1->1, 2->1
+	tr.Observe(3) // full: decrement all -> both evicted, 3 not adopted
+	if len(tr.counts) != 0 {
+		t.Fatalf("expected empty summary, got %v", tr.counts)
+	}
+	tr.Observe(4)
+	if len(tr.counts) != 1 {
+		t.Fatal("counter not reusable after eviction")
+	}
+}
+
+func TestCostBytes(t *testing.T) {
+	// 32 entries, 16-bit counters + 52-bit tag = 68 bits -> 9 bytes/entry.
+	if got := CostBytes(32, 16); got != 32*9 {
+		t.Fatalf("CostBytes = %d", got)
+	}
+	// MEA hardware is tiny next to full counters over millions of pages.
+	if CostBytes(32, 16) > 1024 {
+		t.Fatal("MEA unit should be under 1 KB")
+	}
+}
+
+func BenchmarkObserve(b *testing.B) {
+	tr := New(32)
+	rng := xrand.New(1)
+	pages := make([]uint64, 1<<12)
+	for i := range pages {
+		pages[i] = rng.Uint64n(1 << 20)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		tr.Observe(pages[i&(1<<12-1)])
+	}
+}

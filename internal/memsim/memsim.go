@@ -1,0 +1,436 @@
+package memsim
+
+import "fmt"
+
+// Request is one cache-line access in flight in a memory tier. Callers
+// allocate a Request, Enqueue it, and later obtain its finish time with
+// Complete (lazy resolution lets the FR-FCFS scheduler see a window of
+// requests before committing to an order).
+type Request struct {
+	// Line is the tier-local cache-line index (0 .. Config.Lines()-1).
+	Line uint64
+	// Write marks a write request.
+	Write bool
+	// Arrival is the CPU cycle the request reached the controller.
+	Arrival int64
+
+	finish int64
+	seq    uint64
+	served bool
+}
+
+// Finished reports whether the scheduler has served the request.
+func (r *Request) Finished() bool { return r.served }
+
+// Finish returns the completion cycle. It panics if the request has not yet
+// been served; use Memory.Complete to force resolution.
+func (r *Request) Finish() int64 {
+	if !r.served {
+		panic("memsim: Finish on unserved request")
+	}
+	return r.finish
+}
+
+// Stats aggregates controller activity for one tier.
+type Stats struct {
+	Reads, Writes          uint64
+	RowHits, RowMisses     uint64 // misses include conflicts (row open to another row)
+	RowConflicts           uint64
+	TotalReadLatency       uint64 // sum over reads of finish-arrival, CPU cycles
+	TotalWriteLatency      uint64
+	DataBusBusy            int64 // CPU cycles of data-bus occupancy across channels
+	BulkTransfers          uint64
+	BulkTransferredPages   uint64
+	BulkTransferCyclesPaid int64
+	Refreshes              uint64
+}
+
+// AvgReadLatency returns the mean read latency in CPU cycles.
+func (s Stats) AvgReadLatency() float64 {
+	if s.Reads == 0 {
+		return 0
+	}
+	return float64(s.TotalReadLatency) / float64(s.Reads)
+}
+
+// RowHitRate returns the fraction of requests that hit an open row.
+func (s Stats) RowHitRate() float64 {
+	total := s.RowHits + s.RowMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(s.RowHits) / float64(total)
+}
+
+type bank struct {
+	openRow      int64 // -1 when precharged
+	casReady     int64 // earliest CAS to the open row (ACT + tRCD)
+	preReady     int64 // earliest PRE (tRAS / tRTP / tWR constraints)
+	lastWriteEnd int64 // for tWTR write-to-read turnaround
+}
+
+type channel struct {
+	cfg         *Config
+	now         int64 // command scheduling horizon: the channel has made all decisions up to now
+	cmdFree     int64
+	dataFre     int64
+	lastAct     int64 // for tRRD across banks
+	nextRefresh int64 // next all-bank refresh deadline (0 = disabled)
+	banks       []bank
+	pending     []*Request
+}
+
+// ServiceEvent describes one serviced request for timing audits: the DRAM
+// command times the scheduler committed to. Tests use it to verify timing
+// legality (bus exclusivity, CAS spacing, bank cycle constraints).
+type ServiceEvent struct {
+	Channel, Bank int
+	Row           int64
+	Write         bool
+	RowHit        bool
+	CAS           int64 // CAS issue cycle
+	DataStart     int64
+	DataEnd       int64
+}
+
+// Memory simulates one tier. It is not safe for concurrent use.
+type Memory struct {
+	cfg      Config
+	channels []*channel
+	seq      uint64
+	stats    Stats
+	audit    func(ServiceEvent)
+}
+
+// SetAudit installs a hook receiving every serviced request's committed
+// command times (nil disables). Intended for tests and debugging.
+func (m *Memory) SetAudit(fn func(ServiceEvent)) { m.audit = fn }
+
+// New builds a Memory from cfg. It panics on an invalid configuration, since
+// configurations are build-time constants of an experiment.
+func New(cfg Config) *Memory {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	m := &Memory{cfg: cfg}
+	m.channels = make([]*channel, cfg.Channels)
+	for i := range m.channels {
+		// lastAct starts far in the past so the first ACT is not delayed
+		// by a phantom tRRD constraint.
+		ch := &channel{cfg: &m.cfg, lastAct: -1 << 40}
+		if cfg.Timing.TREFI > 0 {
+			ch.nextRefresh = cfg.Timing.cc(cfg.Timing.TREFI)
+		}
+		ch.banks = make([]bank, cfg.RanksPerChannel*cfg.BanksPerRank)
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		m.channels[i] = ch
+	}
+	return m
+}
+
+// Config returns the tier configuration.
+func (m *Memory) Config() Config { return m.cfg }
+
+// Stats returns a snapshot of the tier's counters.
+func (m *Memory) Stats() Stats { return m.stats }
+
+// ResetStats zeroes the counters (used at measurement-interval boundaries).
+func (m *Memory) ResetStats() { m.stats = Stats{} }
+
+// geometry locates a line: channel by low-order interleave (maximizes
+// channel-level parallelism for streaming), then column within row, then
+// bank interleave on row index (consecutive rows in different banks).
+func (m *Memory) geometry(line uint64) (ch, bk int, row int64, col uint64) {
+	nch := uint64(m.cfg.Channels)
+	ch = int(line % nch)
+	chLine := line / nch
+	lpr := m.cfg.LinesPerRow()
+	col = chLine % lpr
+	rowIdx := chLine / lpr
+	nbk := uint64(m.cfg.RanksPerChannel * m.cfg.BanksPerRank)
+	bk = int(rowIdx % nbk)
+	row = int64(rowIdx / nbk)
+	return ch, bk, row, col
+}
+
+// Enqueue admits a request to its channel's scheduling window. If the window
+// is full the scheduler first retires the best candidate to make room. The
+// request's Line must be inside the tier; callers map global pages to
+// tier-local frames before enqueueing.
+func (m *Memory) Enqueue(r *Request) {
+	if r.Line >= m.cfg.Lines() {
+		panic(fmt.Sprintf("memsim: %s: line %d beyond capacity (%d lines)", m.cfg.Name, r.Line, m.cfg.Lines()))
+	}
+	if r.served {
+		panic("memsim: Enqueue of already-served request")
+	}
+	m.seq++
+	r.seq = m.seq
+	chIdx, _, _, _ := m.geometry(r.Line)
+	ch := m.channels[chIdx]
+	for len(ch.pending) >= m.cfg.QueueDepth {
+		m.serveOne(ch)
+	}
+	ch.pending = append(ch.pending, r)
+}
+
+// Complete forces resolution of r and returns its finish cycle. Requests on
+// the same channel that the FR-FCFS scheduler prefers are served first.
+func (m *Memory) Complete(r *Request) int64 {
+	if r.served {
+		return r.finish
+	}
+	chIdx, _, _, _ := m.geometry(r.Line)
+	ch := m.channels[chIdx]
+	for !r.served {
+		if !m.serveOne(ch) {
+			panic("memsim: Complete on request not enqueued")
+		}
+	}
+	return r.finish
+}
+
+// Drain serves every pending request on every channel and returns the
+// largest finish time observed (0 if nothing was pending).
+func (m *Memory) Drain() int64 {
+	var last int64
+	for _, ch := range m.channels {
+		for m.serveOne(ch) {
+		}
+		if ch.dataFre > last {
+			last = ch.dataFre
+		}
+	}
+	return last
+}
+
+// serveOne picks and retires one request from ch under FR-FCFS. It returns
+// false if the channel has nothing pending.
+func (m *Memory) serveOne(ch *channel) bool {
+	if len(ch.pending) == 0 {
+		return false
+	}
+	// Advance the horizon to the earliest arrival if the channel is idle
+	// ahead of all pending work.
+	earliest := ch.pending[0].Arrival
+	for _, r := range ch.pending[1:] {
+		if r.Arrival < earliest {
+			earliest = r.Arrival
+		}
+	}
+	if ch.now < earliest {
+		ch.now = earliest
+	}
+
+	// FR-FCFS with read priority among requests that have arrived by the
+	// horizon: row-hit reads, then other reads, then row-hit writes, then
+	// writes — reads sit on the core's critical path while writes are
+	// posted. Ties break by age. If nothing has arrived yet (can't happen
+	// given the horizon advance above, but guard), fall back to the oldest.
+	best := -1
+	bestPrio := -1
+	var bestSeq uint64
+	for i, r := range ch.pending {
+		if r.Arrival > ch.now {
+			continue
+		}
+		_, bk, row, _ := m.geometry(r.Line)
+		prio := 0
+		if ch.banks[bk].openRow == row {
+			prio++
+		}
+		if !r.Write {
+			prio += 2
+		}
+		if prio > bestPrio || (prio == bestPrio && r.seq < bestSeq) {
+			best, bestPrio, bestSeq = i, prio, r.seq
+		}
+	}
+	if best == -1 {
+		best, bestSeq = 0, ch.pending[0].seq
+		for i, r := range ch.pending {
+			if r.seq < bestSeq {
+				best, bestSeq = i, r.seq
+			}
+		}
+	}
+	r := ch.pending[best]
+	ch.pending[best] = ch.pending[len(ch.pending)-1]
+	ch.pending = ch.pending[:len(ch.pending)-1]
+	m.service(ch, r)
+	return true
+}
+
+// refreshUpTo runs any all-bank refreshes due by cycle `at`: every bank is
+// precharged and the channel is blocked for tRFC per refresh.
+func (m *Memory) refreshUpTo(ch *channel, at int64) {
+	if ch.nextRefresh == 0 {
+		return
+	}
+	t := &m.cfg.Timing
+	for ch.nextRefresh <= at {
+		end := max64(ch.nextRefresh, ch.cmdFree) + t.cc(t.TRFC)
+		for i := range ch.banks {
+			ch.banks[i].openRow = -1
+			if ch.banks[i].preReady < end {
+				ch.banks[i].preReady = end
+			}
+			if ch.banks[i].casReady < end {
+				ch.banks[i].casReady = end
+			}
+		}
+		if ch.cmdFree < end {
+			ch.cmdFree = end
+		}
+		m.stats.Refreshes++
+		ch.nextRefresh += t.cc(t.TREFI)
+	}
+}
+
+// service runs the DRAM command sequence for r and stamps its finish time.
+func (m *Memory) service(ch *channel, r *Request) {
+	t := &m.cfg.Timing
+	_, bk, row, _ := m.geometry(r.Line)
+	b := &ch.banks[bk]
+
+	start := max64(ch.now, r.Arrival)
+	m.refreshUpTo(ch, start)
+
+	rowHit := false
+	switch {
+	case b.openRow == row:
+		rowHit = true
+		m.stats.RowHits++
+	case b.openRow == -1:
+		m.stats.RowMisses++
+		// ACT: respect tRRD across the rank and the command bus.
+		act := max64(start, ch.cmdFree, ch.lastAct+t.cc(t.TRRD))
+		ch.lastAct = act
+		b.openRow = row
+		b.casReady = act + t.cc(t.TRCD)
+		b.preReady = act + t.cc(t.TRAS)
+	default:
+		m.stats.RowMisses++
+		m.stats.RowConflicts++
+		// PRE must respect tRAS since the opening ACT, the read-to-PRE
+		// delay, and write recovery — all folded into preReady.
+		pre := max64(start, ch.cmdFree, b.preReady)
+		act := max64(pre+t.cc(t.TRP), ch.lastAct+t.cc(t.TRRD))
+		ch.lastAct = act
+		b.openRow = row
+		b.casReady = act + t.cc(t.TRCD)
+		b.preReady = act + t.cc(t.TRAS)
+	}
+
+	// CAS issue: ACT-to-CAS readiness, command bus, CAS-to-CAS spacing, and
+	// write-to-read turnaround when a read follows a write on this bank.
+	cas := max64(start, b.casReady, ch.cmdFree)
+	if !r.Write && b.lastWriteEnd > 0 {
+		cas = max64(cas, b.lastWriteEnd+t.cc(t.TWTR))
+	}
+	ch.cmdFree = cas + t.cc(t.TCCD)
+
+	// Data burst occupies the channel's data bus for tBL.
+	casLat := t.TCL
+	if r.Write {
+		casLat = t.TCWL
+	}
+	dataStart := max64(cas+t.cc(casLat), ch.dataFre)
+	dataEnd := dataStart + t.cc(t.TBL)
+	ch.dataFre = dataEnd
+	m.stats.DataBusBusy += t.cc(t.TBL)
+
+	if r.Write {
+		b.lastWriteEnd = dataEnd
+		b.preReady = max64(b.preReady, dataEnd+t.cc(t.TWR))
+		m.stats.Writes++
+		m.stats.TotalWriteLatency += uint64(dataEnd - r.Arrival)
+	} else {
+		b.preReady = max64(b.preReady, cas+t.cc(t.TRTP))
+		m.stats.Reads++
+		m.stats.TotalReadLatency += uint64(dataEnd - r.Arrival)
+	}
+
+	// The channel has committed decisions up to the CAS issue point.
+	if cas > ch.now {
+		ch.now = cas
+	}
+	r.finish = dataEnd
+	r.served = true
+
+	if m.audit != nil {
+		chIdx, bkIdx, rowA, _ := m.geometry(r.Line)
+		m.audit(ServiceEvent{
+			Channel: chIdx, Bank: bkIdx, Row: rowA, Write: r.Write,
+			RowHit: rowHit, CAS: cas, DataStart: dataStart, DataEnd: dataEnd,
+		})
+	}
+}
+
+// Horizon returns the scheduling horizon of the channel serving line: the
+// later of its command horizon and data-bus free time. Cores use it to model
+// finite write buffers — when the backlog behind a write grows too deep, the
+// issuing core must stall.
+func (m *Memory) Horizon(line uint64) int64 {
+	chIdx, _, _, _ := m.geometry(line)
+	ch := m.channels[chIdx]
+	if ch.dataFre > ch.now {
+		return ch.dataFre
+	}
+	return ch.now
+}
+
+// BulkTransferCycles returns the CPU cycles needed to stream nPages full
+// pages through this tier at its peak bandwidth plus a fixed per-page
+// controller overhead. Migration engines use the slower of the two tiers'
+// figures (the paper: "the cost of migrating a page ... is governed by the
+// slowest memory in the system").
+func (m *Memory) BulkTransferCycles(nPages int) int64 {
+	if nPages <= 0 {
+		return 0
+	}
+	bytes := float64(nPages) * 4096
+	cycles := int64(bytes / m.cfg.PeakBandwidth())
+	const perPageOverhead = 200 // controller + remap update per page
+	return cycles + int64(nPages)*perPageOverhead
+}
+
+// RecordBulkTransfer accounts a completed bulk migration burst against the
+// tier's stats and invalidates every open row (the burst walks the whole
+// array, destroying row locality).
+func (m *Memory) RecordBulkTransfer(nPages int, cycles int64) {
+	m.stats.BulkTransfers++
+	m.stats.BulkTransferredPages += uint64(nPages)
+	m.stats.BulkTransferCyclesPaid += cycles
+	for _, ch := range m.channels {
+		for b := range ch.banks {
+			ch.banks[b].openRow = -1
+		}
+		ch.now += cycles
+		ch.cmdFree = max64(ch.cmdFree, ch.now)
+		ch.dataFre = max64(ch.dataFre, ch.now)
+	}
+}
+
+// AdvanceTo moves every channel's scheduling horizon forward to cycle (used
+// after externally-imposed pauses so stale horizons don't grant free
+// bandwidth). It never moves horizons backward.
+func (m *Memory) AdvanceTo(cycle int64) {
+	for _, ch := range m.channels {
+		if ch.now < cycle {
+			ch.now = cycle
+		}
+	}
+}
+
+func max64(vs ...int64) int64 {
+	m := vs[0]
+	for _, v := range vs[1:] {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}

@@ -1,0 +1,104 @@
+package report
+
+import (
+	"bytes"
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestTableString(t *testing.T) {
+	tab := New("demo", "name", "value")
+	tab.AddRow("alpha", "1")
+	tab.AddRow("a-much-longer-name", "2")
+	tab.Note = "hello"
+	out := tab.String()
+	if !strings.Contains(out, "== demo ==") {
+		t.Error("title missing")
+	}
+	if !strings.Contains(out, "note: hello") {
+		t.Error("note missing")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	// title + header + separator + 2 rows + note
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d: %q", len(lines), out)
+	}
+	// Columns align: every data line has the value column at the same
+	// offset, padded to the longest cell.
+	header := lines[1]
+	idx := strings.Index(header, "value")
+	for _, ln := range lines[3:5] {
+		if len(ln) < idx {
+			t.Fatalf("row %q shorter than header offset", ln)
+		}
+	}
+}
+
+func TestTableStringNoTitleNoNote(t *testing.T) {
+	tab := New("", "a")
+	tab.AddRow("x")
+	out := tab.String()
+	if strings.Contains(out, "==") || strings.Contains(out, "note:") {
+		t.Fatalf("unexpected decorations: %q", out)
+	}
+}
+
+func TestTableShortAndLongRows(t *testing.T) {
+	tab := New("t", "a", "b")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "extra-kept")
+	out := tab.String()
+	if !strings.Contains(out, "only-one") || !strings.Contains(out, "y") {
+		t.Fatalf("rows mangled: %q", out)
+	}
+}
+
+func TestWriteCSV(t *testing.T) {
+	tab := New("t", "a", "b")
+	tab.AddRow("1", "with,comma")
+	tab.AddRow("2", `with "quote"`)
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got := buf.String()
+	if !strings.HasPrefix(got, "a,b\n") {
+		t.Fatalf("header wrong: %q", got)
+	}
+	if !strings.Contains(got, `"with,comma"`) {
+		t.Fatalf("comma cell not quoted: %q", got)
+	}
+	if !strings.Contains(got, `"with ""quote"""`) {
+		t.Fatalf("quote cell not escaped: %q", got)
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write([]byte) (int, error) { return 0, errors.New("disk full") }
+
+func TestWriteCSVPropagatesErrors(t *testing.T) {
+	tab := New("t", "a")
+	tab.AddRow("1")
+	if err := tab.WriteCSV(failWriter{}); err == nil {
+		t.Fatal("expected write error")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := []struct{ got, want string }{
+		{F(3.14159, 2), "3.14"},
+		{F(3.14159, 0), "3"},
+		{X(1.6), "1.60x"},
+		{Pct(0.123), "12.3%"},
+		{Pct(1), "100.0%"},
+		{Int(42), "42"},
+		{Int(-7), "-7"},
+	}
+	for _, c := range cases {
+		if c.got != c.want {
+			t.Errorf("got %q want %q", c.got, c.want)
+		}
+	}
+}

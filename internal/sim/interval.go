@@ -1,0 +1,75 @@
+package sim
+
+// intervalState accumulates one measurement interval's activity and derives
+// the IntervalSample at each boundary.
+type intervalState struct {
+	counts  map[uint64]uint64
+	reads   uint64
+	writes  uint64
+	hbmHits uint64
+	prevHot map[uint64]bool
+}
+
+func newIntervalState() *intervalState {
+	return &intervalState{
+		counts:  make(map[uint64]uint64),
+		prevHot: make(map[uint64]bool),
+	}
+}
+
+// observe records one access.
+func (iv *intervalState) observe(page uint64, write, inHBM bool) {
+	iv.counts[page]++
+	if write {
+		iv.writes++
+	} else {
+		iv.reads++
+	}
+	if inHBM {
+		iv.hbmHits++
+	}
+}
+
+// sample closes the interval at endCycle and resets the accumulators.
+func (iv *intervalState) sample(endCycle int64, moved int) IntervalSample {
+	s := IntervalSample{
+		EndCycle:     endCycle,
+		Reads:        iv.reads,
+		Writes:       iv.writes,
+		PagesMoved:   moved,
+		TouchedPages: len(iv.counts),
+	}
+	if total := iv.reads + iv.writes; total > 0 {
+		s.HBMFraction = float64(iv.hbmHits) / float64(total)
+	}
+
+	// Hot set: pages above the interval's mean access count (the same
+	// threshold the §6.1 migration mechanism uses).
+	var sum uint64
+	for _, c := range iv.counts {
+		sum += c
+	}
+	hot := make(map[uint64]bool)
+	if len(iv.counts) > 0 {
+		mean := float64(sum) / float64(len(iv.counts))
+		for p, c := range iv.counts {
+			if float64(c) > mean {
+				hot[p] = true
+			}
+		}
+	}
+	if len(hot) > 0 && len(iv.prevHot) > 0 {
+		fresh := 0
+		for p := range hot {
+			if !iv.prevHot[p] {
+				fresh++
+			}
+		}
+		s.HotSetChurn = float64(fresh) / float64(len(hot))
+	}
+
+	iv.prevHot = hot
+	iv.counts = make(map[uint64]uint64)
+	iv.reads, iv.writes, iv.hbmHits = 0, 0, 0
+	return s
+}

@@ -1,0 +1,97 @@
+package sim
+
+import (
+	"testing"
+
+	"hmem/internal/workload"
+)
+
+func TestIntervalSamplesCollected(t *testing.T) {
+	suite := buildSuite(t, "soplex", 8000)
+	mig := &swapMigrator{page: firstTouchedPage(t, "soplex"), interval: 50000}
+	res, err := Run(testConfig(), suite.Streams(), nil, false, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) < 2 {
+		t.Fatalf("intervals sampled = %d, want several", len(res.Intervals))
+	}
+	var prevEnd int64
+	for i, s := range res.Intervals {
+		if s.EndCycle <= prevEnd {
+			t.Fatalf("interval %d: non-increasing end cycle", i)
+		}
+		prevEnd = s.EndCycle
+		if s.Reads+s.Writes == 0 {
+			continue // pathological empty interval is allowed
+		}
+		if s.TouchedPages == 0 {
+			t.Fatalf("interval %d: traffic without touched pages", i)
+		}
+		if s.HBMFraction < 0 || s.HBMFraction > 1 {
+			t.Fatalf("interval %d: HBM fraction %v", i, s.HBMFraction)
+		}
+		if s.HotSetChurn < 0 || s.HotSetChurn > 1 {
+			t.Fatalf("interval %d: churn %v", i, s.HotSetChurn)
+		}
+	}
+}
+
+func TestIntervalHotSetChurnIsMaterial(t *testing.T) {
+	// The paper motivates dynamic migration with heavy inter-interval hot
+	// set churn ("triggering an average of 47,014 migrations every
+	// interval"). Our generators must reproduce a non-trivial churn.
+	suite := buildSuite(t, "mix1", 20000)
+	mig := &swapMigrator{page: firstTouchedPage(t, "mix1"), interval: 200000}
+	res, err := Run(testConfig(), suite.Streams(), nil, false, mig)
+	if err != nil {
+		t.Fatal(err)
+	}
+	churnSum, n := 0.0, 0
+	for _, s := range res.Intervals[1:] { // first interval has no predecessor
+		if s.HotSetChurn > 0 {
+			churnSum += s.HotSetChurn
+			n++
+		}
+	}
+	if n == 0 {
+		t.Skip("not enough intervals for churn measurement")
+	}
+	if mean := churnSum / float64(n); mean < 0.05 {
+		t.Fatalf("mean hot-set churn %.3f too small to motivate migration", mean)
+	}
+}
+
+func TestPerCoreIPC(t *testing.T) {
+	suite := buildSuite(t, "gcc", 3000)
+	res, err := Run(testConfig(), suite.Streams(), nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.CoreIPC) != workload.Cores {
+		t.Fatalf("CoreIPC entries = %d", len(res.CoreIPC))
+	}
+	var sum float64
+	for i, v := range res.CoreIPC {
+		if v <= 0 {
+			t.Fatalf("core %d IPC = %v", i, v)
+		}
+		sum += v
+	}
+	// The aggregate per-core average must equal the mean of the vector.
+	mean := sum / float64(len(res.CoreIPC))
+	if diff := mean - res.IPC; diff > 1e-9 || diff < -1e-9 {
+		t.Fatalf("CoreIPC mean %v != IPC %v", mean, res.IPC)
+	}
+}
+
+func TestIntervalsEmptyWithoutMigrator(t *testing.T) {
+	suite := buildSuite(t, "gcc", 1000)
+	res, err := Run(testConfig(), suite.Streams(), nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Intervals) != 0 {
+		t.Fatalf("static run collected %d interval samples", len(res.Intervals))
+	}
+}

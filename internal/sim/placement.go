@@ -1,0 +1,160 @@
+// Package sim is the full-system simulator: 16 trace-driven cores with an
+// analytic out-of-order model, the two-tier memory system from memsim, AVF
+// tracking, activity counters, and interval-driven migration hooks. It is
+// the stand-in for the paper's extended Ramulator (§3.1).
+package sim
+
+import (
+	"fmt"
+	"sort"
+
+	"hmem/internal/avf"
+)
+
+// location is a page's current home: a tier and a frame within that tier.
+type location struct {
+	tier  avf.Tier
+	frame uint64
+}
+
+// Placement is the system page table: it maps global page ids to tier-local
+// frames, allocates frames on first touch (DDR by default), and performs
+// migrations. Pinned pages (program annotations, §7) never migrate.
+type Placement struct {
+	hbmCapacity uint64
+	ddrCapacity uint64
+	loc         map[uint64]location
+	hbmFree     []uint64
+	ddrFree     []uint64
+	hbmResident map[uint64]bool
+	pinned      map[uint64]bool
+	migrations  uint64
+}
+
+// NewPlacement builds a page table over the two tiers' capacities in pages.
+func NewPlacement(hbmPages, ddrPages uint64) *Placement {
+	p := &Placement{
+		hbmCapacity: hbmPages,
+		ddrCapacity: ddrPages,
+		loc:         make(map[uint64]location),
+		hbmResident: make(map[uint64]bool),
+		pinned:      make(map[uint64]bool),
+	}
+	// Free lists hand out frames in descending order so frame 0 is used
+	// first (pop from the tail).
+	p.hbmFree = make([]uint64, hbmPages)
+	for i := range p.hbmFree {
+		p.hbmFree[i] = hbmPages - 1 - uint64(i)
+	}
+	p.ddrFree = make([]uint64, ddrPages)
+	for i := range p.ddrFree {
+		p.ddrFree[i] = ddrPages - 1 - uint64(i)
+	}
+	return p
+}
+
+// Preplace installs pages in HBM before the measured region begins — the
+// paper's warm-start ("we assume a good pre-measurement placement"). Pages
+// beyond capacity are rejected with an error. pin marks them immovable
+// (annotation-based placement).
+func (p *Placement) Preplace(pages []uint64, pin bool) error {
+	for _, page := range pages {
+		if _, exists := p.loc[page]; exists {
+			return fmt.Errorf("sim: page %d placed twice", page)
+		}
+		if len(p.hbmFree) == 0 {
+			return fmt.Errorf("sim: HBM capacity %d exceeded during preplacement", p.hbmCapacity)
+		}
+		frame := p.hbmFree[len(p.hbmFree)-1]
+		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
+		p.loc[page] = location{tier: avf.TierHBM, frame: frame}
+		p.hbmResident[page] = true
+		if pin {
+			p.pinned[page] = true
+		}
+	}
+	return nil
+}
+
+// Lookup returns a page's tier and frame, allocating a DDR frame on first
+// touch. It panics if DDR is out of frames — a configuration error, since
+// experiments size DDR to hold every footprint.
+func (p *Placement) Lookup(page uint64) (avf.Tier, uint64) {
+	if l, ok := p.loc[page]; ok {
+		return l.tier, l.frame
+	}
+	if len(p.ddrFree) == 0 {
+		panic(fmt.Sprintf("sim: DDR capacity %d pages exhausted", p.ddrCapacity))
+	}
+	frame := p.ddrFree[len(p.ddrFree)-1]
+	p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
+	p.loc[page] = location{tier: avf.TierDDR, frame: frame}
+	return avf.TierDDR, frame
+}
+
+// InHBM reports whether page currently resides in HBM.
+func (p *Placement) InHBM(page uint64) bool { return p.hbmResident[page] }
+
+// Pinned reports whether page is pinned (annotation).
+func (p *Placement) Pinned(page uint64) bool { return p.pinned[page] }
+
+// HBMPages returns the HBM-resident pages in ascending order.
+func (p *Placement) HBMPages() []uint64 {
+	out := make([]uint64, 0, len(p.hbmResident))
+	for page := range p.hbmResident {
+		out = append(out, page)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// HBMFreePages returns the number of unallocated HBM frames.
+func (p *Placement) HBMFreePages() int { return len(p.hbmFree) }
+
+// HBMCapacity returns the HBM tier size in pages.
+func (p *Placement) HBMCapacity() uint64 { return p.hbmCapacity }
+
+// Migrations returns the total pages moved so far.
+func (p *Placement) Migrations() uint64 { return p.migrations }
+
+// Migrate applies a migration decision: out-pages leave HBM for DDR,
+// in-pages enter HBM from DDR. Pinned pages and requests that don't match
+// the page's current tier are skipped. If HBM lacks room for every in-page
+// after the out-pages leave, the surplus in-pages are dropped (the hardware
+// would do the same: swaps are paired). It returns the number of pages
+// actually moved.
+func (p *Placement) Migrate(in, out []uint64) int {
+	moved := 0
+	for _, page := range out {
+		l, ok := p.loc[page]
+		if !ok || l.tier != avf.TierHBM || p.pinned[page] {
+			continue
+		}
+		if len(p.ddrFree) == 0 {
+			break
+		}
+		p.hbmFree = append(p.hbmFree, l.frame)
+		frame := p.ddrFree[len(p.ddrFree)-1]
+		p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
+		p.loc[page] = location{tier: avf.TierDDR, frame: frame}
+		delete(p.hbmResident, page)
+		moved++
+	}
+	for _, page := range in {
+		l, ok := p.loc[page]
+		if !ok || l.tier != avf.TierDDR || p.pinned[page] {
+			continue
+		}
+		if len(p.hbmFree) == 0 {
+			break
+		}
+		p.ddrFree = append(p.ddrFree, l.frame)
+		frame := p.hbmFree[len(p.hbmFree)-1]
+		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
+		p.loc[page] = location{tier: avf.TierHBM, frame: frame}
+		p.hbmResident[page] = true
+		moved++
+	}
+	p.migrations += uint64(moved)
+	return moved
+}

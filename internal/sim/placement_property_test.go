@@ -1,0 +1,100 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"hmem/internal/avf"
+	"hmem/internal/xrand"
+)
+
+// TestPlacementInvariantsUnderRandomChurn drives the page table through
+// random lookup/migrate sequences and checks the structural invariants that
+// every policy and mechanism relies on:
+//
+//   - a frame is never assigned to two pages in the same tier;
+//   - HBM occupancy never exceeds capacity;
+//   - pinned pages never leave HBM;
+//   - every page's location stays consistent with InHBM/HBMPages.
+func TestPlacementInvariantsUnderRandomChurn(t *testing.T) {
+	f := func(seed uint64) bool {
+		rng := xrand.New(seed)
+		const hbmCap = 8
+		const ddrCap = 64
+		const pages = 48
+		p := NewPlacement(hbmCap, ddrCap)
+
+		// Preplace a few pages, pin half of them.
+		var pinned []uint64
+		for i := uint64(0); i < 4; i++ {
+			pin := i%2 == 0
+			if err := p.Preplace([]uint64{i}, pin); err != nil {
+				return false
+			}
+			if pin {
+				pinned = append(pinned, i)
+			}
+		}
+
+		for step := 0; step < 400; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				p.Lookup(rng.Uint64n(pages))
+			case 1:
+				in := []uint64{rng.Uint64n(pages)}
+				out := []uint64{rng.Uint64n(pages)}
+				p.Migrate(in, out)
+			default:
+				p.Migrate(nil, p.HBMPages())
+			}
+
+			// Invariants.
+			hbm := p.HBMPages()
+			if uint64(len(hbm)) > hbmCap {
+				return false
+			}
+			seenFrames := map[[2]uint64]bool{}
+			for pg := uint64(0); pg < pages; pg++ {
+				if _, ok := p.loc[pg]; !ok {
+					continue
+				}
+				tier, frame := p.Lookup(pg)
+				key := [2]uint64{uint64(tier), frame}
+				if seenFrames[key] {
+					return false // frame aliasing
+				}
+				seenFrames[key] = true
+				if (tier == avf.TierHBM) != p.InHBM(pg) {
+					return false
+				}
+			}
+			for _, pg := range pinned {
+				if !p.InHBM(pg) {
+					return false // pin violated
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPlacementConservation checks frame accounting: free + resident counts
+// always sum to capacity.
+func TestPlacementConservation(t *testing.T) {
+	rng := xrand.New(5)
+	p := NewPlacement(16, 128)
+	for i := uint64(0); i < 100; i++ {
+		p.Lookup(i)
+	}
+	for step := 0; step < 300; step++ {
+		in := []uint64{rng.Uint64n(100)}
+		out := []uint64{rng.Uint64n(100)}
+		p.Migrate(in, out)
+		if got := len(p.HBMPages()) + p.HBMFreePages(); got != 16 {
+			t.Fatalf("step %d: HBM frames leaked: %d", step, got)
+		}
+	}
+}

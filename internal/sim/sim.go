@@ -1,0 +1,387 @@
+package sim
+
+import (
+	"errors"
+	"fmt"
+	"io"
+
+	"hmem/internal/avf"
+	"hmem/internal/core"
+	"hmem/internal/memsim"
+	"hmem/internal/trace"
+)
+
+// Migrator is the interval-driven migration hook (§6 mechanisms). The
+// simulator invokes OnAccess for every memory access and Decide at every
+// IntervalCycles boundary; mechanisms with multiple internal intervals
+// (Cross Counters) fire their coarser epoch internally on every Nth call.
+type Migrator interface {
+	Name() string
+	// OnAccess observes one access; inHBM reflects the page's tier at
+	// access time (risk units that only track HBM use it to filter).
+	OnAccess(page uint64, write bool, inHBM bool)
+	// Decide returns the pages to move into and out of HBM.
+	Decide(now int64, placement *Placement) (in, out []uint64)
+	// IntervalCycles is the finest decision interval in CPU cycles.
+	IntervalCycles() int64
+}
+
+// Config parameterizes a run.
+type Config struct {
+	// HBM and DDR are the tier configurations (Table 1, possibly scaled).
+	HBM, DDR memsim.Config
+	// IssueWidth is the non-memory IPC ceiling (Table 1: 4-wide).
+	IssueWidth int
+	// MaxOutstanding bounds in-flight reads per core, approximating the
+	// MLP a 128-entry ROB sustains.
+	MaxOutstanding int
+	// WriteBufferCycles bounds how far a channel's backlog may run ahead of
+	// a core issuing a write before the core stalls (finite write buffers).
+	// 0 disables throttling.
+	WriteBufferCycles int64
+	// MigrationCostDiv scales per-page migration cost down at reduced time
+	// scale: experiments shrink simulated time ~100x relative to the
+	// paper's simpoints, so the absolute per-page transfer cost must shrink
+	// proportionally to preserve the paper's migration-overhead-to-interval
+	// ratio (~7%% of a 100 ms interval for 47K pages, §6.1). 0 or 1 means
+	// full cost.
+	MigrationCostDiv int
+}
+
+// DefaultConfig returns the Table 1 machine at a capacity scale divisor
+// (scaleDiv=1 reproduces the paper's 1 GB + 16 GB; the experiments default
+// to 64, i.e. 16 MB HBM + 256 MB DDR).
+func DefaultConfig(scaleDiv int) Config {
+	if scaleDiv < 1 {
+		scaleDiv = 1
+	}
+	return Config{
+		HBM:               memsim.HBM(uint64(1<<30) / uint64(scaleDiv)),
+		DDR:               memsim.DDR3(uint64(16<<30) / uint64(scaleDiv)),
+		IssueWidth:        4,
+		MaxOutstanding:    8,
+		WriteBufferCycles: 512,
+		// Time is scaled harder than capacity (runs are ~100x shorter than
+		// a 100 ms interval); see the field comment.
+		MigrationCostDiv: scaleDiv / 2,
+	}
+}
+
+// Validate reports configuration errors.
+func (c Config) Validate() error {
+	if err := c.HBM.Validate(); err != nil {
+		return err
+	}
+	if err := c.DDR.Validate(); err != nil {
+		return err
+	}
+	if c.IssueWidth <= 0 {
+		return fmt.Errorf("sim: IssueWidth must be positive")
+	}
+	if c.MaxOutstanding <= 0 {
+		return fmt.Errorf("sim: MaxOutstanding must be positive")
+	}
+	return nil
+}
+
+// IntervalSample is one measurement-interval snapshot (taken at migration
+// interval boundaries when a migrator is installed).
+type IntervalSample struct {
+	// EndCycle is the boundary cycle.
+	EndCycle int64
+	// Reads/Writes are the requests issued during the interval.
+	Reads, Writes uint64
+	// HBMFraction is the share of the interval's requests served by HBM.
+	HBMFraction float64
+	// PagesMoved is how many pages the boundary's migration decision moved.
+	PagesMoved int
+	// TouchedPages counts distinct pages accessed during the interval.
+	TouchedPages int
+	// HotSetChurn is the fraction of this interval's hot set (pages with
+	// above-mean access counts) absent from the previous interval's hot
+	// set — the paper's "the set of top hot pages changes considerably
+	// from interval to interval" observation, quantified.
+	HotSetChurn float64
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	// Cycles is the wall-clock of the slowest core, including migration
+	// pauses and final drain.
+	Cycles int64
+	// Instructions is the total committed instruction count (gaps plus one
+	// per memory instruction) across cores.
+	Instructions uint64
+	// IPC is Instructions / Cycles / cores — per-core average IPC.
+	IPC float64
+	// Snapshot is the tier-attributed per-page AVF census.
+	Snapshot []avf.PageAVF
+	// PagesMigrated counts migrated pages; MigrationPauses the stalls paid.
+	PagesMigrated   uint64
+	MigrationPauses int64
+	// HBMStats and DDRStats expose the memory controllers' counters.
+	HBMStats, DDRStats memsim.Stats
+	// Reads and Writes count memory requests issued.
+	Reads, Writes uint64
+	// HBMAccessFraction is the share of requests served by HBM.
+	HBMAccessFraction float64
+	// CoreIPC is the per-core IPC vector (instructions of core i over the
+	// run's wall-clock).
+	CoreIPC []float64
+	// Intervals holds per-interval samples (only for migration runs).
+	Intervals []IntervalSample
+}
+
+// MeanAVF returns the mean page AVF of the run (Figure 2 metric).
+func (r Result) MeanAVF() float64 {
+	if len(r.Snapshot) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, p := range r.Snapshot {
+		sum += p.AVF
+	}
+	return sum / float64(len(r.Snapshot))
+}
+
+// Stats converts the snapshot into policy inputs.
+func (r Result) Stats() []core.PageStats {
+	s := core.FromSnapshot(r.Snapshot)
+	core.SortByPage(s)
+	return s
+}
+
+type coreState struct {
+	stream      trace.Stream
+	time        int64
+	done        bool
+	outstanding []*memsim.Request
+	outTier     []avf.Tier
+	insts       uint64
+}
+
+// Run simulates streams (one per core) against the configured HMA.
+// initialHBM pages are preplaced in HBM (pin pins them against migration);
+// mig may be nil for static placements.
+func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig Migrator) (Result, error) {
+	if err := cfg.Validate(); err != nil {
+		return Result{}, err
+	}
+	if len(streams) == 0 {
+		return Result{}, errors.New("sim: no core streams")
+	}
+
+	hbm := memsim.New(cfg.HBM)
+	ddr := memsim.New(cfg.DDR)
+	placement := NewPlacement(cfg.HBM.Pages(), cfg.DDR.Pages())
+	if err := placement.Preplace(initialHBM, pin); err != nil {
+		return Result{}, err
+	}
+	tracker := avf.NewTracker()
+
+	cores := make([]*coreState, len(streams))
+	for i, s := range streams {
+		cores[i] = &coreState{stream: s}
+	}
+
+	var res Result
+	var nextInterval int64
+	iv := newIntervalState()
+	concurrent := false
+	if mig != nil {
+		if mig.IntervalCycles() <= 0 {
+			return Result{}, fmt.Errorf("sim: migrator %s has non-positive interval", mig.Name())
+		}
+		nextInterval = mig.IntervalCycles()
+		// Hardware mechanisms (MemPod-style remap tables) migrate without
+		// an OS pause; their traffic still contends in the memory system.
+		if cm, ok := mig.(interface{ MigratesConcurrently() bool }); ok && cm.MigratesConcurrently() {
+			concurrent = true
+		}
+	}
+
+	active := len(cores)
+	for active > 0 {
+		// Pick the core with the smallest local clock.
+		var c *coreState
+		for _, cand := range cores {
+			if cand.done {
+				continue
+			}
+			if c == nil || cand.time < c.time {
+				c = cand
+			}
+		}
+
+		// Interval boundary: once the laggard core passes it, every core
+		// has, so the decision uses a consistent global state.
+		if mig != nil && c.time >= nextInterval {
+			in, out := mig.Decide(nextInterval, placement)
+			moved := applyMigration(cores, hbm, ddr, placement, tracker, in, out, concurrent, cfg.MigrationCostDiv, &res)
+			res.Intervals = append(res.Intervals, iv.sample(nextInterval, moved))
+			nextInterval += mig.IntervalCycles()
+			continue
+		}
+
+		rec, err := c.stream.Next()
+		if errors.Is(err, io.EOF) {
+			c.done = true
+			active--
+			continue
+		}
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: core stream: %w", err)
+		}
+
+		// Execute the non-memory gap at the issue-width ceiling.
+		c.time += int64(rec.Gap) / int64(cfg.IssueWidth)
+		c.insts += uint64(rec.Gap) + 1
+
+		page := rec.Page()
+		lineInPage := int(rec.Line() % trace.LinesPerPage)
+		tier, frame := placement.Lookup(page)
+		write := rec.Kind.IsWrite()
+
+		tracker.Access(page, lineInPage, c.time, write, tier)
+		if mig != nil {
+			mig.OnAccess(page, write, tier == avf.TierHBM)
+			iv.observe(page, write, tier == avf.TierHBM)
+		}
+
+		req := &memsim.Request{
+			Line:    frame*trace.LinesPerPage + uint64(lineInPage),
+			Write:   write,
+			Arrival: c.time,
+		}
+		var mem *memsim.Memory
+		if tier == avf.TierHBM {
+			mem = hbm
+		} else {
+			mem = ddr
+		}
+		mem.Enqueue(req)
+		if write {
+			res.Writes++
+			if cfg.WriteBufferCycles > 0 {
+				if lag := mem.Horizon(req.Line) - c.time; lag > cfg.WriteBufferCycles {
+					c.time = mem.Horizon(req.Line) - cfg.WriteBufferCycles
+				}
+			}
+		} else {
+			res.Reads++
+			// Reads occupy the outstanding window; block on the oldest
+			// when the window is full (ROB head stall).
+			c.outstanding = append(c.outstanding, req)
+			c.outTier = append(c.outTier, tier)
+			if len(c.outstanding) > cfg.MaxOutstanding {
+				oldest := c.outstanding[0]
+				oldTier := c.outTier[0]
+				c.outstanding = c.outstanding[1:]
+				c.outTier = c.outTier[1:]
+				var m *memsim.Memory
+				if oldTier == avf.TierHBM {
+					m = hbm
+				} else {
+					m = ddr
+				}
+				if fin := m.Complete(oldest); fin > c.time {
+					c.time = fin
+				}
+			}
+		}
+		if tier == avf.TierHBM {
+			res.HBMAccessFraction++ // accumulate count; normalized below
+		}
+	}
+
+	// Drain: every core waits for its remaining reads.
+	for _, c := range cores {
+		for i, req := range c.outstanding {
+			var m *memsim.Memory
+			if c.outTier[i] == avf.TierHBM {
+				m = hbm
+			} else {
+				m = ddr
+			}
+			if fin := m.Complete(req); fin > c.time {
+				c.time = fin
+			}
+		}
+	}
+	hbm.Drain()
+	ddr.Drain()
+
+	var last int64 = 1
+	for _, c := range cores {
+		res.Instructions += c.insts
+		if c.time > last {
+			last = c.time
+		}
+	}
+	res.Cycles = last
+	res.IPC = float64(res.Instructions) / float64(last) / float64(len(cores))
+	res.CoreIPC = make([]float64, len(cores))
+	for i, c := range cores {
+		res.CoreIPC[i] = float64(c.insts) / float64(last)
+	}
+	res.Snapshot = tracker.Snapshot(last)
+	res.PagesMigrated = placement.Migrations()
+	res.HBMStats = hbm.Stats()
+	res.DDRStats = ddr.Stats()
+	if total := res.Reads + res.Writes; total > 0 {
+		res.HBMAccessFraction /= float64(total)
+	}
+	return res, nil
+}
+
+// applyMigration executes a migration decision. OS-assisted mechanisms
+// stall every core for the transfer time of the slower tier (§6.1: "the
+// cost of migrating a page ... is governed by the slowest memory in the
+// system"); concurrent hardware mechanisms skip the stall but still inject
+// the transfer traffic into both memory systems.
+func applyMigration(cores []*coreState, hbm, ddr *memsim.Memory, placement *Placement,
+	tracker *avf.Tracker, in, out []uint64, concurrent bool, costDiv int, res *Result) int {
+	// Migrate filters pinned/mismatched entries and reports actual moves.
+	moved := placement.Migrate(in, out)
+	if moved == 0 {
+		return 0
+	}
+	for _, page := range in {
+		if placement.InHBM(page) {
+			tracker.MigratePage(page, avf.TierHBM)
+		}
+	}
+	for _, page := range out {
+		if !placement.InHBM(page) {
+			tracker.MigratePage(page, avf.TierDDR)
+		}
+	}
+	pause := ddr.BulkTransferCycles(moved)
+	if h := hbm.BulkTransferCycles(moved); h > pause {
+		pause = h
+	}
+	if costDiv > 1 {
+		pause /= int64(costDiv)
+	}
+	hbm.RecordBulkTransfer(moved, pause)
+	ddr.RecordBulkTransfer(moved, pause)
+	if concurrent {
+		return moved
+	}
+	var latest int64
+	for _, c := range cores {
+		if !c.done && c.time > latest {
+			latest = c.time
+		}
+	}
+	resume := latest + pause
+	for _, c := range cores {
+		if !c.done && c.time < resume {
+			c.time = resume
+		}
+	}
+	hbm.AdvanceTo(resume)
+	ddr.AdvanceTo(resume)
+	res.MigrationPauses += pause
+	return moved
+}

@@ -1,0 +1,110 @@
+package trace
+
+import (
+	"container/heap"
+	"errors"
+	"fmt"
+	"io"
+)
+
+// Interleave merges per-core streams into one stream ordered by approximate
+// issue time: each stream carries its own instruction clock (the cumulative
+// gaps, divided by issueWidth), and the merge always emits the record of the
+// core with the smallest clock — the same discipline the full simulator
+// uses to order cores. The per-core relative order is preserved exactly.
+//
+// Multicore trace files written through Interleave can be replayed
+// single-streamed by tools that don't model cores.
+func Interleave(streams []Stream, issueWidth int) Stream {
+	if issueWidth < 1 {
+		issueWidth = 1
+	}
+	m := &merger{width: int64(issueWidth)}
+	for i, s := range streams {
+		m.sources = append(m.sources, &mergeSource{stream: s, index: i})
+	}
+	return m
+}
+
+type mergeSource struct {
+	stream Stream
+	index  int
+	clock  int64
+	next   Record
+	ok     bool
+}
+
+type merger struct {
+	sources []*mergeSource
+	heap    srcHeap
+	width   int64
+	primed  bool
+	err     error
+}
+
+type srcHeap []*mergeSource
+
+func (h srcHeap) Len() int { return len(h) }
+func (h srcHeap) Less(i, j int) bool {
+	if h[i].clock != h[j].clock {
+		return h[i].clock < h[j].clock
+	}
+	return h[i].index < h[j].index
+}
+func (h srcHeap) Swap(i, j int) { h[i], h[j] = h[j], h[i] }
+func (h *srcHeap) Push(x any)   { *h = append(*h, x.(*mergeSource)) }
+func (h *srcHeap) Pop() any {
+	old := *h
+	n := len(old)
+	x := old[n-1]
+	*h = old[:n-1]
+	return x
+}
+
+// advance pulls the next record of src, updating its clock.
+func (m *merger) advance(src *mergeSource) error {
+	rec, err := src.stream.Next()
+	if errors.Is(err, io.EOF) {
+		src.ok = false
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("trace: interleave source %d: %w", src.index, err)
+	}
+	src.clock += int64(rec.Gap)/m.width + 1
+	src.next = rec
+	src.ok = true
+	return nil
+}
+
+// Next implements Stream.
+func (m *merger) Next() (Record, error) {
+	if m.err != nil {
+		return Record{}, m.err
+	}
+	if !m.primed {
+		m.primed = true
+		for _, src := range m.sources {
+			if err := m.advance(src); err != nil {
+				m.err = err
+				return Record{}, err
+			}
+			if src.ok {
+				heap.Push(&m.heap, src)
+			}
+		}
+	}
+	if m.heap.Len() == 0 {
+		return Record{}, io.EOF
+	}
+	src := heap.Pop(&m.heap).(*mergeSource)
+	out := src.next
+	if err := m.advance(src); err != nil {
+		m.err = err
+		return Record{}, err
+	}
+	if src.ok {
+		heap.Push(&m.heap, src)
+	}
+	return out, nil
+}

@@ -1,0 +1,125 @@
+package trace
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"hmem/internal/xrand"
+)
+
+func TestInterleavePreservesPerSourceOrder(t *testing.T) {
+	rng := xrand.New(8)
+	const sources = 4
+	const perSource = 500
+	var streams []Stream
+	want := map[uint64][]uint64{} // source id -> expected addr sequence
+	for s := uint64(0); s < sources; s++ {
+		recs := make([]Record, perSource)
+		for i := range recs {
+			recs[i] = Record{
+				Gap:  uint32(rng.Intn(200)),
+				PC:   s, // tag the source in the PC field
+				Addr: s<<32 | uint64(i),
+			}
+			want[s] = append(want[s], recs[i].Addr)
+		}
+		streams = append(streams, NewSliceStream(recs))
+	}
+	merged, err := Collect(Interleave(streams, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(merged) != sources*perSource {
+		t.Fatalf("merged %d records, want %d", len(merged), sources*perSource)
+	}
+	got := map[uint64][]uint64{}
+	for _, r := range merged {
+		got[r.PC] = append(got[r.PC], r.Addr)
+	}
+	for s := uint64(0); s < sources; s++ {
+		if len(got[s]) != perSource {
+			t.Fatalf("source %d: %d records", s, len(got[s]))
+		}
+		for i := range got[s] {
+			if got[s][i] != want[s][i] {
+				t.Fatalf("source %d reordered at %d", s, i)
+			}
+		}
+	}
+}
+
+func TestInterleaveBalancesByGap(t *testing.T) {
+	// A fast source (small gaps) must appear more often early than a slow
+	// one (large gaps).
+	fast := make([]Record, 100)
+	slow := make([]Record, 100)
+	for i := range fast {
+		fast[i] = Record{Gap: 4, PC: 1}
+		slow[i] = Record{Gap: 400, PC: 2}
+	}
+	merged, err := Collect(Interleave([]Stream{NewSliceStream(fast), NewSliceStream(slow)}, 4), 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fastInFirstQuarter := 0
+	for _, r := range merged[:50] {
+		if r.PC == 1 {
+			fastInFirstQuarter++
+		}
+	}
+	if fastInFirstQuarter < 40 {
+		t.Fatalf("fast source only %d of first 50 merged records", fastInFirstQuarter)
+	}
+}
+
+func TestInterleaveEmptyAndSingle(t *testing.T) {
+	if _, err := Interleave(nil, 4).Next(); !errors.Is(err, io.EOF) {
+		t.Fatal("empty merge should EOF")
+	}
+	recs := []Record{{Addr: 1}, {Addr: 2}}
+	merged, err := Collect(Interleave([]Stream{NewSliceStream(recs)}, 0), 0)
+	if err != nil || len(merged) != 2 || merged[0].Addr != 1 {
+		t.Fatalf("single-source merge: %v, %v", merged, err)
+	}
+}
+
+func TestInterleaveDeterministic(t *testing.T) {
+	build := func() []Record {
+		var streams []Stream
+		for s := 0; s < 3; s++ {
+			rng := xrand.New(uint64(s) + 10)
+			recs := make([]Record, 200)
+			for i := range recs {
+				recs[i] = Record{Gap: uint32(rng.Intn(100)), Addr: uint64(s)<<32 | uint64(i)}
+			}
+			streams = append(streams, NewSliceStream(recs))
+		}
+		out, err := Collect(Interleave(streams, 4), 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return out
+	}
+	a, b := build(), build()
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("nondeterministic merge at %d", i)
+		}
+	}
+}
+
+type errStream struct{}
+
+func (errStream) Next() (Record, error) { return Record{}, errors.New("boom") }
+
+func TestInterleavePropagatesErrors(t *testing.T) {
+	m := Interleave([]Stream{errStream{}}, 4)
+	if _, err := m.Next(); err == nil {
+		t.Fatal("expected error")
+	}
+	// Error is sticky.
+	if _, err := m.Next(); err == nil {
+		t.Fatal("expected sticky error")
+	}
+}

@@ -1,0 +1,97 @@
+package trace
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"strconv"
+	"strings"
+)
+
+// Text trace format: one record per line,
+//
+//	<gap> <kind> <pc-hex> <addr-hex>
+//
+// e.g. "125 R 0x400040 0x7f3a1000". Lines starting with '#' and blank lines
+// are ignored. The format exists for interop with external tools and for
+// eyeballing traces; the binary format (trace.Writer/Reader) is the fast
+// path.
+
+// WriteText serializes a stream of records as text.
+func WriteText(w io.Writer, recs []Record) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "# hmem text trace: gap kind pc addr")
+	for i, r := range recs {
+		if _, err := fmt.Fprintf(bw, "%d %s 0x%x 0x%x\n", r.Gap, r.Kind, r.PC, r.Addr); err != nil {
+			return fmt.Errorf("trace: writing text record %d: %w", i, err)
+		}
+	}
+	return bw.Flush()
+}
+
+// ErrBadTextRecord indicates a malformed text-trace line.
+var ErrBadTextRecord = errors.New("trace: malformed text record")
+
+// ParseTextRecord decodes one text-format line.
+func ParseTextRecord(line string) (Record, error) {
+	fields := strings.Fields(line)
+	if len(fields) != 4 {
+		return Record{}, fmt.Errorf("%w: %q (want 4 fields)", ErrBadTextRecord, line)
+	}
+	gap, err := strconv.ParseUint(fields[0], 10, 32)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: gap in %q: %v", ErrBadTextRecord, line, err)
+	}
+	var kind Kind
+	switch fields[1] {
+	case "R":
+		kind = Read
+	case "W":
+		kind = Write
+	case "I":
+		kind = InstFetch
+	default:
+		return Record{}, fmt.Errorf("%w: kind %q", ErrBadTextRecord, fields[1])
+	}
+	pc, err := strconv.ParseUint(strings.TrimPrefix(fields[2], "0x"), 16, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: pc in %q: %v", ErrBadTextRecord, line, err)
+	}
+	addr, err := strconv.ParseUint(strings.TrimPrefix(fields[3], "0x"), 16, 64)
+	if err != nil {
+		return Record{}, fmt.Errorf("%w: addr in %q: %v", ErrBadTextRecord, line, err)
+	}
+	return Record{Gap: uint32(gap), Kind: kind, PC: pc, Addr: addr}, nil
+}
+
+// TextReader decodes a text trace as a Stream.
+type TextReader struct {
+	s    *bufio.Scanner
+	line int
+}
+
+// NewTextReader wraps r.
+func NewTextReader(r io.Reader) *TextReader {
+	return &TextReader{s: bufio.NewScanner(r)}
+}
+
+// Next implements Stream.
+func (t *TextReader) Next() (Record, error) {
+	for t.s.Scan() {
+		t.line++
+		line := strings.TrimSpace(t.s.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		rec, err := ParseTextRecord(line)
+		if err != nil {
+			return Record{}, fmt.Errorf("line %d: %w", t.line, err)
+		}
+		return rec, nil
+	}
+	if err := t.s.Err(); err != nil {
+		return Record{}, fmt.Errorf("trace: reading text trace: %w", err)
+	}
+	return Record{}, io.EOF
+}

@@ -1,0 +1,108 @@
+package trace
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"hmem/internal/xrand"
+)
+
+func TestTextRoundTrip(t *testing.T) {
+	rng := xrand.New(44)
+	recs := make([]Record, 200)
+	for i := range recs {
+		recs[i] = Record{
+			Gap:  uint32(rng.Uint64n(1 << 20)),
+			PC:   rng.Uint64(),
+			Addr: rng.Uint64(),
+			Kind: Kind(rng.Intn(3)),
+		}
+	}
+	var buf bytes.Buffer
+	if err := WriteText(&buf, recs); err != nil {
+		t.Fatal(err)
+	}
+	r := NewTextReader(&buf)
+	for i, want := range recs {
+		got, err := r.Next()
+		if err != nil {
+			t.Fatalf("record %d: %v", i, err)
+		}
+		if got != want {
+			t.Fatalf("record %d: got %+v want %+v", i, got, want)
+		}
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestTextRoundTripProperty(t *testing.T) {
+	f := func(gap uint32, pc, addr uint64, kindRaw uint8) bool {
+		want := Record{Gap: gap, PC: pc, Addr: addr, Kind: Kind(kindRaw % 3)}
+		var buf bytes.Buffer
+		if WriteText(&buf, []Record{want}) != nil {
+			return false
+		}
+		got, err := NewTextReader(&buf).Next()
+		return err == nil && got == want
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTextReaderSkipsCommentsAndBlanks(t *testing.T) {
+	in := "# header\n\n  \n10 R 0x400 0x1000\n# trailing comment\n5 W 0x404 0x2040\n"
+	r := NewTextReader(strings.NewReader(in))
+	a, err := r.Next()
+	if err != nil || a.Gap != 10 || a.Kind != Read || a.Addr != 0x1000 {
+		t.Fatalf("first = %+v, %v", a, err)
+	}
+	b, err := r.Next()
+	if err != nil || b.Gap != 5 || b.Kind != Write || b.PC != 0x404 {
+		t.Fatalf("second = %+v, %v", b, err)
+	}
+	if _, err := r.Next(); !errors.Is(err, io.EOF) {
+		t.Fatalf("expected EOF, got %v", err)
+	}
+}
+
+func TestParseTextRecordErrors(t *testing.T) {
+	bad := []string{
+		"",
+		"1 2 3",
+		"x R 0x1 0x2",
+		"1 Q 0x1 0x2",
+		"1 R zz 0x2",
+		"1 R 0x1 zz",
+		"1 R 0x1 0x2 extra",
+	}
+	for _, line := range bad {
+		if _, err := ParseTextRecord(line); !errors.Is(err, ErrBadTextRecord) {
+			t.Errorf("%q: expected ErrBadTextRecord, got %v", line, err)
+		}
+	}
+}
+
+func TestTextReaderReportsLineNumbers(t *testing.T) {
+	r := NewTextReader(strings.NewReader("# ok\n10 R 0x1 0x2\ngarbage here\n"))
+	if _, err := r.Next(); err != nil {
+		t.Fatal(err)
+	}
+	_, err := r.Next()
+	if err == nil || !strings.Contains(err.Error(), "line 3") {
+		t.Fatalf("expected line-3 error, got %v", err)
+	}
+}
+
+func TestTextInstFetch(t *testing.T) {
+	rec, err := ParseTextRecord("7 I 0xdead 0xbeef")
+	if err != nil || rec.Kind != InstFetch {
+		t.Fatalf("got %+v, %v", rec, err)
+	}
+}

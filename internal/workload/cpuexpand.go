@@ -1,0 +1,80 @@
+package workload
+
+import (
+	"io"
+
+	"hmem/internal/trace"
+	"hmem/internal/xrand"
+)
+
+// CPUExpand converts a memory-level stream into a CPU-level one by
+// inserting cache-hit accesses: after every original record it emits a
+// Poisson(hitFactor) number of repeat accesses to the same line, splitting
+// the original instruction gap across the burst. Passing the result through
+// the cachesim hierarchy filters the repeats back out, which is how the
+// paper's Pin-level traces became memory traces through Moola (§3.1). The
+// expansion is the inverse model of that filtering step and exists so the
+// full generate -> cache-filter -> simulate pipeline can be exercised.
+func CPUExpand(src trace.Stream, hitFactor float64, seed uint64) trace.Stream {
+	if hitFactor < 0 {
+		hitFactor = 0
+	}
+	return &cpuExpander{src: src, factor: hitFactor, rng: xrand.New(seed)}
+}
+
+type cpuExpander struct {
+	src     trace.Stream
+	factor  float64
+	rng     *xrand.RNG
+	pending []trace.Record
+}
+
+// Next implements trace.Stream.
+func (e *cpuExpander) Next() (trace.Record, error) {
+	if len(e.pending) > 0 {
+		out := e.pending[0]
+		e.pending = e.pending[1:]
+		return out, nil
+	}
+	rec, err := e.src.Next()
+	if err != nil {
+		return trace.Record{}, err
+	}
+	repeats := e.rng.Poisson(e.factor)
+	if repeats == 0 {
+		return rec, nil
+	}
+	// Split the instruction gap across the burst: the original access
+	// keeps the first share, repeats carry the rest. Repeats re-touch the
+	// same line (guaranteed L1 hits once the line is resident).
+	share := rec.Gap / uint32(repeats+1)
+	first := rec
+	first.Gap = rec.Gap - share*uint32(repeats)
+	for i := 0; i < repeats; i++ {
+		rep := rec
+		rep.Gap = share
+		// Repeats after a write are reads of the written line.
+		if rep.Kind == trace.Write {
+			rep.Kind = trace.Read
+		}
+		e.pending = append(e.pending, rep)
+	}
+	return first, nil
+}
+
+var _ trace.Stream = (*cpuExpander)(nil)
+
+// Drain is a convenience for tests: it consumes the stream fully.
+func Drain(s trace.Stream) ([]trace.Record, error) {
+	var out []trace.Record
+	for {
+		r, err := s.Next()
+		if err == io.EOF {
+			return out, nil
+		}
+		if err != nil {
+			return out, err
+		}
+		out = append(out, r)
+	}
+}

@@ -1,0 +1,101 @@
+package workload
+
+import (
+	"math"
+	"testing"
+
+	"hmem/internal/cachesim"
+	"hmem/internal/trace"
+)
+
+func TestCPUExpandMultipliesAccesses(t *testing.T) {
+	p, _ := Lookup("gcc")
+	base := NewGenerator(p, 0, 5000, 3)
+	baseRecs, err := Drain(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	exp := CPUExpand(NewGenerator(p, 0, 5000, 3), 3, 7)
+	expRecs, err := Drain(exp)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(expRecs)) / float64(len(baseRecs))
+	if ratio < 3.5 || ratio > 4.5 {
+		t.Fatalf("expansion ratio = %.2f, want ~4 (1 + factor 3)", ratio)
+	}
+}
+
+func TestCPUExpandPreservesInstructionCount(t *testing.T) {
+	p, _ := Lookup("gcc")
+	sumGaps := func(recs []trace.Record) (s uint64) {
+		for _, r := range recs {
+			s += uint64(r.Gap)
+		}
+		return s
+	}
+	baseRecs, err := Drain(NewGenerator(p, 0, 5000, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 5000, 3), 3, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, e := sumGaps(baseRecs), sumGaps(expRecs)
+	if math.Abs(float64(b)-float64(e)) > float64(b)*0.01 {
+		t.Fatalf("gap mass changed: %d -> %d", b, e)
+	}
+}
+
+func TestCPUExpandZeroFactorIsIdentity(t *testing.T) {
+	p, _ := Lookup("bzip")
+	baseRecs, err := Drain(NewGenerator(p, 0, 1000, 9))
+	if err != nil {
+		t.Fatal(err)
+	}
+	expRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 1000, 9), 0, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(expRecs) != len(baseRecs) {
+		t.Fatalf("zero-factor expansion changed length: %d vs %d", len(expRecs), len(baseRecs))
+	}
+	for i := range baseRecs {
+		if expRecs[i] != baseRecs[i] {
+			t.Fatalf("record %d changed", i)
+		}
+	}
+	// Negative factor clamps to identity too.
+	negRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 1000, 9), -1, 1))
+	if err != nil || len(negRecs) != len(baseRecs) {
+		t.Fatal("negative factor should clamp to identity")
+	}
+}
+
+func TestFullPipelineRoundTrip(t *testing.T) {
+	// The paper's pipeline: CPU-level trace -> cache filter -> memory
+	// trace. Expansion inserts cache hits; the Table 1 hierarchy must
+	// filter most of them back out, leaving roughly the original
+	// memory-level access count.
+	p, _ := Lookup("gcc")
+	const n = 8000
+	cpu := CPUExpand(NewGenerator(p, 0, n, 3), 4, 7)
+	l2 := cachesim.New(cachesim.Table1L2(16))
+	h := cachesim.NewHierarchy(cachesim.Table1Hierarchy(), l2)
+	memRecs, err := Drain(cachesim.NewFilterStream(cpu, h))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := float64(len(memRecs)) / float64(n)
+	// Write-backs add some records while repeats are filtered; the result
+	// must be within a factor ~2 of the memory-level count, not the ~5x
+	// CPU-level count.
+	if ratio < 0.3 || ratio > 2.0 {
+		t.Fatalf("filtered pipeline yields %.2fx the memory-level count", ratio)
+	}
+	hits := h.L1D().Stats().Hits
+	if hits == 0 {
+		t.Fatal("expansion produced no cache hits")
+	}
+}

@@ -1,0 +1,68 @@
+package xrand
+
+import "math"
+
+// Zipf samples ranks from a Zipf(s) distribution over [0, n): the probability
+// of rank k is proportional to 1/(k+1)^s. Workload generators use it to give
+// pages a realistic hotness skew — a handful of very hot pages and a long
+// cold tail, as observed in the paper's Figure 4 scatter plots.
+//
+// Sampling uses an alias-free inverted-CDF with binary search over a
+// precomputed cumulative table, which keeps construction O(n) and sampling
+// O(log n) with no floating-point drift between runs.
+type Zipf struct {
+	cdf []float64
+	rng *RNG
+}
+
+// NewZipf builds a sampler over n ranks with exponent s >= 0 (s == 0 is
+// uniform). It panics if n <= 0 or s < 0.
+func NewZipf(rng *RNG, s float64, n int) *Zipf {
+	if n <= 0 {
+		panic("xrand: NewZipf with n <= 0")
+	}
+	if s < 0 {
+		panic("xrand: NewZipf with s < 0")
+	}
+	cdf := make([]float64, n)
+	sum := 0.0
+	for k := 0; k < n; k++ {
+		sum += math.Pow(float64(k+1), -s)
+		cdf[k] = sum
+	}
+	inv := 1 / sum
+	for k := range cdf {
+		cdf[k] *= inv
+	}
+	cdf[n-1] = 1 // guard against rounding
+	return &Zipf{cdf: cdf, rng: rng}
+}
+
+// N returns the number of ranks.
+func (z *Zipf) N() int { return len(z.cdf) }
+
+// Next returns the next sampled rank in [0, N()).
+func (z *Zipf) Next() int {
+	u := z.rng.Float64()
+	lo, hi := 0, len(z.cdf)-1
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if z.cdf[mid] < u {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	return lo
+}
+
+// Weight returns the normalized probability of rank k.
+func (z *Zipf) Weight(k int) float64 {
+	if k < 0 || k >= len(z.cdf) {
+		return 0
+	}
+	if k == 0 {
+		return z.cdf[0]
+	}
+	return z.cdf[k] - z.cdf[k-1]
+}
