@@ -23,17 +23,22 @@ import (
 var (
 	benchOnce   sync.Once
 	benchRunner *experiments.Runner
+	benchErr    error
 )
 
 // benchSharedRunner returns the suite-wide memoized runner.
-func benchSharedRunner() *experiments.Runner {
+func benchSharedRunner(b *testing.B) *experiments.Runner {
+	b.Helper()
 	benchOnce.Do(func() {
 		opts := experiments.DefaultOptions()
 		// Benches run every experiment; a reduced record count keeps the
 		// full-suite wall time in minutes while preserving the shapes.
 		opts.RecordsPerCore = 20000
-		benchRunner = experiments.NewRunner(opts)
+		benchRunner, benchErr = experiments.NewRunner(opts)
 	})
+	if benchErr != nil {
+		b.Fatal(benchErr)
+	}
 	return benchRunner
 }
 
@@ -41,7 +46,7 @@ func benchSharedRunner() *experiments.Runner {
 // first) and logs the resulting table once.
 func runExperiment(b *testing.B, id string) {
 	b.Helper()
-	r := benchSharedRunner()
+	r := benchSharedRunner(b)
 	exp, ok := r.ByID(id)
 	if !ok {
 		b.Fatalf("unknown experiment %q", id)
@@ -90,3 +95,29 @@ func BenchmarkAblationCC(b *testing.B) { runExperiment(b, "ablation-cc") }
 func BenchmarkExtensionAnnotatedMigration(b *testing.B) {
 	runExperiment(b, "extension-annotated-migration")
 }
+
+// benchSuite runs a four-workload Figure 5 sweep on a FRESH runner each
+// iteration (nothing memoized across iterations) at the given worker count.
+// Comparing BenchmarkSuiteSerial against BenchmarkSuiteParallel measures the
+// wall-clock win of the concurrent experiment engine; both produce identical
+// tables (see TestSuiteDeterministicAcrossParallelism in internal/experiments).
+func benchSuite(b *testing.B, parallel int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		opts := experiments.DefaultOptions()
+		opts.Workloads = []string{"astar", "mcf", "libquantum", "soplex"}
+		opts.RecordsPerCore = 8000
+		opts.FaultTrials = 2000
+		opts.Parallel = parallel
+		r, err := experiments.NewRunner(opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := r.Figure5(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkSuiteSerial(b *testing.B)   { benchSuite(b, 1) }
+func BenchmarkSuiteParallel(b *testing.B) { benchSuite(b, 0) } // 0 = NumCPU

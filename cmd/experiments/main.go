@@ -6,6 +6,11 @@
 //	experiments                       # the full suite into ./results
 //	experiments -only figure5,table3  # a subset
 //	experiments -workloads astar,mix1 # restrict the workload set
+//	experiments -parallel 8           # bound the worker pool (default NumCPU)
+//
+// Experiments run concurrently on a bounded worker pool; output order and
+// content are independent of -parallel (the same seed yields byte-identical
+// tables at any worker count).
 package main
 
 import (
@@ -13,10 +18,13 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 	"time"
 
+	"hmem/internal/exec"
 	"hmem/internal/experiments"
+	"hmem/internal/report"
 )
 
 func main() {
@@ -26,6 +34,7 @@ func main() {
 		workloads = flag.String("workloads", "", "comma-separated workload subset (default: all 14)")
 		records   = flag.Int("records", 0, "trace records per core (0 = default)")
 		scale     = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
+		parallel  = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (<=0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -39,13 +48,38 @@ func main() {
 	if *workloads != "" {
 		opts.Workloads = strings.Split(*workloads, ",")
 	}
-	runner := experiments.NewRunner(opts)
+	opts.Parallel = *parallel
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		fatal(err)
+	}
 
+	all := runner.All()
 	want := map[string]bool{}
 	if *only != "" {
-		for _, id := range strings.Split(*only, ",") {
-			want[strings.TrimSpace(id)] = true
+		known := map[string]bool{}
+		for _, exp := range all {
+			known[exp.ID] = true
 		}
+		for _, id := range strings.Split(*only, ",") {
+			id = strings.TrimSpace(id)
+			if !known[id] {
+				var ids []string
+				for _, exp := range all {
+					ids = append(ids, exp.ID)
+				}
+				fatal(fmt.Errorf("unknown experiment %q (valid: %s)", id, strings.Join(ids, ", ")))
+			}
+			want[id] = true
+		}
+	}
+
+	var selected []experiments.Named
+	for _, exp := range all {
+		if len(want) > 0 && !want[exp.ID] {
+			continue
+		}
+		selected = append(selected, exp)
 	}
 
 	if *outDir != "" {
@@ -54,17 +88,31 @@ func main() {
 		}
 	}
 
-	for _, exp := range runner.All() {
-		if len(want) > 0 && !want[exp.ID] {
-			continue
-		}
+	// Run every selected experiment on the shared pool, then print in paper
+	// order. Experiments overlap (and share memoized simulations), so the
+	// per-experiment wall times below overlap too and do not sum to the
+	// suite's elapsed time.
+	type outcome struct {
+		table   *report.Table
+		elapsed time.Duration
+	}
+	suiteStart := time.Now()
+	outcomes, err := exec.Map(*parallel, len(selected), func(i int) (outcome, error) {
 		start := time.Now()
-		table, err := exp.Run()
+		table, err := selected[i].Run()
 		if err != nil {
-			fatal(fmt.Errorf("%s: %w", exp.ID, err))
+			return outcome{}, fmt.Errorf("%s: %w", selected[i].ID, err)
 		}
+		return outcome{table: table, elapsed: time.Since(start)}, nil
+	})
+	if err != nil {
+		fatal(err)
+	}
+
+	for i, exp := range selected {
+		table := outcomes[i].table
 		fmt.Println(table)
-		fmt.Printf("(%s took %.1fs)\n\n", exp.ID, time.Since(start).Seconds())
+		fmt.Printf("(%s took %.1fs wall, overlapped)\n\n", exp.ID, outcomes[i].elapsed.Seconds())
 		if *outDir != "" {
 			f, err := os.Create(filepath.Join(*outDir, exp.ID+".csv"))
 			if err != nil {
@@ -78,6 +126,8 @@ func main() {
 			}
 		}
 	}
+	fmt.Printf("suite: %d experiments in %.1fs with %d workers\n",
+		len(selected), time.Since(suiteStart).Seconds(), exec.Workers(*parallel))
 }
 
 func fatal(err error) {

@@ -18,9 +18,10 @@ import (
 
 func main() {
 	var (
-		trials = flag.Int("trials", 20000, "Monte-Carlo trials per fault-count stratum")
-		years  = flag.Float64("years", 5, "fault accumulation horizon in years")
-		mult   = flag.Float64("hbm-multiplier", 2.0, "HBM raw-FIT multiplier vs field-study DDR devices")
+		trials   = flag.Int("trials", 20000, "Monte-Carlo trials per fault-count stratum")
+		years    = flag.Float64("years", 5, "fault accumulation horizon in years")
+		mult     = flag.Float64("hbm-multiplier", 2.0, "HBM raw-FIT multiplier vs field-study DDR devices")
+		parallel = flag.Int("parallel", 0, "max concurrent trial shards (<=0 = NumCPU)")
 	)
 	flag.Parse()
 
@@ -31,6 +32,7 @@ func main() {
 	run := func(org faultsim.Organization) faultsim.Result {
 		study := faultsim.NewStudy(org, rates, 0xFA7A)
 		study.HorizonHours = *years * 8760
+		study.Workers = *parallel
 		res, err := study.Run(*trials)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "faultsim:", err)
@@ -60,7 +62,7 @@ func main() {
 			res.UncFITPerRank, res.UncFITPerGB)
 	}
 
-	fits, err := faultsim.DefaultTierFITs(*trials)
+	fits, err := faultsim.DefaultTierFITsWorkers(*trials, *parallel)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "faultsim:", err)
 		os.Exit(1)

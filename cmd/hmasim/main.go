@@ -23,6 +23,7 @@ func main() {
 		records      = flag.Int("records", 0, "trace records per core (0 = default)")
 		scale        = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
 		seed         = flag.Uint64("seed", 0, "simulation seed (0 = default)")
+		parallel     = flag.Int("parallel", 0, "max concurrent simulations (<=0 = NumCPU)")
 		list         = flag.Bool("list", false, "list workloads and policies, then exit")
 	)
 	flag.Parse()
@@ -43,7 +44,7 @@ func main() {
 		return
 	}
 
-	opts := &hmem.Options{RecordsPerCore: *records, ScaleDiv: *scale, Seed: *seed}
+	opts := &hmem.Options{RecordsPerCore: *records, ScaleDiv: *scale, Seed: *seed, Parallel: *parallel}
 	res, err := hmem.Evaluate(*workloadName, hmem.PolicyName(*policyName), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmasim:", err)

@@ -17,7 +17,10 @@ import (
 func main() {
 	opts := experiments.DefaultOptions()
 	opts.RecordsPerCore = 15000
-	runner := experiments.NewRunner(opts)
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	for _, name := range []string{"astar", "cactusADM"} {
 		spec, err := workload.SpecByName(name)

@@ -19,7 +19,10 @@ import (
 func main() {
 	opts := experiments.DefaultOptions()
 	opts.RecordsPerCore = 15000
-	runner := experiments.NewRunner(opts)
+	runner, err := experiments.NewRunner(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
 
 	spec, err := workload.SpecByName("soplex")
 	if err != nil {

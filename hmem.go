@@ -20,6 +20,7 @@
 //	migration  perf-focused, Full Counter, and Cross Counter mechanisms
 //	annotate   program-structure annotation and pinning
 //	sim        the 16-core full-system simulator
+//	exec       singleflight memoization + bounded deterministic worker pool
 //	experiments one driver per paper table/figure
 //
 // A minimal session:
@@ -33,6 +34,7 @@ import (
 	"fmt"
 
 	"hmem/internal/core"
+	"hmem/internal/exec"
 	"hmem/internal/experiments"
 	"hmem/internal/migration"
 	"hmem/internal/sim"
@@ -105,7 +107,10 @@ func Evaluate(workloadName string, policy PolicyName, opts *Options) (Result, er
 	if opts != nil {
 		o = *opts
 	}
-	r := experiments.NewRunner(o)
+	r, err := experiments.NewRunner(o)
+	if err != nil {
+		return Result{}, err
+	}
 	return evaluate(r, workloadName, policy)
 }
 
@@ -171,20 +176,28 @@ func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Re
 }
 
 // Compare evaluates several policies on one workload with shared profiling
-// (much cheaper than repeated Evaluate calls).
+// (much cheaper than repeated Evaluate calls). The policies run concurrently
+// on the runner's worker pool (Options.Parallel, default NumCPU); results are
+// returned in input order and are identical to serial evaluation.
 func Compare(workloadName string, policies []PolicyName, opts *Options) ([]Result, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
 	}
-	r := experiments.NewRunner(o)
-	out := make([]Result, 0, len(policies))
-	for _, p := range policies {
-		res, err := evaluate(r, workloadName, p)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
+	r, err := experiments.NewRunner(o)
+	if err != nil {
+		return nil, err
 	}
-	return out, nil
+	// Profile once up front so the concurrent evaluations share the warm
+	// memo instead of all blocking on the same singleflight leader.
+	spec, err := workload.SpecByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	if _, err := r.ProfileOf(spec); err != nil {
+		return nil, err
+	}
+	return exec.Map(r.Options().Parallel, len(policies), func(i int) (Result, error) {
+		return evaluate(r, workloadName, policies[i])
+	})
 }

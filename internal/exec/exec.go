@@ -1,0 +1,215 @@
+// Package exec provides the concurrency primitives behind the experiment
+// engine: a generic singleflight memo cache and a bounded worker group.
+//
+// Every fan-out in the repository — figure drivers sweeping workloads ×
+// policies, fault-study shards, facade comparisons — goes through this
+// package so that two invariants hold everywhere:
+//
+//   - work sharing: concurrent requests for the same memo key share one
+//     in-flight computation instead of racing or duplicating multi-second
+//     simulations;
+//   - deterministic assembly: Map writes results by index, so the output
+//     of a fan-out is a pure function of its inputs regardless of worker
+//     count or goroutine scheduling.
+package exec
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Memo is a concurrency-safe, generic singleflight memo cache.
+//
+// The first caller of Do for a key runs the function; callers arriving while
+// it is in flight block and share its outcome. Both values and errors are
+// cached permanently: every computation in this repository is a
+// deterministic function of its key (and the owning runner's options), so a
+// retry could only repeat the same outcome. A panic in the function is also
+// cached and re-raised (wrapped in PanicError) in the first caller and every
+// waiter — concurrent and subsequent alike — so a broken invariant surfaces
+// at every request site instead of deadlocking the waiters.
+//
+// The zero value is ready to use.
+type Memo[K comparable, V any] struct {
+	mu    sync.Mutex
+	calls map[K]*memoCall[V]
+}
+
+// memoCall is one (possibly in-flight) computation.
+type memoCall[V any] struct {
+	done     chan struct{}
+	val      V
+	err      error
+	panicked bool
+	panicVal any
+}
+
+// PanicError wraps a panic value recovered from a memoized computation or a
+// group task so it can be re-raised in a different goroutine with its origin
+// preserved.
+type PanicError struct {
+	Value any
+}
+
+// Error implements error.
+func (p PanicError) Error() string { return fmt.Sprintf("exec: panic in task: %v", p.Value) }
+
+// Do returns the memoized outcome for key, computing it with fn if this is
+// the first request. fn runs in the caller's goroutine.
+func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	m.mu.Lock()
+	if m.calls == nil {
+		m.calls = make(map[K]*memoCall[V])
+	}
+	if c, ok := m.calls[key]; ok {
+		m.mu.Unlock()
+		<-c.done
+		if c.panicked {
+			panic(PanicError{Value: c.panicVal})
+		}
+		return c.val, c.err
+	}
+	c := &memoCall[V]{done: make(chan struct{})}
+	m.calls[key] = c
+	m.mu.Unlock()
+
+	defer close(c.done)
+	defer func() {
+		if r := recover(); r != nil {
+			c.panicked = true
+			c.panicVal = r
+			panic(PanicError{Value: r})
+		}
+	}()
+	c.val, c.err = fn()
+	return c.val, c.err
+}
+
+// Len reports how many keys have been requested (including in-flight ones).
+func (m *Memo[K, V]) Len() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.calls)
+}
+
+// Group runs tasks on at most a fixed number of goroutines, propagating the
+// first failure and cancelling tasks that have not started yet. It is a
+// dependency-free analogue of errgroup.Group with a concurrency limit.
+type Group struct {
+	sem  chan struct{}
+	wg   sync.WaitGroup
+	once sync.Once
+	err  error
+
+	mu       sync.Mutex
+	panicked bool
+	panicVal any
+	done     chan struct{}
+}
+
+// Workers resolves a requested worker count: non-positive means "one worker
+// per CPU".
+func Workers(n int) int {
+	if n <= 0 {
+		return runtime.NumCPU()
+	}
+	return n
+}
+
+// NewGroup returns a group running at most workers tasks concurrently
+// (non-positive workers = runtime.NumCPU()).
+func NewGroup(workers int) *Group {
+	return &Group{
+		sem:  make(chan struct{}, Workers(workers)),
+		done: make(chan struct{}),
+	}
+}
+
+// fail records the group's first failure and cancels pending tasks.
+func (g *Group) fail(err error, panicVal any, panicked bool) {
+	g.once.Do(func() {
+		g.mu.Lock()
+		g.err = err
+		g.panicked = panicked
+		g.panicVal = panicVal
+		g.mu.Unlock()
+		close(g.done)
+	})
+}
+
+// Go schedules fn. Tasks that have not yet started when another task fails
+// are skipped; tasks already running are not interrupted (simulations have
+// no preemption points, and their results are discarded on error anyway).
+func (g *Group) Go(fn func() error) {
+	g.wg.Add(1)
+	go func() {
+		defer g.wg.Done()
+		select {
+		case <-g.done:
+			return
+		case g.sem <- struct{}{}:
+		}
+		defer func() { <-g.sem }()
+		select {
+		case <-g.done:
+			return
+		default:
+		}
+		defer func() {
+			if r := recover(); r != nil {
+				g.fail(nil, r, true)
+			}
+		}()
+		if err := fn(); err != nil {
+			g.fail(err, nil, false)
+		}
+	}()
+}
+
+// Wait blocks until every scheduled task has finished or been skipped and
+// returns the first error. If a task panicked, Wait re-raises the panic
+// (wrapped in PanicError) in the waiting goroutine.
+func (g *Group) Wait() error {
+	g.wg.Wait()
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.panicked {
+		panic(PanicError{Value: g.panicVal})
+	}
+	return g.err
+}
+
+// Map evaluates fn(0..n-1) on at most workers goroutines and returns the
+// results in index order — the fan-out/fan-in used by every figure driver.
+// On error the first failure is returned and the partial results discarded.
+func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+	out := make([]T, n)
+	g := NewGroup(workers)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error {
+			v, err := fn(i)
+			if err != nil {
+				return err
+			}
+			out[i] = v
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// ForEach evaluates fn(0..n-1) on at most workers goroutines and returns
+// the first error.
+func ForEach(workers, n int, fn func(i int) error) error {
+	g := NewGroup(workers)
+	for i := 0; i < n; i++ {
+		i := i
+		g.Go(func() error { return fn(i) })
+	}
+	return g.Wait()
+}

@@ -1,0 +1,281 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"testing"
+)
+
+// TestMemoSingleFlight: many concurrent callers of the same key share one
+// execution and all observe its value.
+func TestMemoSingleFlight(t *testing.T) {
+	var m Memo[string, int]
+	var executions atomic.Int64
+	gate := make(chan struct{})
+
+	const callers = 64
+	var wg sync.WaitGroup
+	results := make([]int, callers)
+	errs := make([]error, callers)
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			<-gate
+			results[i], errs[i] = m.Do("key", func() (int, error) {
+				executions.Add(1)
+				return 42, nil
+			})
+		}(i)
+	}
+	close(gate)
+	wg.Wait()
+
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("function executed %d times, want 1", n)
+	}
+	for i := 0; i < callers; i++ {
+		if errs[i] != nil || results[i] != 42 {
+			t.Fatalf("caller %d: got (%d, %v), want (42, nil)", i, results[i], errs[i])
+		}
+	}
+	if m.Len() != 1 {
+		t.Fatalf("Len = %d, want 1", m.Len())
+	}
+}
+
+// TestMemoDistinctKeys: distinct keys execute independently, once each.
+func TestMemoDistinctKeys(t *testing.T) {
+	var m Memo[int, int]
+	var executions atomic.Int64
+
+	const keys = 32
+	var wg sync.WaitGroup
+	for round := 0; round < 4; round++ {
+		for k := 0; k < keys; k++ {
+			wg.Add(1)
+			go func(k int) {
+				defer wg.Done()
+				v, err := m.Do(k, func() (int, error) {
+					executions.Add(1)
+					return k * k, nil
+				})
+				if err != nil || v != k*k {
+					t.Errorf("key %d: got (%d, %v)", k, v, err)
+				}
+			}(k)
+		}
+	}
+	wg.Wait()
+	if n := executions.Load(); n != keys {
+		t.Fatalf("executions = %d, want %d", n, keys)
+	}
+}
+
+// TestMemoErrorCached: a failed computation is cached — later callers get
+// the same error without a re-execution (computations are deterministic, so
+// retrying could only fail identically).
+func TestMemoErrorCached(t *testing.T) {
+	var m Memo[string, int]
+	var executions atomic.Int64
+	boom := errors.New("boom")
+
+	var wg sync.WaitGroup
+	for i := 0; i < 16; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			if _, err := m.Do("bad", func() (int, error) {
+				executions.Add(1)
+				return 0, boom
+			}); !errors.Is(err, boom) {
+				t.Errorf("got err %v, want boom", err)
+			}
+		}()
+	}
+	wg.Wait()
+	// A later (sequential) caller still sees the cached error.
+	if _, err := m.Do("bad", func() (int, error) {
+		executions.Add(1)
+		return 7, nil
+	}); !errors.Is(err, boom) {
+		t.Fatalf("cached error lost: %v", err)
+	}
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("failed fn executed %d times, want 1", n)
+	}
+}
+
+// TestMemoPanicPropagation: a panicking computation re-raises in the leader,
+// every concurrent waiter, and every subsequent caller, all without
+// re-execution.
+func TestMemoPanicPropagation(t *testing.T) {
+	var m Memo[string, int]
+	var executions, caught atomic.Int64
+
+	const callers = 8
+	var wg sync.WaitGroup
+	for i := 0; i < callers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			defer func() {
+				r := recover()
+				if r == nil {
+					t.Error("caller did not panic")
+					return
+				}
+				pe, ok := r.(PanicError)
+				if !ok || pe.Value != "kaboom" {
+					t.Errorf("unexpected panic payload %v", r)
+					return
+				}
+				caught.Add(1)
+			}()
+			m.Do("explosive", func() (int, error) {
+				executions.Add(1)
+				panic("kaboom")
+			})
+		}()
+	}
+	wg.Wait()
+	if n := caught.Load(); n != callers {
+		t.Fatalf("%d callers caught the panic, want %d", n, callers)
+	}
+
+	// A fresh caller after the fact panics too, still without re-running.
+	func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("subsequent caller did not panic")
+			}
+		}()
+		m.Do("explosive", func() (int, error) { executions.Add(1); return 0, nil })
+	}()
+	if n := executions.Load(); n != 1 {
+		t.Fatalf("panicking fn executed %d times, want 1", n)
+	}
+}
+
+// TestGroupBoundsConcurrency: at most `workers` tasks run at once.
+func TestGroupBoundsConcurrency(t *testing.T) {
+	const workers, tasks = 3, 24
+	g := NewGroup(workers)
+	var cur, peak atomic.Int64
+	for i := 0; i < tasks; i++ {
+		g.Go(func() error {
+			n := cur.Add(1)
+			for {
+				p := peak.Load()
+				if n <= p || peak.CompareAndSwap(p, n) {
+					break
+				}
+			}
+			runtime.Gosched()
+			cur.Add(-1)
+			return nil
+		})
+	}
+	if err := g.Wait(); err != nil {
+		t.Fatal(err)
+	}
+	if p := peak.Load(); p > workers {
+		t.Fatalf("observed %d concurrent tasks, limit %d", p, workers)
+	}
+}
+
+// TestGroupFirstErrorWinsAndCancels: the first error is reported and tasks
+// not yet started are skipped.
+func TestGroupFirstErrorWinsAndCancels(t *testing.T) {
+	g := NewGroup(1) // serialize so "later" tasks are provably unstarted
+	boom := errors.New("boom")
+	var ran atomic.Int64
+	g.Go(func() error { ran.Add(1); return boom })
+	for i := 0; i < 50; i++ {
+		g.Go(func() error { ran.Add(1); return nil })
+	}
+	if err := g.Wait(); !errors.Is(err, boom) {
+		t.Fatalf("Wait = %v, want boom", err)
+	}
+	// The failing task ran; with one worker and immediate failure, at least
+	// the tail of the queue must have been skipped.
+	if n := ran.Load(); n == 51 {
+		t.Fatal("no tasks were cancelled after the first error")
+	}
+}
+
+// TestGroupPanicSurfacesInWait: a panicking task does not crash the worker
+// goroutine silently — Wait re-raises it.
+func TestGroupPanicSurfacesInWait(t *testing.T) {
+	g := NewGroup(2)
+	g.Go(func() error { panic("worker exploded") })
+	defer func() {
+		r := recover()
+		pe, ok := r.(PanicError)
+		if !ok || pe.Value != "worker exploded" {
+			t.Fatalf("unexpected panic payload %v", r)
+		}
+	}()
+	g.Wait()
+	t.Fatal("Wait returned instead of panicking")
+}
+
+// TestMapOrderIndependentOfScheduling: Map returns results in index order
+// at any worker count.
+func TestMapOrderIndependentOfScheduling(t *testing.T) {
+	for _, workers := range []int{1, 2, 7, 64} {
+		out, err := Map(workers, 100, func(i int) (string, error) {
+			runtime.Gosched()
+			return fmt.Sprintf("item-%d", i), nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, v := range out {
+			if want := fmt.Sprintf("item-%d", i); v != want {
+				t.Fatalf("workers=%d: out[%d] = %q, want %q", workers, i, v, want)
+			}
+		}
+	}
+}
+
+// TestMapError: an error aborts the fan-out.
+func TestMapError(t *testing.T) {
+	boom := errors.New("boom")
+	out, err := Map(4, 10, func(i int) (int, error) {
+		if i == 5 {
+			return 0, boom
+		}
+		return i, nil
+	})
+	if !errors.Is(err, boom) || out != nil {
+		t.Fatalf("Map = (%v, %v), want (nil, boom)", out, err)
+	}
+}
+
+// TestForEach covers the no-result fan-out.
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(8, 100, func(i int) error {
+		sum.Add(int64(i))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if s := sum.Load(); s != 4950 {
+		t.Fatalf("sum = %d, want 4950", s)
+	}
+}
+
+// TestWorkersResolution: non-positive requests resolve to NumCPU.
+func TestWorkersResolution(t *testing.T) {
+	if Workers(0) != runtime.NumCPU() || Workers(-3) != runtime.NumCPU() {
+		t.Fatal("non-positive workers should resolve to NumCPU")
+	}
+	if Workers(5) != 5 {
+		t.Fatal("positive workers should pass through")
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hmem/internal/core"
+	"hmem/internal/exec"
 	"hmem/internal/migration"
 	"hmem/internal/report"
 	"hmem/internal/sim"
@@ -48,35 +49,55 @@ func (r *Runner) AblationCC() (*report.Table, error) {
 
 	t := report.New("Ablation: Cross Counter design choices",
 		"variant", "IPC vs perf-migration", "SER vs perf-migration", "pages migrated (avg)")
-	for _, v := range variants {
+	// Flatten the variant × workload panel into one fan-out, then regroup
+	// per variant.
+	type cell struct {
+		ipc, ser float64
+		hasSER   bool
+		migrated uint64
+	}
+	n := len(variants) * len(panel)
+	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (cell, error) {
+		v := variants[i/len(panel)]
+		spec, err := workload.SpecByName(panel[i%len(panel)])
+		if err != nil {
+			return cell{}, err
+		}
+		perf, err := r.perfMigration(spec)
+		if err != nil {
+			return cell{}, err
+		}
+		res, err := r.RunDynamic(spec, "ablation/"+v.name, v.build, core.Balanced{})
+		if err != nil {
+			return cell{}, err
+		}
+		perfSER, _, err := r.SEROf(perf)
+		if err != nil {
+			return cell{}, err
+		}
+		resSER, _, err := r.SEROf(res)
+		if err != nil {
+			return cell{}, err
+		}
+		out := cell{ipc: res.IPC / perf.IPC, migrated: res.PagesMigrated}
+		if perfSER > 0 {
+			out.ser, out.hasSER = resSER/perfSER, true
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for vi, v := range variants {
 		var ipcs, sers []float64
 		var migrated uint64
-		for _, name := range panel {
-			spec, err := workload.SpecByName(name)
-			if err != nil {
-				return nil, err
+		for pi := range panel {
+			c := cells[vi*len(panel)+pi]
+			ipcs = append(ipcs, c.ipc)
+			if c.hasSER {
+				sers = append(sers, c.ser)
 			}
-			perf, err := r.perfMigration(spec)
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.RunDynamic(spec, "ablation/"+v.name, v.build, core.Balanced{})
-			if err != nil {
-				return nil, err
-			}
-			perfSER, _, err := r.SEROf(perf)
-			if err != nil {
-				return nil, err
-			}
-			resSER, _, err := r.SEROf(res)
-			if err != nil {
-				return nil, err
-			}
-			ipcs = append(ipcs, res.IPC/perf.IPC)
-			if perfSER > 0 {
-				sers = append(sers, resSER/perfSER)
-			}
-			migrated += res.PagesMigrated
+			migrated += c.migrated
 		}
 		t.AddRow(v.name, report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)),
 			report.Int(int(migrated/uint64(len(panel)))))

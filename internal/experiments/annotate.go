@@ -20,22 +20,15 @@ func (r *Runner) annotationRun(spec workload.Spec) (sim.Result, []annotate.Annot
 	}
 	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages()))
 
-	key := spec.Name + "/annotation"
-	r.mu.Lock()
-	res, ok := r.statics[key]
-	r.mu.Unlock()
-	if !ok {
+	res, err := r.runs.Do("annotation/"+spec.Name, func() (sim.Result, error) {
 		suite, err := r.buildSuite(spec)
 		if err != nil {
-			return sim.Result{}, nil, err
+			return sim.Result{}, err
 		}
-		res, err = sim.Run(r.cfg, suite.Streams(), pins, true, nil)
-		if err != nil {
-			return sim.Result{}, nil, err
-		}
-		r.mu.Lock()
-		r.statics[key] = res
-		r.mu.Unlock()
+		return sim.Run(r.cfg, suite.Streams(), pins, true, nil)
+	})
+	if err != nil {
+		return sim.Result{}, nil, err
 	}
 	return res, ann, nil
 }
@@ -55,36 +48,45 @@ func (r *Runner) Figure16() (*report.Table, error) {
 	}
 	t := report.New("Figure 16: program-annotation placement",
 		"workload", "IPC vs perf-focused", "SER vs perf-focused", "pinned pages")
-	var ipcs, sers []float64
-	for _, spec := range ordered {
+	type row struct {
+		ipc, ser float64
+		pinned   int
+	}
+	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
 		perf, err := r.RunStatic(spec, core.PerfFocused{})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		res, ann, err := r.annotationRun(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		perfSER, _, err := r.SEROf(perf)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		resSER, _, err := r.SEROf(res)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		pinned := 0
 		for _, a := range ann {
 			pinned += len(a.Pages)
 		}
-		ipcRatio := res.IPC / perf.IPC
-		serRatio := 0.0
+		out := row{ipc: res.IPC / perf.IPC, pinned: pinned}
 		if perfSER > 0 {
-			serRatio = resSER / perfSER
+			out.ser = resSER / perfSER
 		}
-		ipcs = append(ipcs, ipcRatio)
-		sers = append(sers, serRatio)
-		t.AddRow(spec.Name, report.X(ipcRatio), report.X(serRatio), report.Int(pinned))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ipcs, sers []float64
+	for i, spec := range ordered {
+		ipcs = append(ipcs, rows[i].ipc)
+		sers = append(sers, rows[i].ser)
+		t.AddRow(spec.Name, report.X(rows[i].ipc), report.X(rows[i].ser), report.Int(rows[i].pinned))
 	}
 	t.AddRow("average", report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)), "")
 	t.Note = "paper: SER reduced 1.3x at 1.1% IPC cost vs perf-focused placement"
@@ -96,19 +98,27 @@ func (r *Runner) Figure16() (*report.Table, error) {
 func (r *Runner) Figure17() (*report.Table, error) {
 	t := report.New("Figure 17: number of annotated program structures",
 		"workload", "annotations", "pages pinned")
-	total := 0
-	n := 0
-	for _, spec := range r.Workloads() {
+	specs := r.Workloads()
+	type row struct{ count, pinned int }
+	rows, err := mapSpecs(r, specs, func(spec workload.Spec) (row, error) {
 		_, ann, err := r.annotationRun(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		pinned := 0
 		for _, a := range ann {
 			pinned += len(a.Pages)
 		}
-		t.AddRow(spec.Name, report.Int(annotate.Count(ann)), report.Int(pinned))
-		total += annotate.Count(ann)
+		return row{count: annotate.Count(ann), pinned: pinned}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	total := 0
+	n := 0
+	for i, spec := range specs {
+		t.AddRow(spec.Name, report.Int(rows[i].count), report.Int(rows[i].pinned))
+		total += rows[i].count
 		n++
 	}
 	if n > 0 {

@@ -1,0 +1,46 @@
+package experiments
+
+import (
+	"runtime"
+	"testing"
+)
+
+// TestSuiteDeterministicAcrossParallelism is the engine's core contract: the
+// same Options.Seed must produce byte-identical tables at ANY worker count.
+// It runs a small grid (two workloads, two experiments that together exercise
+// profiling, static placement, dynamic migration, and the fault study) at
+// parallelism 1, 4, and NumCPU and compares the rendered report.Table output.
+func TestSuiteDeterministicAcrossParallelism(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations")
+	}
+	build := func(parallel int) string {
+		opts := DefaultOptions()
+		opts.Workloads = []string{"astar", "mcf"}
+		opts.RecordsPerCore = 6000
+		opts.FaultTrials = 4000
+		opts.Parallel = parallel
+		r := mustRunner(t, opts)
+		out := ""
+		for _, id := range []string{"figure5", "figure12"} {
+			exp, ok := r.ByID(id)
+			if !ok {
+				t.Fatalf("missing experiment %q", id)
+			}
+			tab, err := exp.Run()
+			if err != nil {
+				t.Fatalf("%s at parallel=%d: %v", id, parallel, err)
+			}
+			out += tab.String() + "\n"
+		}
+		return out
+	}
+
+	serial := build(1)
+	for _, workers := range []int{4, runtime.NumCPU()} {
+		if got := build(workers); got != serial {
+			t.Fatalf("output at parallel=%d differs from serial run:\n--- parallel=1 ---\n%s\n--- parallel=%d ---\n%s",
+				workers, serial, workers, got)
+		}
+	}
+}

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"hmem/internal/core"
+	"hmem/internal/exec"
 	"hmem/internal/migration"
 	"hmem/internal/report"
 	"hmem/internal/sim"
@@ -48,29 +49,45 @@ func (r *Runner) Figure12() (*report.Table, error) {
 	}
 	t := report.New("Figure 12: performance-focused migration",
 		"workload", "IPC vs DDR-only", "SER vs DDR-only", "IPC vs static perf", "pages migrated")
-	var ipcs, sers, vsStatic []float64
-	for _, spec := range ordered {
+	type row struct {
+		ipc, ser, vsStatic float64
+		migrated           uint64
+	}
+	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
 		prof, err := r.ProfileOf(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		static, err := r.RunStatic(spec, core.PerfFocused{})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		res, err := r.perfMigration(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		_, rel, err := r.SEROf(res)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		ipcs = append(ipcs, res.IPC/prof.Result.IPC)
-		sers = append(sers, rel)
-		vsStatic = append(vsStatic, res.IPC/static.IPC)
-		t.AddRow(spec.Name, report.X(res.IPC/prof.Result.IPC), report.X(rel),
-			report.X(res.IPC/static.IPC), report.Int(int(res.PagesMigrated)))
+		return row{
+			ipc:      res.IPC / prof.Result.IPC,
+			ser:      rel,
+			vsStatic: res.IPC / static.IPC,
+			migrated: res.PagesMigrated,
+		}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ipcs, sers, vsStatic []float64
+	for i, spec := range ordered {
+		v := rows[i]
+		ipcs = append(ipcs, v.ipc)
+		sers = append(sers, v.ser)
+		vsStatic = append(vsStatic, v.vsStatic)
+		t.AddRow(spec.Name, report.X(v.ipc), report.X(v.ser),
+			report.X(v.vsStatic), report.Int(int(v.migrated)))
 	}
 	t.AddRow("average", report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)),
 		report.X(stats.GeoMean(vsStatic)), "")
@@ -86,28 +103,32 @@ func (r *Runner) Figure13() (*report.Table, error) {
 	names := []string{"libquantum", "soplex", "astar"} // high / medium / low intensity
 	t := report.New("Figure 13: migration-interval sweep (perf-focused migration)",
 		"interval (cycles)", "mean IPC vs DDR-only")
-	bestIPC, bestIv := 0.0, int64(0)
-	for _, iv := range intervals {
-		var ratios []float64
-		for _, name := range names {
-			spec, err := workload.SpecByName(name)
-			if err != nil {
-				return nil, err
-			}
-			prof, err := r.ProfileOf(spec)
-			if err != nil {
-				return nil, err
-			}
-			iv := iv
-			res, err := r.RunDynamic(spec, report.Int(int(iv))+"-interval", func() sim.Migrator {
-				return migration.NewPerf(iv)
-			}, core.PerfFocused{})
-			if err != nil {
-				return nil, err
-			}
-			ratios = append(ratios, res.IPC/prof.Result.IPC)
+	// Flatten the interval × workload grid into one fan-out.
+	n := len(intervals) * len(names)
+	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (float64, error) {
+		iv := intervals[i/len(names)]
+		spec, err := workload.SpecByName(names[i%len(names)])
+		if err != nil {
+			return 0, err
 		}
-		mean := stats.GeoMean(ratios)
+		prof, err := r.ProfileOf(spec)
+		if err != nil {
+			return 0, err
+		}
+		res, err := r.RunDynamic(spec, report.Int(int(iv))+"-interval", func() sim.Migrator {
+			return migration.NewPerf(iv)
+		}, core.PerfFocused{})
+		if err != nil {
+			return 0, err
+		}
+		return res.IPC / prof.Result.IPC, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	bestIPC, bestIv := 0.0, int64(0)
+	for ii, iv := range intervals {
+		mean := stats.GeoMean(cells[ii*len(names) : (ii+1)*len(names)])
 		if mean > bestIPC {
 			bestIPC, bestIv = mean, iv
 		}
@@ -127,32 +148,42 @@ func (r *Runner) dynamicTable(title string, run func(workload.Spec) (sim.Result,
 	}
 	t := report.New(title,
 		"workload", "IPC vs perf-migration", "SER vs perf-migration", "pages migrated")
-	var ipcs, sers []float64
-	for _, spec := range ordered {
+	type row struct {
+		ipc, ser float64
+		migrated uint64
+	}
+	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
 		perf, err := r.perfMigration(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		res, err := run(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		perfSER, _, err := r.SEROf(perf)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		resSER, _, err := r.SEROf(res)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
-		ipcRatio := res.IPC / perf.IPC
-		serRatio := 0.0
+		out := row{ipc: res.IPC / perf.IPC, migrated: res.PagesMigrated}
 		if perfSER > 0 {
-			serRatio = resSER / perfSER
+			out.ser = resSER / perfSER
 		}
-		ipcs = append(ipcs, ipcRatio)
-		sers = append(sers, serRatio)
-		t.AddRow(spec.Name, report.X(ipcRatio), report.X(serRatio), report.Int(int(res.PagesMigrated)))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ipcs, sers []float64
+	for i, spec := range ordered {
+		v := rows[i]
+		ipcs = append(ipcs, v.ipc)
+		sers = append(sers, v.ser)
+		t.AddRow(spec.Name, report.X(v.ipc), report.X(v.ser), report.Int(int(v.migrated)))
 	}
 	t.AddRow("average", report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)), "")
 	t.Note = note

@@ -2,12 +2,15 @@ package experiments
 
 import (
 	"bytes"
+	"errors"
 	"strconv"
 	"strings"
 	"testing"
 
 	"hmem/internal/core"
+	"hmem/internal/faultsim"
 	"hmem/internal/report"
+	"hmem/internal/sim"
 	"hmem/internal/workload"
 )
 
@@ -25,9 +28,18 @@ func testRunner(t *testing.T) *Runner {
 		opts := DefaultOptions()
 		opts.Workloads = []string{"astar", "mcf", "mix1"}
 		opts.RecordsPerCore = 15000
-		sharedTestRunner = NewRunner(opts)
+		sharedTestRunner = mustRunner(t, opts)
 	}
 	return sharedTestRunner
+}
+
+func mustRunner(t *testing.T, opts Options) *Runner {
+	t.Helper()
+	r, err := NewRunner(opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return r
 }
 
 // cell parses a numeric table cell like "1.63x", "12.5%", or "42".
@@ -51,7 +63,7 @@ func lastRow(t *testing.T, tab *report.Table) []string {
 }
 
 func TestRunnerDefaults(t *testing.T) {
-	r := NewRunner(Options{})
+	r := mustRunner(t, Options{})
 	o := r.Options()
 	d := DefaultOptions()
 	if o.ScaleDiv != d.ScaleDiv || o.RecordsPerCore != d.RecordsPerCore ||
@@ -64,7 +76,7 @@ func TestRunnerDefaults(t *testing.T) {
 }
 
 func TestByID(t *testing.T) {
-	r := NewRunner(Options{})
+	r := mustRunner(t, Options{})
 	if len(r.All()) != 22 {
 		t.Fatalf("experiment count = %d, want 22", len(r.All()))
 	}
@@ -77,7 +89,7 @@ func TestByID(t *testing.T) {
 }
 
 func TestFitsPlausible(t *testing.T) {
-	r := NewRunner(Options{FaultTrials: 5000})
+	r := mustRunner(t, Options{FaultTrials: 5000})
 	fits, err := r.Fits()
 	if err != nil {
 		t.Fatal(err)
@@ -355,14 +367,33 @@ func TestMPKIOrderingStable(t *testing.T) {
 	}
 }
 
-func TestRunnerPanicsOnUnknownWorkload(t *testing.T) {
-	r := NewRunner(Options{Workloads: []string{"not-a-workload"}})
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
+func TestNewRunnerRejectsUnknownWorkload(t *testing.T) {
+	_, err := NewRunner(Options{Workloads: []string{"astar", "not-a-workload"}})
+	if err == nil {
+		t.Fatal("expected error for unknown workload")
+	}
+	// The error is actionable: names the bad input and lists valid names.
+	msg := err.Error()
+	for _, want := range []string{"not-a-workload", "astar", "mix1"} {
+		if !strings.Contains(msg, want) {
+			t.Errorf("error %q missing %q", msg, want)
 		}
-	}()
-	r.Workloads()
+	}
+}
+
+func TestSEROfZeroBaselineIsAnError(t *testing.T) {
+	r := mustRunner(t, Options{})
+	// Pre-seed the fault-study memo with a degenerate all-zero result so
+	// SEROf's baseline SER comes out zero without running a fault study.
+	if _, err := r.fits.Do(struct{}{}, func() (faultsim.TierFITs, error) {
+		return faultsim.TierFITs{}, nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := r.SEROf(sim.Result{})
+	if !errors.Is(err, ErrZeroBaselineSER) {
+		t.Fatalf("err = %v, want ErrZeroBaselineSER", err)
+	}
 }
 
 func TestSEROfUsesAllDDRBaseline(t *testing.T) {
@@ -441,7 +472,7 @@ func TestExperimentTablesDeterministic(t *testing.T) {
 		opts := DefaultOptions()
 		opts.Workloads = []string{"astar"}
 		opts.RecordsPerCore = 8000
-		r := NewRunner(opts)
+		r := mustRunner(t, opts)
 		tab, err := r.Figure5()
 		if err != nil {
 			t.Fatal(err)

@@ -26,15 +26,17 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 	t := report.New("Extension: annotations + reliability-aware migration (§7 future work)",
 		"workload", "annot IPC", "annot SER", "FC IPC", "FC SER", "annot+FC IPC", "annot+FC SER")
 
-	var aIPC, aSER, fIPC, fSER, cIPC, cSER []float64
-	for _, spec := range ordered {
+	type row struct {
+		ai, as, fi, fs, ci, cs float64
+	}
+	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
 		perf, err := r.RunStatic(spec, core.PerfFocused{})
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		perfSER, _, err := r.SEROf(perf)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		norm := func(res sim.Result) (float64, float64, error) {
 			resSER, _, err := r.SEROf(res)
@@ -50,34 +52,40 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 
 		annot, _, err := r.annotationRun(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		fc, err := r.fcMigration(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 		combined, err := r.annotatedMigrationRun(spec)
 		if err != nil {
-			return nil, err
+			return row{}, err
 		}
 
-		ai, as, err := norm(annot)
-		if err != nil {
-			return nil, err
+		var out row
+		if out.ai, out.as, err = norm(annot); err != nil {
+			return row{}, err
 		}
-		fi, fs, err := norm(fc)
-		if err != nil {
-			return nil, err
+		if out.fi, out.fs, err = norm(fc); err != nil {
+			return row{}, err
 		}
-		ci, cs, err := norm(combined)
-		if err != nil {
-			return nil, err
+		if out.ci, out.cs, err = norm(combined); err != nil {
+			return row{}, err
 		}
-		aIPC, aSER = append(aIPC, ai), append(aSER, as)
-		fIPC, fSER = append(fIPC, fi), append(fSER, fs)
-		cIPC, cSER = append(cIPC, ci), append(cSER, cs)
-		t.AddRow(spec.Name, report.X(ai), report.X(as), report.X(fi), report.X(fs),
-			report.X(ci), report.X(cs))
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var aIPC, aSER, fIPC, fSER, cIPC, cSER []float64
+	for i, spec := range ordered {
+		v := rows[i]
+		aIPC, aSER = append(aIPC, v.ai), append(aSER, v.as)
+		fIPC, fSER = append(fIPC, v.fi), append(fSER, v.fs)
+		cIPC, cSER = append(cIPC, v.ci), append(cSER, v.cs)
+		t.AddRow(spec.Name, report.X(v.ai), report.X(v.as), report.X(v.fi), report.X(v.fs),
+			report.X(v.ci), report.X(v.cs))
 	}
 	t.AddRow("average",
 		report.X(stats.GeoMean(aIPC)), report.X(stats.GeoMean(aSER)),
@@ -91,32 +99,19 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 // annotatedMigrationRun pins the annotated structures and lets the FC
 // mechanism manage the remaining HBM frames.
 func (r *Runner) annotatedMigrationRun(spec workload.Spec) (sim.Result, error) {
-	key := spec.Name + "/annotation+fc"
-	r.mu.Lock()
-	if res, ok := r.dynamics[key]; ok {
-		r.mu.Unlock()
-		return res, nil
-	}
-	r.mu.Unlock()
-
-	prof, err := r.ProfileOf(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	// Pin annotations into at most half of HBM so the migration mechanism
-	// has frames to work with.
-	_, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages())/2)
-	suite, err := r.buildSuite(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	res, err := sim.Run(r.cfg, suite.Streams(), pins, true,
-		migration.NewFullCounter(r.opts.FCIntervalCycles))
-	if err != nil {
-		return sim.Result{}, err
-	}
-	r.mu.Lock()
-	r.dynamics[key] = res
-	r.mu.Unlock()
-	return res, nil
+	return r.runs.Do("annotation+fc/"+spec.Name, func() (sim.Result, error) {
+		prof, err := r.ProfileOf(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		// Pin annotations into at most half of HBM so the migration mechanism
+		// has frames to work with.
+		_, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages())/2)
+		suite, err := r.buildSuite(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		return sim.Run(r.cfg, suite.Streams(), pins, true,
+			migration.NewFullCounter(r.opts.FCIntervalCycles))
+	})
 }

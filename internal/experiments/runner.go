@@ -1,15 +1,19 @@
 // Package experiments contains one driver per table and figure of the
 // paper's evaluation (the per-experiment index lives in DESIGN.md §4).
-// A Runner memoizes profiling runs, policy runs, and the fault study so the
-// full suite — and the bench harness wrapping it — does each expensive
-// simulation once.
+// A Runner memoizes profiling runs, policy runs, and the fault study behind
+// singleflight caches, and every driver fans its independent simulations out
+// over a bounded worker pool — so the full suite does each expensive
+// simulation exactly once, saturates the machine, and still produces
+// bit-identical tables for a given Options.Seed at any worker count.
 package experiments
 
 import (
+	"errors"
 	"fmt"
-	"sync"
+	"strings"
 
 	"hmem/internal/core"
+	"hmem/internal/exec"
 	"hmem/internal/faultsim"
 	"hmem/internal/sim"
 	"hmem/internal/workload"
@@ -33,6 +37,12 @@ type Options struct {
 	MEAIntervalCycles int64
 	// Workloads restricts the evaluated set (nil = all 14).
 	Workloads []string
+	// Parallel bounds the worker count for every fan-out: figure drivers
+	// sweeping workloads × policies, fault-study shards, and facade
+	// comparisons (non-positive = one worker per CPU). The worker count
+	// only changes wall-clock time, never a result — identical seeds give
+	// bit-identical tables at any parallelism.
+	Parallel int
 }
 
 // DefaultOptions returns the standard reduced-scale configuration.
@@ -49,16 +59,17 @@ func DefaultOptions() Options {
 	}
 }
 
-// Runner executes and memoizes experiment building blocks.
+// Runner executes and memoizes experiment building blocks. All methods are
+// safe for concurrent use: concurrent requests for the same profiling run,
+// policy run, or fault study share a single in-flight computation.
 type Runner struct {
-	opts Options
-	cfg  sim.Config
+	opts  Options
+	cfg   sim.Config
+	specs []workload.Spec
 
-	mu       sync.Mutex
-	fits     *faultsim.TierFITs
-	profiles map[string]*Profile
-	statics  map[string]sim.Result
-	dynamics map[string]sim.Result
+	fits     exec.Memo[struct{}, faultsim.TierFITs]
+	profiles exec.Memo[string, *Profile]
+	runs     exec.Memo[string, sim.Result]
 }
 
 // Profile is a workload's oracle profiling run: the DDR-only simulation
@@ -69,8 +80,11 @@ type Profile struct {
 	Stats  []core.PageStats
 }
 
-// NewRunner builds a runner; zero-value options fall back to defaults.
-func NewRunner(opts Options) *Runner {
+// NewRunner builds a runner; zero-value options fall back to defaults. It
+// validates the workload selection up front — a typo in Options.Workloads
+// (which arrives straight from cmd/experiments -workloads) is an error
+// naming the valid choices, not a panic at first use.
+func NewRunner(opts Options) (*Runner, error) {
 	def := DefaultOptions()
 	if opts.ScaleDiv <= 0 {
 		opts.ScaleDiv = def.ScaleDiv
@@ -90,13 +104,39 @@ func NewRunner(opts Options) *Runner {
 	if opts.MEAIntervalCycles <= 0 {
 		opts.MEAIntervalCycles = def.MEAIntervalCycles
 	}
-	return &Runner{
-		opts:     opts,
-		cfg:      sim.DefaultConfig(opts.ScaleDiv),
-		profiles: make(map[string]*Profile),
-		statics:  make(map[string]sim.Result),
-		dynamics: make(map[string]sim.Result),
+	opts.Parallel = exec.Workers(opts.Parallel)
+	specs, err := resolveWorkloads(opts.Workloads)
+	if err != nil {
+		return nil, err
 	}
+	return &Runner{
+		opts:  opts,
+		cfg:   sim.DefaultConfig(opts.ScaleDiv),
+		specs: specs,
+	}, nil
+}
+
+// resolveWorkloads maps the requested names to specs, or reports the full
+// set of valid names on the first unknown one.
+func resolveWorkloads(names []string) ([]workload.Spec, error) {
+	if len(names) == 0 {
+		return workload.AllSpecs(), nil
+	}
+	out := make([]workload.Spec, 0, len(names))
+	for _, name := range names {
+		s, err := workload.SpecByName(name)
+		if err != nil {
+			var valid []string
+			for _, v := range workload.AllSpecs() {
+				valid = append(valid, v.Name)
+			}
+			return nil, fmt.Errorf(
+				"experiments: unknown workload %q (valid workloads: %s; any benchmark of %s also runs as a homogeneous workload)",
+				name, strings.Join(valid, ", "), strings.Join(workload.Names(), ", "))
+		}
+		out = append(out, s)
+	}
+	return out, nil
 }
 
 // Options returns the runner's resolved options.
@@ -105,36 +145,26 @@ func (r *Runner) Options() Options { return r.opts }
 // Config returns the scaled machine configuration.
 func (r *Runner) Config() sim.Config { return r.cfg }
 
-// Workloads returns the evaluated workload specs.
+// Workloads returns the evaluated workload specs (validated at NewRunner).
 func (r *Runner) Workloads() []workload.Spec {
-	if len(r.opts.Workloads) == 0 {
-		return workload.AllSpecs()
-	}
-	var out []workload.Spec
-	for _, name := range r.opts.Workloads {
-		s, err := workload.SpecByName(name)
-		if err != nil {
-			panic(err) // options are programmer-provided constants
-		}
-		out = append(out, s)
-	}
-	return out
+	return append([]workload.Spec(nil), r.specs...)
+}
+
+// mapSpecs evaluates fn over specs on the runner's worker budget and
+// returns the results in spec order regardless of completion order — the
+// deterministic fan-out every figure driver is built on.
+func mapSpecs[T any](r *Runner, specs []workload.Spec, fn func(workload.Spec) (T, error)) ([]T, error) {
+	return exec.Map(r.opts.Parallel, len(specs), func(i int) (T, error) {
+		return fn(specs[i])
+	})
 }
 
 // Fits runs (once) the FaultSim studies and returns both tiers'
-// uncorrectable FIT per GB.
+// uncorrectable FIT per GB. Concurrent callers share the one study.
 func (r *Runner) Fits() (faultsim.TierFITs, error) {
-	r.mu.Lock()
-	defer r.mu.Unlock()
-	if r.fits != nil {
-		return *r.fits, nil
-	}
-	fits, err := faultsim.DefaultTierFITs(r.opts.FaultTrials)
-	if err != nil {
-		return faultsim.TierFITs{}, err
-	}
-	r.fits = &fits
-	return fits, nil
+	return r.fits.Do(struct{}{}, func() (faultsim.TierFITs, error) {
+		return faultsim.DefaultTierFITsWorkers(r.opts.FaultTrials, r.opts.Parallel)
+	})
 }
 
 // SERModel returns the SER scorer backed by the fault study.
@@ -154,57 +184,39 @@ func (r *Runner) buildSuite(spec workload.Spec) (*workload.Suite, error) {
 
 // ProfileOf returns the memoized DDR-only profiling run for a workload.
 func (r *Runner) ProfileOf(spec workload.Spec) (*Profile, error) {
-	r.mu.Lock()
-	if p, ok := r.profiles[spec.Name]; ok {
-		r.mu.Unlock()
-		return p, nil
-	}
-	r.mu.Unlock()
-
-	suite, err := r.buildSuite(spec)
-	if err != nil {
-		return nil, err
-	}
-	res, err := sim.Run(r.cfg, suite.Streams(), nil, false, nil)
-	if err != nil {
-		return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
-	}
-	p := &Profile{Suite: suite, Result: res, Stats: res.Stats()}
-	r.mu.Lock()
-	r.profiles[spec.Name] = p
-	r.mu.Unlock()
-	return p, nil
+	return r.profiles.Do(spec.Name, func() (*Profile, error) {
+		suite, err := r.buildSuite(spec)
+		if err != nil {
+			return nil, err
+		}
+		res, err := sim.Run(r.cfg, suite.Streams(), nil, false, nil)
+		if err != nil {
+			return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
+		}
+		return &Profile{Suite: suite, Result: res, Stats: res.Stats()}, nil
+	})
 }
 
 // RunStatic executes (memoized) a static-policy run: the policy selects HBM
 // residents from the oracle profile, and the workload re-runs with that
 // placement fixed.
 func (r *Runner) RunStatic(spec workload.Spec, policy core.Policy) (sim.Result, error) {
-	key := spec.Name + "/" + policy.Name()
-	r.mu.Lock()
-	if res, ok := r.statics[key]; ok {
-		r.mu.Unlock()
+	return r.runs.Do("static/"+spec.Name+"/"+policy.Name(), func() (sim.Result, error) {
+		prof, err := r.ProfileOf(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		pages := policy.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+		suite, err := r.buildSuite(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res, err := sim.Run(r.cfg, suite.Streams(), pages, false, nil)
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, policy.Name(), err)
+		}
 		return res, nil
-	}
-	r.mu.Unlock()
-
-	prof, err := r.ProfileOf(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	pages := policy.Select(prof.Stats, int(r.cfg.HBM.Pages()))
-	suite, err := r.buildSuite(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	res, err := sim.Run(r.cfg, suite.Streams(), pages, false, nil)
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, policy.Name(), err)
-	}
-	r.mu.Lock()
-	r.statics[key] = res
-	r.mu.Unlock()
-	return res, nil
+	})
 }
 
 // RunDynamic executes (memoized by mechanism name) a migration run. The
@@ -212,35 +224,33 @@ func (r *Runner) RunStatic(spec workload.Spec, policy core.Policy) (sim.Result, 
 // pre-measurement placement ... the top hot pages from our oracular static
 // placement"), or the hot∧low-risk set for reliability-aware mechanisms.
 func (r *Runner) RunDynamic(spec workload.Spec, mech string, build func() sim.Migrator, warm core.Policy) (sim.Result, error) {
-	key := spec.Name + "/" + mech
-	r.mu.Lock()
-	if res, ok := r.dynamics[key]; ok {
-		r.mu.Unlock()
+	return r.runs.Do("dynamic/"+spec.Name+"/"+mech, func() (sim.Result, error) {
+		prof, err := r.ProfileOf(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		pages := warm.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+		suite, err := r.buildSuite(spec)
+		if err != nil {
+			return sim.Result{}, err
+		}
+		res, err := sim.Run(r.cfg, suite.Streams(), pages, false, build())
+		if err != nil {
+			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, mech, err)
+		}
 		return res, nil
-	}
-	r.mu.Unlock()
-
-	prof, err := r.ProfileOf(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	pages := warm.Select(prof.Stats, int(r.cfg.HBM.Pages()))
-	suite, err := r.buildSuite(spec)
-	if err != nil {
-		return sim.Result{}, err
-	}
-	res, err := sim.Run(r.cfg, suite.Streams(), pages, false, build())
-	if err != nil {
-		return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, mech, err)
-	}
-	r.mu.Lock()
-	r.dynamics[key] = res
-	r.mu.Unlock()
-	return res, nil
+	})
 }
 
+// ErrZeroBaselineSER reports a degenerate fault study: the all-DDR baseline
+// SER of a run is zero, so relative SER is undefined. Surfacing it as an
+// error keeps a broken study from masquerading as "perfect reliability" in
+// the tables.
+var ErrZeroBaselineSER = errors.New("experiments: all-DDR baseline SER is zero (degenerate fault study or empty snapshot)")
+
 // SEROf scores a finished run against the DDR-only baseline, returning
-// (absolute SER, SER relative to all-DDR).
+// (absolute SER, SER relative to all-DDR). A zero baseline returns
+// ErrZeroBaselineSER.
 func (r *Runner) SEROf(res sim.Result) (abs, rel float64, err error) {
 	m, err := r.SERModel()
 	if err != nil {
@@ -249,7 +259,7 @@ func (r *Runner) SEROf(res sim.Result) (abs, rel float64, err error) {
 	abs = m.SER(res.Snapshot)
 	base := m.SERAllDDR(res.Snapshot)
 	if base == 0 {
-		return abs, 0, nil
+		return abs, 0, ErrZeroBaselineSER
 	}
 	return abs, abs / base, nil
 }

@@ -4,6 +4,7 @@ import (
 	"sort"
 
 	"hmem/internal/core"
+	"hmem/internal/exec"
 	"hmem/internal/report"
 	"hmem/internal/sim"
 	"hmem/internal/stats"
@@ -19,22 +20,30 @@ func mpkiOf(res sim.Result) float64 {
 }
 
 // byMPKIDesc returns the runner's workloads ordered from bandwidth-intensive
-// to latency-sensitive (the Figure 7 x-axis ordering).
+// to latency-sensitive (the Figure 7 x-axis ordering). The profiling runs
+// behind the MPKIs execute concurrently; the stable sort over the fixed
+// spec order keeps the result deterministic.
 func (r *Runner) byMPKIDesc() ([]workload.Spec, error) {
 	specs := r.Workloads()
+	mpkis, err := mapSpecs(r, specs, func(s workload.Spec) (float64, error) {
+		p, err := r.ProfileOf(s)
+		if err != nil {
+			return 0, err
+		}
+		return mpkiOf(p.Result), nil
+	})
+	if err != nil {
+		return nil, err
+	}
 	type entry struct {
 		spec workload.Spec
 		mpki float64
 	}
-	entries := make([]entry, 0, len(specs))
-	for _, s := range specs {
-		p, err := r.ProfileOf(s)
-		if err != nil {
-			return nil, err
-		}
-		entries = append(entries, entry{s, mpkiOf(p.Result)})
+	entries := make([]entry, len(specs))
+	for i, s := range specs {
+		entries[i] = entry{s, mpkis[i]}
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].mpki > entries[j].mpki })
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].mpki > entries[j].mpki })
 	out := make([]workload.Spec, len(entries))
 	for i, e := range entries {
 		out[i] = e.spec
@@ -52,29 +61,29 @@ type policyRow struct {
 	SERvsPerf float64 // policy SER / perf-focused SER
 }
 
-// staticComparison evaluates a policy on every workload.
+// staticComparison evaluates a policy on every workload, fanning the
+// per-workload simulations out over the runner's worker pool.
 func (r *Runner) staticComparison(policy core.Policy, ordered []workload.Spec) ([]policyRow, error) {
-	rows := make([]policyRow, 0, len(ordered))
-	for _, spec := range ordered {
+	return mapSpecs(r, ordered, func(spec workload.Spec) (policyRow, error) {
 		prof, err := r.ProfileOf(spec)
 		if err != nil {
-			return nil, err
+			return policyRow{}, err
 		}
 		perf, err := r.RunStatic(spec, core.PerfFocused{})
 		if err != nil {
-			return nil, err
+			return policyRow{}, err
 		}
 		pol, err := r.RunStatic(spec, policy)
 		if err != nil {
-			return nil, err
+			return policyRow{}, err
 		}
 		polSER, polRel, err := r.SEROf(pol)
 		if err != nil {
-			return nil, err
+			return policyRow{}, err
 		}
 		perfSER, _, err := r.SEROf(perf)
 		if err != nil {
-			return nil, err
+			return policyRow{}, err
 		}
 		row := policyRow{
 			Workload:  spec.Name,
@@ -85,9 +94,8 @@ func (r *Runner) staticComparison(policy core.Policy, ordered []workload.Spec) (
 		if perfSER > 0 {
 			row.SERvsPerf = polSER / perfSER
 		}
-		rows = append(rows, row)
-	}
-	return rows, nil
+		return row, nil
+	})
 }
 
 // avgRow aggregates: geometric means for the ratios.
@@ -137,27 +145,39 @@ func (r *Runner) Figure1() (*report.Table, error) {
 	fractions := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
 	t := report.New("Figure 1: reliability vs performance across hot-page fractions",
 		"fraction of HBM filled", "IPC vs DDR-only (avg)", "SER vs DDR-only (avg)")
-	for _, f := range fractions {
+	// The full fraction × workload grid is independent work: flatten it into
+	// one fan-out and regroup per fraction afterwards.
+	type cell struct{ ipc, ser float64 }
+	n := len(fractions) * len(specNames)
+	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (cell, error) {
+		f := fractions[i/len(specNames)]
+		spec, err := workload.SpecByName(specNames[i%len(specNames)])
+		if err != nil {
+			return cell{}, err
+		}
+		prof, err := r.ProfileOf(spec)
+		if err != nil {
+			return cell{}, err
+		}
+		res, err := r.RunStatic(spec, core.PerfFraction{F: f})
+		if err != nil {
+			return cell{}, err
+		}
+		_, rel, err := r.SEROf(res)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{ipc: res.IPC / prof.Result.IPC, ser: rel}, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	for fi, f := range fractions {
 		var ipcs, sers []float64
-		for _, name := range specNames {
-			spec, err := workload.SpecByName(name)
-			if err != nil {
-				return nil, err
-			}
-			prof, err := r.ProfileOf(spec)
-			if err != nil {
-				return nil, err
-			}
-			res, err := r.RunStatic(spec, core.PerfFraction{F: f})
-			if err != nil {
-				return nil, err
-			}
-			_, rel, err := r.SEROf(res)
-			if err != nil {
-				return nil, err
-			}
-			ipcs = append(ipcs, res.IPC/prof.Result.IPC)
-			sers = append(sers, rel)
+		for si := range specNames {
+			c := cells[fi*len(specNames)+si]
+			ipcs = append(ipcs, c.ipc)
+			sers = append(sers, c.ser)
 		}
 		t.AddRow(report.Pct(f), report.X(stats.GeoMean(ipcs)), report.X(stats.GeoMean(sers)))
 	}
@@ -172,15 +192,18 @@ func (r *Runner) Figure2() (*report.Table, error) {
 		name string
 		avf  float64
 	}
-	var entries []entry
-	for _, spec := range r.Workloads() {
+	specs := r.Workloads()
+	entries, err := mapSpecs(r, specs, func(spec workload.Spec) (entry, error) {
 		p, err := r.ProfileOf(spec)
 		if err != nil {
-			return nil, err
+			return entry{}, err
 		}
-		entries = append(entries, entry{spec.Name, p.Result.MeanAVF()})
+		return entry{spec.Name, p.Result.MeanAVF()}, nil
+	})
+	if err != nil {
+		return nil, err
 	}
-	sort.Slice(entries, func(i, j int) bool { return entries[i].avf < entries[j].avf })
+	sort.SliceStable(entries, func(i, j int) bool { return entries[i].avf < entries[j].avf })
 	t := report.New("Figure 2: average memory AVF per workload (DDR-only)", "workload", "mean AVF")
 	for _, e := range entries {
 		t.AddRow(e.name, report.Pct(e.avf))
@@ -194,13 +217,20 @@ func (r *Runner) Figure2() (*report.Table, error) {
 func (r *Runner) Figure4() (*report.Table, error) {
 	t := report.New("Figure 4: hotness-risk quadrants per workload",
 		"workload", "hot+low-risk", "hot+high-risk", "cold+low-risk", "cold+high-risk", "pages")
-	minHL, maxHL := 1.0, 0.0
-	for _, spec := range r.Workloads() {
+	specs := r.Workloads()
+	quads, err := mapSpecs(r, specs, func(spec workload.Spec) (core.QuadrantSummary, error) {
 		p, err := r.ProfileOf(spec)
 		if err != nil {
-			return nil, err
+			return core.QuadrantSummary{}, err
 		}
-		q := core.Quadrants(p.Stats)
+		return core.Quadrants(p.Stats), nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	minHL, maxHL := 1.0, 0.0
+	for i, spec := range specs {
+		q := quads[i]
 		hl := q.Frac(core.HotLowRisk)
 		if hl < minHL {
 			minHL = hl

@@ -79,28 +79,42 @@ func (r *Runner) Table3() (*report.Table, error) {
 		return nil, err
 	}
 
+	type ratios struct {
+		ipc, ser float64
+		hasSER   bool
+	}
 	addDynamic := func(label string, run func(workload.Spec) (sim.Result, error), paper string) error {
-		var ipcs, sers []float64
-		for _, spec := range ordered {
+		rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (ratios, error) {
 			perf, err := r.perfMigration(spec)
 			if err != nil {
-				return err
+				return ratios{}, err
 			}
 			res, err := run(spec)
 			if err != nil {
-				return err
+				return ratios{}, err
 			}
 			perfSER, _, err := r.SEROf(perf)
 			if err != nil {
-				return err
+				return ratios{}, err
 			}
 			resSER, _, err := r.SEROf(res)
 			if err != nil {
-				return err
+				return ratios{}, err
 			}
-			ipcs = append(ipcs, res.IPC/perf.IPC)
+			out := ratios{ipc: res.IPC / perf.IPC}
 			if perfSER > 0 {
-				sers = append(sers, resSER/perfSER)
+				out.ser, out.hasSER = resSER/perfSER, true
+			}
+			return out, nil
+		})
+		if err != nil {
+			return err
+		}
+		var ipcs, sers []float64
+		for _, row := range rows {
+			ipcs = append(ipcs, row.ipc)
+			if row.hasSER {
+				sers = append(sers, row.ser)
 			}
 		}
 		t.AddRow(label, report.Pct(1-geo(ipcs)), report.X(safeInv(geo(sers))), paper)
@@ -114,27 +128,37 @@ func (r *Runner) Table3() (*report.Table, error) {
 	}
 
 	// Annotations (vs static perf-focused).
-	var ipcs, sers []float64
-	for _, spec := range ordered {
+	annRows, err := mapSpecs(r, ordered, func(spec workload.Spec) (ratios, error) {
 		perf, err := r.RunStatic(spec, core.PerfFocused{})
 		if err != nil {
-			return nil, err
+			return ratios{}, err
 		}
 		res, _, err := r.annotationRun(spec)
 		if err != nil {
-			return nil, err
+			return ratios{}, err
 		}
 		perfSER, _, err := r.SEROf(perf)
 		if err != nil {
-			return nil, err
+			return ratios{}, err
 		}
 		resSER, _, err := r.SEROf(res)
 		if err != nil {
-			return nil, err
+			return ratios{}, err
 		}
-		ipcs = append(ipcs, res.IPC/perf.IPC)
+		out := ratios{ipc: res.IPC / perf.IPC}
 		if perfSER > 0 {
-			sers = append(sers, resSER/perfSER)
+			out.ser, out.hasSER = resSER/perfSER, true
+		}
+		return out, nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	var ipcs, sers []float64
+	for _, row := range annRows {
+		ipcs = append(ipcs, row.ipc)
+		if row.hasSER {
+			sers = append(sers, row.ser)
 		}
 	}
 	t.AddRow("program annotations", report.Pct(1-geo(ipcs)), report.X(safeInv(geo(sers))), "1.1% / 1.3x")

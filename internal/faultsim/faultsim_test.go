@@ -240,6 +240,43 @@ func TestStudyDeterminism(t *testing.T) {
 	}
 }
 
+// TestStudyWorkerCountInvariance: the Monte-Carlo estimate is a pure
+// function of (seed, trials) — the worker count sharding the trials must
+// never change a single bit of the result. 5000 trials spans multiple
+// shards per stratum, including a partial tail shard.
+func TestStudyWorkerCountInvariance(t *testing.T) {
+	run := func(workers int) Result {
+		s := NewStudy(DDR3ChipKill(), SridharanTransient(), 42)
+		s.Workers = workers
+		r, err := s.Run(5000)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	ref := run(1)
+	for _, workers := range []int{2, 4, 7, 0} {
+		got := run(workers)
+		if got.PUnc != ref.PUnc || got.UncFITPerGB != ref.UncFITPerGB ||
+			got.UncFITPerRank != ref.UncFITPerRank {
+			t.Fatalf("workers=%d diverged: PUnc %v vs %v", workers, got.PUnc, ref.PUnc)
+		}
+		for k := range ref.PUncGivenK {
+			if got.PUncGivenK[k] != ref.PUncGivenK[k] {
+				t.Fatalf("workers=%d: P(unc|%d) = %v, want %v",
+					workers, k, got.PUncGivenK[k], ref.PUncGivenK[k])
+			}
+		}
+		for m, outs := range ref.SingleFaultOutcomes {
+			for o, n := range outs {
+				if got.SingleFaultOutcomes[m][o] != n {
+					t.Fatalf("workers=%d: outcome tally diverged for %v/%v", workers, m, o)
+				}
+			}
+		}
+	}
+}
+
 func TestHBMSingleFaultUncorrectableFraction(t *testing.T) {
 	res, err := NewStudy(HBMSecDed(), SridharanTransient(), 7).Run(20000)
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"math"
 
 	"hmem/internal/ecc"
+	"hmem/internal/exec"
 	"hmem/internal/xrand"
 )
 
@@ -21,7 +22,18 @@ type Study struct {
 	MaxFaults int
 	// Seed drives the deterministic RNG.
 	Seed uint64
+	// Workers bounds the goroutines sharding the Monte-Carlo trials
+	// (non-positive = one per CPU). The result is a pure function of
+	// (Seed, trials): trials are decomposed into fixed-size shards whose
+	// RNG streams are derived from (Seed, stratum, shard), so any worker
+	// count produces bit-identical estimates.
+	Workers int
 }
+
+// shardTrials is the fixed Monte-Carlo shard size. It determines the
+// trial-to-RNG-stream assignment and therefore must never depend on the
+// worker count; changing it changes the (still deterministic) estimates.
+const shardTrials = 2048
 
 // NewStudy returns a study with the defaults used throughout the paper
 // reproduction: a 5-year horizon and stratification up to 4 faults.
@@ -71,7 +83,6 @@ func (s *Study) Run(trials int) (Result, error) {
 	if s.HorizonHours <= 0 || s.MaxFaults < 1 {
 		return Result{}, fmt.Errorf("faultsim: horizon and MaxFaults must be positive")
 	}
-	rng := xrand.New(s.Seed)
 
 	// Expected fault counts in the horizon.
 	perChipFIT := s.Rates.Total() * s.Org.RawFITMultiplier
@@ -89,21 +100,63 @@ func (s *Study) Run(trials int) (Result, error) {
 		res.SingleFaultOutcomes[m] = make(map[ecc.Outcome]int)
 	}
 
-	// Per-stratum Monte Carlo.
+	// Per-stratum Monte Carlo, sharded. Each (stratum, shard) pair owns a
+	// fixed slice of the trial budget and an RNG stream derived from it, so
+	// shard tallies can be computed on any number of workers and merged in
+	// shard order with a bit-identical outcome.
+	type shardJob struct {
+		k, shard, n int
+	}
+	var jobs []shardJob
 	for k := 1; k <= s.MaxFaults; k++ {
-		unc := 0
-		for t := 0; t < trials; t++ {
-			faults := s.sampleFaults(rng, k)
-			bad := s.uncorrectable(faults)
-			if bad {
-				unc++
+		for off, shard := 0, 0; off < trials; off, shard = off+shardTrials, shard+1 {
+			n := shardTrials
+			if trials-off < n {
+				n = trials - off
 			}
-			if k == 1 {
-				out := singleFaultOutcome(s.Org.Scheme, faults[0].mode)
-				res.SingleFaultOutcomes[faults[0].mode][out]++
+			jobs = append(jobs, shardJob{k: k, shard: shard, n: n})
+		}
+	}
+	type shardTally struct {
+		unc      int
+		outcomes map[Mode]map[ecc.Outcome]int // populated only for k == 1
+	}
+	tallies, err := exec.Map(s.Workers, len(jobs), func(i int) (shardTally, error) {
+		j := jobs[i]
+		rng := xrand.New(xrand.Derive(s.Seed, uint64(j.k), uint64(j.shard)))
+		var t shardTally
+		if j.k == 1 {
+			t.outcomes = make(map[Mode]map[ecc.Outcome]int)
+			for m := ModeBit; m < ModeRank; m++ {
+				t.outcomes[m] = make(map[ecc.Outcome]int)
 			}
 		}
-		res.PUncGivenK[k] = float64(unc) / float64(trials)
+		for n := 0; n < j.n; n++ {
+			faults := s.sampleFaults(rng, j.k)
+			if s.uncorrectable(faults) {
+				t.unc++
+			}
+			if j.k == 1 {
+				out := singleFaultOutcome(s.Org.Scheme, faults[0].mode)
+				t.outcomes[faults[0].mode][out]++
+			}
+		}
+		return t, nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	uncByK := make([]int, s.MaxFaults+1)
+	for i, t := range tallies {
+		uncByK[jobs[i].k] += t.unc
+		for m, outs := range t.outcomes {
+			for o, n := range outs {
+				res.SingleFaultOutcomes[m][o] += n
+			}
+		}
+	}
+	for k := 1; k <= s.MaxFaults; k++ {
+		res.PUncGivenK[k] = float64(uncByK[k]) / float64(trials)
 	}
 
 	// Combine with Poisson weights; the tail beyond MaxFaults reuses the
@@ -259,17 +312,28 @@ func (t TierFITs) Ratio() float64 {
 
 // DefaultTierFITs runs both tier studies at the paper's trial counts scaled
 // for test-time tractability (§3.2 runs 100K/1M trials; the stratified
-// estimator reaches comparable precision with far fewer).
+// estimator reaches comparable precision with far fewer), sharded across one
+// worker per CPU.
 func DefaultTierFITs(trials int) (TierFITs, error) {
+	return DefaultTierFITsWorkers(trials, 0)
+}
+
+// DefaultTierFITsWorkers is DefaultTierFITs with an explicit worker budget
+// (non-positive = one per CPU). The worker count never changes the result.
+func DefaultTierFITsWorkers(trials, workers int) (TierFITs, error) {
 	if trials <= 0 {
 		trials = 20000
 	}
 	rates := SridharanTransient()
-	ddr, err := NewStudy(DDR3ChipKill(), rates, 0xD0D0).Run(trials)
+	ddrStudy := NewStudy(DDR3ChipKill(), rates, 0xD0D0)
+	ddrStudy.Workers = workers
+	ddr, err := ddrStudy.Run(trials)
 	if err != nil {
 		return TierFITs{}, err
 	}
-	hbm, err := NewStudy(HBMSecDed(), rates, 0x4B1D).Run(trials)
+	hbmStudy := NewStudy(HBMSecDed(), rates, 0x4B1D)
+	hbmStudy.Workers = workers
+	hbm, err := hbmStudy.Run(trials)
 	if err != nil {
 		return TierFITs{}, err
 	}

@@ -29,6 +29,25 @@ func splitmix64(x *uint64) uint64 {
 	return z ^ (z >> 31)
 }
 
+// Derive mixes a base seed with a sequence of salts into a new seed, giving
+// a deterministic, collision-resistant way to assign independent RNG streams
+// to units of parallel work: Derive(seed, stratum, shard) names the same
+// stream no matter which worker ends up running the shard, which is what
+// makes sharded Monte-Carlo results independent of the worker count. The
+// derivation is order-sensitive — Derive(s, 1, 2) != Derive(s, 2, 1).
+func Derive(base uint64, salts ...uint64) uint64 {
+	x := base
+	h := splitmix64(&x)
+	for _, s := range salts {
+		// Fold each salt into the running state through a full splitmix64
+		// round; the odd multiplier spreads small consecutive salts (0, 1,
+		// 2, ...) across the word before mixing.
+		x = h ^ (s*0x9E3779B97F4A7C15 + 0xD1B54A32D192ED03)
+		h = splitmix64(&x)
+	}
+	return h
+}
+
 // New returns a generator seeded from seed. Distinct seeds give streams that
 // are statistically independent for simulation purposes.
 func New(seed uint64) *RNG {

@@ -30,6 +30,35 @@ func TestDistinctSeedsDiverge(t *testing.T) {
 	}
 }
 
+func TestDeriveDeterministicAndDistinct(t *testing.T) {
+	if Derive(42, 1, 2) != Derive(42, 1, 2) {
+		t.Fatal("Derive is not deterministic")
+	}
+	// Order sensitivity: shard (1,2) and (2,1) are different streams.
+	if Derive(42, 1, 2) == Derive(42, 2, 1) {
+		t.Fatal("Derive must be order-sensitive")
+	}
+	// Arity sensitivity: a salt of 0 is not a no-op.
+	if Derive(42) == Derive(42, 0) {
+		t.Fatal("Derive(s) must differ from Derive(s, 0)")
+	}
+	// No collisions across a realistic stratum × shard grid and nearby base
+	// seeds — each cell must name a distinct RNG stream.
+	seen := make(map[uint64][3]uint64)
+	for base := uint64(0); base < 4; base++ {
+		for k := uint64(0); k < 8; k++ {
+			for shard := uint64(0); shard < 256; shard++ {
+				d := Derive(base, k, shard)
+				if prev, ok := seen[d]; ok {
+					t.Fatalf("collision: (%d,%d,%d) and %v both derive %#x",
+						base, k, shard, prev, d)
+				}
+				seen[d] = [3]uint64{base, k, shard}
+			}
+		}
+	}
+}
+
 func TestForkIndependence(t *testing.T) {
 	parent := New(7)
 	c1 := parent.Fork()
