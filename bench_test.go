@@ -11,6 +11,7 @@ package hmem
 // emits the same rows/series the paper reports.
 
 import (
+	"context"
 	"fmt"
 	"os"
 	"sync"
@@ -54,7 +55,7 @@ func runExperiment(b *testing.B, id string) {
 	var table *report.Table
 	var err error
 	for i := 0; i < b.N; i++ {
-		table, err = exp.Run()
+		table, err = exp.Run(context.Background())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -113,7 +114,7 @@ func benchSuite(b *testing.B, parallel int) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		if _, err := r.Figure5(); err != nil {
+		if _, err := r.Figure5(context.Background()); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -97,9 +98,10 @@ func main() {
 		elapsed time.Duration
 	}
 	suiteStart := time.Now()
-	outcomes, err := exec.Map(*parallel, len(selected), func(i int) (outcome, error) {
+	ctx := context.Background()
+	outcomes, err := exec.Map(ctx, *parallel, len(selected), func(i int) (outcome, error) {
 		start := time.Now()
-		table, err := selected[i].Run()
+		table, err := selected[i].Run(ctx)
 		if err != nil {
 			return outcome{}, fmt.Errorf("%s: %w", selected[i].ID, err)
 		}
@@ -128,6 +130,9 @@ func main() {
 	}
 	fmt.Printf("suite: %d experiments in %.1fs with %d workers\n",
 		len(selected), time.Since(suiteStart).Seconds(), exec.Workers(*parallel))
+	cs := runner.CacheStats()
+	fmt.Printf("memo cache: %d hits, %d misses (each miss is one simulation or fault study actually run)\n",
+		cs.Hits, cs.Misses)
 }
 
 func fatal(err error) {

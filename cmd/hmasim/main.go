@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
@@ -45,7 +46,7 @@ func main() {
 	}
 
 	opts := &hmem.Options{RecordsPerCore: *records, ScaleDiv: *scale, Seed: *seed, Parallel: *parallel}
-	res, err := hmem.Evaluate(*workloadName, hmem.PolicyName(*policyName), opts)
+	res, err := hmem.Evaluate(context.Background(), *workloadName, hmem.PolicyName(*policyName), opts)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "hmasim:", err)
 		os.Exit(1)

@@ -1,0 +1,103 @@
+// Command hmemd serves the placement-advisory HTTP API: workload × policy
+// evaluations, policy comparisons, and async experiment jobs, all backed by
+// a process-lifetime result cache (identical requests — concurrent or
+// repeated — perform one simulation).
+//
+// Usage:
+//
+//	hmemd                                  # listen on :8080, default options
+//	hmemd -addr 127.0.0.1:9090 -records 8000 -workers 2
+//
+// Endpoints:
+//
+//	GET  /v1/workloads    GET  /v1/policies    GET  /v1/experiments
+//	POST /v1/evaluate     POST /v1/compare
+//	POST /v1/jobs         GET  /v1/jobs        GET /v1/jobs/{id}[?watch=1]
+//	GET  /healthz         GET  /metrics
+//
+// SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
+// in-flight requests and queued jobs finish (bounded by -drain-timeout).
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"hmem"
+	"hmem/internal/service"
+)
+
+func main() {
+	var (
+		addr         = flag.String("addr", ":8080", "listen address")
+		records      = flag.Int("records", 0, "default trace records per core (0 = package default)")
+		scale        = flag.Int("scale", 0, "default capacity scale divisor (0 = default 64)")
+		seed         = flag.Uint64("seed", 0, "default simulation seed (0 = package default)")
+		faultTrials  = flag.Int("fault-trials", 0, "default Monte-Carlo trials per stratum (0 = package default)")
+		parallel     = flag.Int("parallel", 0, "max concurrent simulations per engine (<=0 = NumCPU)")
+		queueDepth   = flag.Int("queue-depth", 0, "async job queue bound (0 = default 16)")
+		jobWorkers   = flag.Int("job-workers", 1, "goroutines draining the job queue")
+		maxBody      = flag.Int64("max-body-bytes", 0, "request body limit (0 = default 1 MiB)")
+		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+	)
+	flag.Parse()
+
+	svc, err := service.New(service.Config{
+		Defaults: hmem.Options{
+			RecordsPerCore: *records,
+			ScaleDiv:       *scale,
+			Seed:           *seed,
+			FaultTrials:    *faultTrials,
+			Parallel:       *parallel,
+		},
+		MaxBodyBytes: *maxBody,
+		QueueDepth:   *queueDepth,
+		JobWorkers:   *jobWorkers,
+	})
+	if err != nil {
+		log.Fatalf("hmemd: %v", err)
+	}
+
+	srv := &http.Server{
+		Addr:              *addr,
+		Handler:           svc.Handler(),
+		ReadHeaderTimeout: 10 * time.Second,
+	}
+
+	errCh := make(chan error, 1)
+	go func() {
+		log.Printf("hmemd: listening on %s", *addr)
+		errCh <- srv.ListenAndServe()
+	}()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+
+	select {
+	case err := <-errCh:
+		log.Fatalf("hmemd: %v", err)
+	case got := <-sig:
+		log.Printf("hmemd: %s received, draining (up to %s)", got, *drainTimeout)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
+	defer cancel()
+	// Drain order matters: stop the job queue first (new submissions 503),
+	// then let the HTTP server finish in-flight requests — including
+	// watchers streaming those draining jobs.
+	svcErr := svc.Shutdown(ctx)
+	httpErr := srv.Shutdown(ctx)
+	if svcErr != nil || (httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed)) {
+		fmt.Fprintf(os.Stderr, "hmemd: unclean shutdown: jobs=%v http=%v\n", svcErr, httpErr)
+		os.Exit(1)
+	}
+	log.Printf("hmemd: drained cleanly")
+}

@@ -40,7 +40,6 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	defer f.Close()
 
 	w, err := trace.NewWriter(f)
 	if err != nil {
@@ -63,6 +62,11 @@ func main() {
 	}
 	if err := w.Close(); err != nil {
 		fatal(err)
+	}
+	// A deferred, unchecked Close would swallow ENOSPC and hand the sim a
+	// truncated trace; report it and exit non-zero instead.
+	if err := f.Close(); err != nil {
+		fatal(fmt.Errorf("closing %s: %w", path, err))
 	}
 	fmt.Printf("wrote %d records to %s", w.Count(), path)
 	if *cpu {

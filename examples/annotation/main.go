@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -27,7 +28,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		prof, err := runner.ProfileOf(spec)
+		prof, err := runner.ProfileOf(context.Background(), spec)
 		if err != nil {
 			log.Fatal(err)
 		}

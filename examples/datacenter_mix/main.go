@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,7 +23,7 @@ func main() {
 	}
 
 	for _, mix := range []string{"mix1", "mix2", "mix3"} {
-		results, err := hmem.Compare(mix, policies, opts)
+		results, err := hmem.Compare(context.Background(), mix, policies, opts)
 		if err != nil {
 			log.Fatal(err)
 		}

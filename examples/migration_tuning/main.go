@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -28,7 +29,8 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	prof, err := runner.ProfileOf(spec)
+	ctx := context.Background()
+	prof, err := runner.ProfileOf(ctx, spec)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -38,7 +40,7 @@ func main() {
 	base := opts.FCIntervalCycles
 	for _, iv := range []int64{base / 8, base / 2, base, base * 2, base * 8} {
 		iv := iv
-		res, err := runner.RunDynamic(spec, fmt.Sprintf("sweep-%d", iv), func() sim.Migrator {
+		res, err := runner.RunDynamic(ctx, spec, fmt.Sprintf("sweep-%d", iv), func() sim.Migrator {
 			return migration.NewPerf(iv)
 		}, core.PerfFocused{})
 		if err != nil {

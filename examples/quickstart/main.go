@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,7 +16,7 @@ func main() {
 	// Keep the run small: a quarter of the default trace length.
 	opts := &hmem.Options{RecordsPerCore: 10000}
 
-	results, err := hmem.Compare("astar", []hmem.PolicyName{
+	results, err := hmem.Compare(context.Background(), "astar", []hmem.PolicyName{
 		hmem.PolicyDDROnly,
 		hmem.PolicyPerfFocused,
 		hmem.PolicyWr2Ratio,

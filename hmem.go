@@ -25,18 +25,23 @@
 //
 // A minimal session:
 //
-//	res, err := hmem.Evaluate("mix1", hmem.PolicyWr2Ratio, nil)
+//	res, err := hmem.Evaluate(ctx, "mix1", hmem.PolicyWr2Ratio, nil)
 //	fmt.Printf("IPC gain %.2fx, SER %.0fx of DDR-only\n",
 //		res.IPCvsDDROnly, res.SERvsDDROnly)
+//
+// Long-lived processes (the hmemd service) hold an Engine instead, which
+// shares one memoized runner across every request.
 package hmem
 
 import (
+	"context"
 	"fmt"
 
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/experiments"
 	"hmem/internal/migration"
+	"hmem/internal/report"
 	"hmem/internal/sim"
 	"hmem/internal/workload"
 )
@@ -87,39 +92,39 @@ func Benchmarks() []string { return workload.Names() }
 // experiments package (1/64 capacity scale, 40 K records/core).
 type Options = experiments.Options
 
-// Result summarizes one workload x policy evaluation.
+// Result summarizes one workload x policy evaluation. The JSON field names
+// are the hmemd service's wire format; encoding/json emits them in struct
+// order, so the encoding of a Result is byte-deterministic.
 type Result struct {
-	Workload string
-	Policy   PolicyName
+	Workload string     `json:"workload"`
+	Policy   PolicyName `json:"policy"`
 	// IPC is the absolute per-core IPC; the vs fields are ratios against
 	// the same workload's baselines.
-	IPC           float64
-	IPCvsDDROnly  float64
-	SERvsDDROnly  float64
-	MeanAVF       float64
-	PagesMigrated uint64
+	IPC           float64 `json:"ipc"`
+	IPCvsDDROnly  float64 `json:"ipc_vs_ddr_only"`
+	SERvsDDROnly  float64 `json:"ser_vs_ddr_only"`
+	MeanAVF       float64 `json:"mean_avf"`
+	PagesMigrated uint64  `json:"pages_migrated"`
 }
 
 // Evaluate runs one workload under one policy and reports IPC/SER against
-// the DDR-only baseline. opts may be nil for defaults.
-func Evaluate(workloadName string, policy PolicyName, opts *Options) (Result, error) {
-	var o Options
-	if opts != nil {
-		o = *opts
-	}
-	r, err := experiments.NewRunner(o)
+// the DDR-only baseline. opts may be nil for defaults. Cancelling ctx stops
+// new simulations from starting; one already in flight runs to completion
+// (simulations have no preemption points) and its result is discarded.
+func Evaluate(ctx context.Context, workloadName string, policy PolicyName, opts *Options) (Result, error) {
+	e, err := NewEngine(opts)
 	if err != nil {
 		return Result{}, err
 	}
-	return evaluate(r, workloadName, policy)
+	return e.Evaluate(ctx, workloadName, policy)
 }
 
-func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Result, error) {
+func evaluate(ctx context.Context, r *experiments.Runner, workloadName string, policy PolicyName) (Result, error) {
 	spec, err := workload.SpecByName(workloadName)
 	if err != nil {
 		return Result{}, err
 	}
-	prof, err := r.ProfileOf(spec)
+	prof, err := r.ProfileOf(ctx, spec)
 	if err != nil {
 		return Result{}, err
 	}
@@ -129,30 +134,30 @@ func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Re
 	case PolicyDDROnly:
 		res = prof.Result
 	case PolicyPerfFocused:
-		res, err = r.RunStatic(spec, core.PerfFocused{})
+		res, err = r.RunStatic(ctx, spec, core.PerfFocused{})
 	case PolicyReliabilityFocused:
-		res, err = r.RunStatic(spec, core.ReliabilityFocused{})
+		res, err = r.RunStatic(ctx, spec, core.ReliabilityFocused{})
 	case PolicyBalanced:
-		res, err = r.RunStatic(spec, core.Balanced{})
+		res, err = r.RunStatic(ctx, spec, core.Balanced{})
 	case PolicyWrRatio:
-		res, err = r.RunStatic(spec, core.WrRatio{})
+		res, err = r.RunStatic(ctx, spec, core.WrRatio{})
 	case PolicyWr2Ratio:
-		res, err = r.RunStatic(spec, core.Wr2Ratio{})
+		res, err = r.RunStatic(ctx, spec, core.Wr2Ratio{})
 	case PolicyPerfMigration:
-		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+		res, err = r.RunDynamic(ctx, spec, string(policy), func() sim.Migrator {
 			return migration.NewPerf(r.Options().FCIntervalCycles)
 		}, core.PerfFocused{})
 	case PolicyFCMigration:
-		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+		res, err = r.RunDynamic(ctx, spec, string(policy), func() sim.Migrator {
 			return migration.NewFullCounter(r.Options().FCIntervalCycles)
 		}, core.Balanced{})
 	case PolicyCCMigration:
-		res, err = r.RunDynamic(spec, string(policy), func() sim.Migrator {
+		res, err = r.RunDynamic(ctx, spec, string(policy), func() sim.Migrator {
 			ratio := int(r.Options().FCIntervalCycles / r.Options().MEAIntervalCycles)
 			return migration.NewCrossCounter(r.Options().MEAIntervalCycles, ratio, 32)
 		}, core.Balanced{})
 	case PolicyAnnotation:
-		res, err = r.RunAnnotation(spec)
+		res, err = r.RunAnnotation(ctx, spec)
 	default:
 		return Result{}, fmt.Errorf("hmem: unknown policy %q", policy)
 	}
@@ -160,7 +165,7 @@ func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Re
 		return Result{}, err
 	}
 
-	_, rel, err := r.SEROf(res)
+	_, rel, err := r.SEROf(ctx, res)
 	if err != nil {
 		return Result{}, err
 	}
@@ -179,7 +184,26 @@ func evaluate(r *experiments.Runner, workloadName string, policy PolicyName) (Re
 // (much cheaper than repeated Evaluate calls). The policies run concurrently
 // on the runner's worker pool (Options.Parallel, default NumCPU); results are
 // returned in input order and are identical to serial evaluation.
-func Compare(workloadName string, policies []PolicyName, opts *Options) ([]Result, error) {
+func Compare(ctx context.Context, workloadName string, policies []PolicyName, opts *Options) ([]Result, error) {
+	e, err := NewEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	return e.Compare(ctx, workloadName, policies)
+}
+
+// Engine is a long-lived evaluation session: one memoized experiment runner
+// shared across every call, so repeated and concurrent requests for the same
+// simulation collapse into a single execution. The hmemd service keeps one
+// Engine per distinct option set for its process lifetime. All methods are
+// safe for concurrent use.
+type Engine struct {
+	r *experiments.Runner
+}
+
+// NewEngine validates opts (nil = defaults) and builds an engine. This is
+// cheap — no simulation runs until the first request.
+func NewEngine(opts *Options) (*Engine, error) {
 	var o Options
 	if opts != nil {
 		o = *opts
@@ -188,16 +212,55 @@ func Compare(workloadName string, policies []PolicyName, opts *Options) ([]Resul
 	if err != nil {
 		return nil, err
 	}
+	return &Engine{r: r}, nil
+}
+
+// Options returns the engine's resolved options (defaults filled in) — the
+// canonical form the service digests for its result-cache keys.
+func (e *Engine) Options() Options { return e.r.Options() }
+
+// Evaluate runs one workload under one policy on the shared runner.
+func (e *Engine) Evaluate(ctx context.Context, workloadName string, policy PolicyName) (Result, error) {
+	return evaluate(ctx, e.r, workloadName, policy)
+}
+
+// Compare evaluates several policies on one workload concurrently, sharing
+// the profiling run and every memoized simulation.
+func (e *Engine) Compare(ctx context.Context, workloadName string, policies []PolicyName) ([]Result, error) {
 	// Profile once up front so the concurrent evaluations share the warm
 	// memo instead of all blocking on the same singleflight leader.
 	spec, err := workload.SpecByName(workloadName)
 	if err != nil {
 		return nil, err
 	}
-	if _, err := r.ProfileOf(spec); err != nil {
+	if _, err := e.r.ProfileOf(ctx, spec); err != nil {
 		return nil, err
 	}
-	return exec.Map(r.Options().Parallel, len(policies), func(i int) (Result, error) {
-		return evaluate(r, workloadName, policies[i])
+	return exec.Map(ctx, e.r.Options().Parallel, len(policies), func(i int) (Result, error) {
+		return evaluate(ctx, e.r, workloadName, policies[i])
 	})
 }
+
+// ExperimentIDs lists the table/figure drivers runnable via RunExperiment,
+// in paper order.
+func (e *Engine) ExperimentIDs() []string {
+	var ids []string
+	for _, n := range e.r.All() {
+		ids = append(ids, n.ID)
+	}
+	return ids
+}
+
+// RunExperiment regenerates one paper table/figure by id on the shared
+// runner (the async-job path of the hmemd service).
+func (e *Engine) RunExperiment(ctx context.Context, id string) (*report.Table, error) {
+	exp, ok := e.r.ByID(id)
+	if !ok {
+		return nil, fmt.Errorf("hmem: unknown experiment %q", id)
+	}
+	return exp.Run(ctx)
+}
+
+// CacheStats reports the shared runner's memo hit/miss counters: how much
+// simulation work requests have shared so far.
+func (e *Engine) CacheStats() exec.MemoStats { return e.r.CacheStats() }

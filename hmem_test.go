@@ -1,6 +1,7 @@
 package hmem
 
 import (
+	"context"
 	"testing"
 )
 
@@ -21,10 +22,10 @@ func TestWorkloadAndPolicyLists(t *testing.T) {
 }
 
 func TestEvaluateUnknowns(t *testing.T) {
-	if _, err := Evaluate("nope", PolicyPerfFocused, quickOpts()); err == nil {
+	if _, err := Evaluate(context.Background(), "nope", PolicyPerfFocused, quickOpts()); err == nil {
 		t.Fatal("unknown workload accepted")
 	}
-	if _, err := Evaluate("astar", PolicyName("nope"), quickOpts()); err == nil {
+	if _, err := Evaluate(context.Background(), "astar", PolicyName("nope"), quickOpts()); err == nil {
 		t.Fatal("unknown policy accepted")
 	}
 }
@@ -33,7 +34,7 @@ func TestEvaluateDDROnly(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs a full simulation")
 	}
-	res, err := Evaluate("astar", PolicyDDROnly, quickOpts())
+	res, err := Evaluate(context.Background(), "astar", PolicyDDROnly, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +56,7 @@ func TestCompareSharesBaselines(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full simulations")
 	}
-	results, err := Compare("astar", []PolicyName{
+	results, err := Compare(context.Background(), "astar", []PolicyName{
 		PolicyPerfFocused, PolicyWr2Ratio, PolicyCCMigration, PolicyAnnotation,
 	}, quickOpts())
 	if err != nil {
@@ -91,11 +92,11 @@ func TestEvaluateDeterministic(t *testing.T) {
 	if testing.Short() {
 		t.Skip("runs full simulations")
 	}
-	a, err := Evaluate("gcc", PolicyBalanced, quickOpts())
+	a, err := Evaluate(context.Background(), "gcc", PolicyBalanced, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := Evaluate("gcc", PolicyBalanced, quickOpts())
+	b, err := Evaluate(context.Background(), "gcc", PolicyBalanced, quickOpts())
 	if err != nil {
 		t.Fatal(err)
 	}

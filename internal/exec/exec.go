@@ -2,21 +2,26 @@
 // engine: a generic singleflight memo cache and a bounded worker group.
 //
 // Every fan-out in the repository — figure drivers sweeping workloads ×
-// policies, fault-study shards, facade comparisons — goes through this
-// package so that two invariants hold everywhere:
+// policies, fault-study shards, facade comparisons, hmemd service requests —
+// goes through this package so that three invariants hold everywhere:
 //
 //   - work sharing: concurrent requests for the same memo key share one
 //     in-flight computation instead of racing or duplicating multi-second
 //     simulations;
 //   - deterministic assembly: Map writes results by index, so the output
 //     of a fan-out is a pure function of its inputs regardless of worker
-//     count or goroutine scheduling.
+//     count or goroutine scheduling;
+//   - prompt cancellation: a cancelled context stops a pool from starting
+//     any further task and releases waiters blocked on someone else's
+//     in-flight memo computation.
 package exec
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
+	"sync/atomic"
 )
 
 // Memo is a concurrency-safe, generic singleflight memo cache.
@@ -34,6 +39,9 @@ import (
 type Memo[K comparable, V any] struct {
 	mu    sync.Mutex
 	calls map[K]*memoCall[V]
+
+	hits   atomic.Uint64
+	misses atomic.Uint64
 }
 
 // memoCall is one (possibly in-flight) computation.
@@ -43,6 +51,20 @@ type memoCall[V any] struct {
 	err      error
 	panicked bool
 	panicVal any
+}
+
+// MemoStats is a point-in-time snapshot of a memo's request counters. A hit
+// is a request served from a finished or in-flight computation; a miss is a
+// request that had to start one. hits/(hits+misses) is the work-sharing
+// ratio cmd/experiments prints and hmemd's /metrics endpoint exports.
+type MemoStats struct {
+	Hits   uint64
+	Misses uint64
+}
+
+// Add returns the element-wise sum, for aggregating several memos.
+func (s MemoStats) Add(o MemoStats) MemoStats {
+	return MemoStats{Hits: s.Hits + o.Hits, Misses: s.Misses + o.Misses}
 }
 
 // PanicError wraps a panic value recovered from a memoized computation or a
@@ -58,13 +80,34 @@ func (p PanicError) Error() string { return fmt.Sprintf("exec: panic in task: %v
 // Do returns the memoized outcome for key, computing it with fn if this is
 // the first request. fn runs in the caller's goroutine.
 func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
+	return m.DoCtx(context.Background(), key, fn)
+}
+
+// DoCtx is Do with cancellation for the *requester*, not the computation:
+// a caller whose context is cancelled before the computation starts never
+// registers it, and a caller waiting on another goroutine's in-flight
+// computation stops waiting and returns ctx.Err(). The computation itself —
+// once started — always runs to completion and is cached, because its result
+// is shared with every other requester of the key; this is also why fn must
+// not observe the caller's context (a cached ctx.Err() would poison the key
+// for every future caller).
+func (m *Memo[K, V]) DoCtx(ctx context.Context, key K, fn func() (V, error)) (V, error) {
+	var zero V
+	if err := ctx.Err(); err != nil {
+		return zero, err
+	}
 	m.mu.Lock()
 	if m.calls == nil {
 		m.calls = make(map[K]*memoCall[V])
 	}
 	if c, ok := m.calls[key]; ok {
 		m.mu.Unlock()
-		<-c.done
+		m.hits.Add(1)
+		select {
+		case <-c.done:
+		case <-ctx.Done():
+			return zero, ctx.Err()
+		}
 		if c.panicked {
 			panic(PanicError{Value: c.panicVal})
 		}
@@ -73,6 +116,7 @@ func (m *Memo[K, V]) Do(key K, fn func() (V, error)) (V, error) {
 	c := &memoCall[V]{done: make(chan struct{})}
 	m.calls[key] = c
 	m.mu.Unlock()
+	m.misses.Add(1)
 
 	defer close(c.done)
 	defer func() {
@@ -93,10 +137,17 @@ func (m *Memo[K, V]) Len() int {
 	return len(m.calls)
 }
 
+// Stats returns the current hit/miss counters.
+func (m *Memo[K, V]) Stats() MemoStats {
+	return MemoStats{Hits: m.hits.Load(), Misses: m.misses.Load()}
+}
+
 // Group runs tasks on at most a fixed number of goroutines, propagating the
 // first failure and cancelling tasks that have not started yet. It is a
-// dependency-free analogue of errgroup.Group with a concurrency limit.
+// dependency-free analogue of errgroup.Group with a concurrency limit and
+// context cancellation.
 type Group struct {
+	ctx  context.Context
 	sem  chan struct{}
 	wg   sync.WaitGroup
 	once sync.Once
@@ -118,9 +169,17 @@ func Workers(n int) int {
 }
 
 // NewGroup returns a group running at most workers tasks concurrently
-// (non-positive workers = runtime.NumCPU()).
-func NewGroup(workers int) *Group {
+// (non-positive workers = runtime.NumCPU()). Cancelling ctx prevents any
+// not-yet-started task from running; Wait then reports ctx's error (unless
+// a task already failed first). Tasks already running are not interrupted —
+// simulations have no preemption points, and their results are discarded on
+// error anyway.
+func NewGroup(ctx context.Context, workers int) *Group {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	return &Group{
+		ctx:  ctx,
 		sem:  make(chan struct{}, Workers(workers)),
 		done: make(chan struct{}),
 	}
@@ -138,9 +197,8 @@ func (g *Group) fail(err error, panicVal any, panicked bool) {
 	})
 }
 
-// Go schedules fn. Tasks that have not yet started when another task fails
-// are skipped; tasks already running are not interrupted (simulations have
-// no preemption points, and their results are discarded on error anyway).
+// Go schedules fn. Tasks that have not yet started when another task fails —
+// or when the group's context is cancelled — are skipped.
 func (g *Group) Go(fn func() error) {
 	g.wg.Add(1)
 	go func() {
@@ -148,11 +206,17 @@ func (g *Group) Go(fn func() error) {
 		select {
 		case <-g.done:
 			return
+		case <-g.ctx.Done():
+			g.fail(g.ctx.Err(), nil, false)
+			return
 		case g.sem <- struct{}{}:
 		}
 		defer func() { <-g.sem }()
 		select {
 		case <-g.done:
+			return
+		case <-g.ctx.Done():
+			g.fail(g.ctx.Err(), nil, false)
 			return
 		default:
 		}
@@ -168,8 +232,9 @@ func (g *Group) Go(fn func() error) {
 }
 
 // Wait blocks until every scheduled task has finished or been skipped and
-// returns the first error. If a task panicked, Wait re-raises the panic
-// (wrapped in PanicError) in the waiting goroutine.
+// returns the first error (a task's error, or the context's if cancellation
+// struck first). If a task panicked, Wait re-raises the panic (wrapped in
+// PanicError) in the waiting goroutine.
 func (g *Group) Wait() error {
 	g.wg.Wait()
 	g.mu.Lock()
@@ -182,10 +247,11 @@ func (g *Group) Wait() error {
 
 // Map evaluates fn(0..n-1) on at most workers goroutines and returns the
 // results in index order — the fan-out/fan-in used by every figure driver.
-// On error the first failure is returned and the partial results discarded.
-func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
+// On error (or ctx cancellation) the first failure is returned and the
+// partial results discarded.
+func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
-	g := NewGroup(workers)
+	g := NewGroup(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i
 		g.Go(func() error {
@@ -205,8 +271,8 @@ func Map[T any](workers, n int, fn func(i int) (T, error)) ([]T, error) {
 
 // ForEach evaluates fn(0..n-1) on at most workers goroutines and returns
 // the first error.
-func ForEach(workers, n int, fn func(i int) error) error {
-	g := NewGroup(workers)
+func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
+	g := NewGroup(ctx, workers)
 	for i := 0; i < n; i++ {
 		i := i
 		g.Go(func() error { return fn(i) })

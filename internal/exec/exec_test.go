@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"runtime"
@@ -163,7 +164,7 @@ func TestMemoPanicPropagation(t *testing.T) {
 // TestGroupBoundsConcurrency: at most `workers` tasks run at once.
 func TestGroupBoundsConcurrency(t *testing.T) {
 	const workers, tasks = 3, 24
-	g := NewGroup(workers)
+	g := NewGroup(context.Background(), workers)
 	var cur, peak atomic.Int64
 	for i := 0; i < tasks; i++ {
 		g.Go(func() error {
@@ -190,7 +191,7 @@ func TestGroupBoundsConcurrency(t *testing.T) {
 // TestGroupFirstErrorWinsAndCancels: the first error is reported and tasks
 // not yet started are skipped.
 func TestGroupFirstErrorWinsAndCancels(t *testing.T) {
-	g := NewGroup(1) // serialize so "later" tasks are provably unstarted
+	g := NewGroup(context.Background(), 1) // serialize so "later" tasks are provably unstarted
 	boom := errors.New("boom")
 	var ran atomic.Int64
 	g.Go(func() error { ran.Add(1); return boom })
@@ -210,7 +211,7 @@ func TestGroupFirstErrorWinsAndCancels(t *testing.T) {
 // TestGroupPanicSurfacesInWait: a panicking task does not crash the worker
 // goroutine silently — Wait re-raises it.
 func TestGroupPanicSurfacesInWait(t *testing.T) {
-	g := NewGroup(2)
+	g := NewGroup(context.Background(), 2)
 	g.Go(func() error { panic("worker exploded") })
 	defer func() {
 		r := recover()
@@ -227,7 +228,7 @@ func TestGroupPanicSurfacesInWait(t *testing.T) {
 // at any worker count.
 func TestMapOrderIndependentOfScheduling(t *testing.T) {
 	for _, workers := range []int{1, 2, 7, 64} {
-		out, err := Map(workers, 100, func(i int) (string, error) {
+		out, err := Map(context.Background(), workers, 100, func(i int) (string, error) {
 			runtime.Gosched()
 			return fmt.Sprintf("item-%d", i), nil
 		})
@@ -245,7 +246,7 @@ func TestMapOrderIndependentOfScheduling(t *testing.T) {
 // TestMapError: an error aborts the fan-out.
 func TestMapError(t *testing.T) {
 	boom := errors.New("boom")
-	out, err := Map(4, 10, func(i int) (int, error) {
+	out, err := Map(context.Background(), 4, 10, func(i int) (int, error) {
 		if i == 5 {
 			return 0, boom
 		}
@@ -259,7 +260,7 @@ func TestMapError(t *testing.T) {
 // TestForEach covers the no-result fan-out.
 func TestForEach(t *testing.T) {
 	var sum atomic.Int64
-	if err := ForEach(8, 100, func(i int) error {
+	if err := ForEach(context.Background(), 8, 100, func(i int) error {
 		sum.Add(int64(i))
 		return nil
 	}); err != nil {
@@ -277,5 +278,156 @@ func TestWorkersResolution(t *testing.T) {
 	}
 	if Workers(5) != 5 {
 		t.Fatal("positive workers should pass through")
+	}
+}
+
+// TestGroupContextCancelStopsPool: cancelling the group's context skips every
+// task that has not started yet and Wait reports the cancellation promptly.
+// Run under -race this also checks the cancel path for data races.
+func TestGroupContextCancelStopsPool(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	g := NewGroup(ctx, 2)
+	var started atomic.Int64
+	release := make(chan struct{})
+	firstRunning := make(chan struct{}, 2)
+
+	const tasks = 200
+	for i := 0; i < tasks; i++ {
+		g.Go(func() error {
+			started.Add(1)
+			firstRunning <- struct{}{}
+			<-release // hold both workers until the test cancels
+			return nil
+		})
+	}
+	<-firstRunning // at least one task is occupying the pool
+	cancel()
+	close(release)
+	err := g.Wait()
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("Wait = %v, want context.Canceled", err)
+	}
+	// Both workers may have picked up a task before cancel landed; everything
+	// else must have been skipped.
+	if n := started.Load(); n > 2 {
+		t.Fatalf("%d tasks started after cancellation, want <= 2", n)
+	}
+}
+
+// TestMapContextPreCancelled: a cancelled context means no task runs at all.
+func TestMapContextPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran atomic.Int64
+	out, err := Map(ctx, 4, 50, func(i int) (int, error) {
+		ran.Add(1)
+		return i, nil
+	})
+	if !errors.Is(err, context.Canceled) || out != nil {
+		t.Fatalf("Map = (%v, %v), want (nil, context.Canceled)", out, err)
+	}
+	if n := ran.Load(); n != 0 {
+		t.Fatalf("%d tasks ran under a pre-cancelled context", n)
+	}
+}
+
+// TestMemoStats: the leader is a miss, every sharer (in-flight or after the
+// fact) is a hit.
+func TestMemoStats(t *testing.T) {
+	var m Memo[string, int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+
+	go m.Do("key", func() (int, error) {
+		close(leaderIn)
+		<-gate
+		return 1, nil
+	})
+	<-leaderIn
+
+	// A concurrent waiter shares the in-flight computation: that is a hit.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		if v, err := m.Do("key", func() (int, error) { return 99, nil }); v != 1 || err != nil {
+			t.Errorf("waiter got (%d, %v), want (1, nil)", v, err)
+		}
+	}()
+	for m.Stats().Hits == 0 { // waiter registers its hit before blocking
+		runtime.Gosched()
+	}
+	close(gate)
+	wg.Wait()
+
+	// A subsequent caller hits the finished entry.
+	if _, err := m.Do("key", func() (int, error) { return 99, nil }); err != nil {
+		t.Fatal(err)
+	}
+	if s := m.Stats(); s.Hits != 2 || s.Misses != 1 {
+		t.Fatalf("Stats = %+v, want {Hits:2 Misses:1}", s)
+	}
+	sum := m.Stats().Add(MemoStats{Hits: 1, Misses: 2})
+	if sum.Hits != 3 || sum.Misses != 3 {
+		t.Fatalf("Add = %+v, want {Hits:3 Misses:3}", sum)
+	}
+}
+
+// TestMemoDoCtxWaiterAbandons: a waiter whose context is cancelled stops
+// waiting on the in-flight leader; the leader's result still lands in the
+// cache for later callers.
+func TestMemoDoCtxWaiterAbandons(t *testing.T) {
+	var m Memo[string, int]
+	gate := make(chan struct{})
+	leaderIn := make(chan struct{})
+	leaderOut := make(chan struct{})
+
+	go func() {
+		m.Do("slow", func() (int, error) {
+			close(leaderIn)
+			<-gate
+			return 7, nil
+		})
+		close(leaderOut)
+	}()
+	<-leaderIn
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		_, err := m.DoCtx(ctx, "slow", func() (int, error) { return 0, nil })
+		done <- err
+	}()
+	cancel()
+	if err := <-done; !errors.Is(err, context.Canceled) {
+		t.Fatalf("abandoning waiter got %v, want context.Canceled", err)
+	}
+
+	close(gate)
+	<-leaderOut
+	// The computation was not poisoned by the waiter's cancellation.
+	v, err := m.DoCtx(context.Background(), "slow", func() (int, error) { return 0, nil })
+	if v != 7 || err != nil {
+		t.Fatalf("post-cancel caller got (%d, %v), want (7, nil)", v, err)
+	}
+}
+
+// TestMemoDoCtxPreCancelled: a cancelled context never registers (or runs)
+// the computation, so a later caller still computes fresh.
+func TestMemoDoCtxPreCancelled(t *testing.T) {
+	var m Memo[string, int]
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := m.DoCtx(ctx, "k", func() (int, error) {
+		t.Error("fn ran under a pre-cancelled context")
+		return 0, nil
+	}); !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if m.Len() != 0 {
+		t.Fatalf("cancelled request registered a call entry (Len=%d)", m.Len())
+	}
+	if v, err := m.Do("k", func() (int, error) { return 3, nil }); v != 3 || err != nil {
+		t.Fatalf("later caller got (%d, %v), want (3, nil)", v, err)
 	}
 }

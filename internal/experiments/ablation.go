@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/migration"
@@ -22,7 +24,7 @@ import (
 //
 // Each variant reports IPC and SER relative to the performance-focused
 // migration baseline on a three-workload panel.
-func (r *Runner) AblationCC() (*report.Table, error) {
+func (r *Runner) AblationCC(ctx context.Context) (*report.Table, error) {
 	panel := []string{"astar", "mcf", "mix1"}
 	ratio := int(r.opts.FCIntervalCycles / r.opts.MEAIntervalCycles)
 	variants := []struct {
@@ -57,25 +59,25 @@ func (r *Runner) AblationCC() (*report.Table, error) {
 		migrated uint64
 	}
 	n := len(variants) * len(panel)
-	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (cell, error) {
+	cells, err := exec.Map(ctx, r.opts.Parallel, n, func(i int) (cell, error) {
 		v := variants[i/len(panel)]
 		spec, err := workload.SpecByName(panel[i%len(panel)])
 		if err != nil {
 			return cell{}, err
 		}
-		perf, err := r.perfMigration(spec)
+		perf, err := r.perfMigration(ctx, spec)
 		if err != nil {
 			return cell{}, err
 		}
-		res, err := r.RunDynamic(spec, "ablation/"+v.name, v.build, core.Balanced{})
+		res, err := r.RunDynamic(ctx, spec, "ablation/"+v.name, v.build, core.Balanced{})
 		if err != nil {
 			return cell{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return cell{}, err
 		}
-		resSER, _, err := r.SEROf(res)
+		resSER, _, err := r.SEROf(ctx, res)
 		if err != nil {
 			return cell{}, err
 		}

@@ -1,17 +1,23 @@
 package experiments
 
-import "hmem/internal/report"
+import (
+	"context"
 
-// Named is a labeled experiment.
+	"hmem/internal/report"
+)
+
+// Named is a labeled experiment. Run honours the requester semantics of the
+// runner's building blocks: cancellation stops new simulations from starting
+// but never interrupts (or poisons the cache of) one already in flight.
 type Named struct {
 	ID  string
-	Run func() (*report.Table, error)
+	Run func(ctx context.Context) (*report.Table, error)
 }
 
 // All returns every table and figure driver in paper order.
 func (r *Runner) All() []Named {
-	wrap := func(t *report.Table) func() (*report.Table, error) {
-		return func() (*report.Table, error) { return t, nil }
+	wrap := func(t *report.Table) func(context.Context) (*report.Table, error) {
+		return func(context.Context) (*report.Table, error) { return t, nil }
 	}
 	return []Named{
 		{"table1", wrap(r.Table1())},

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hmem/internal/annotate"
 	"hmem/internal/core"
 	"hmem/internal/report"
@@ -13,14 +15,14 @@ import (
 // structures to annotate, pin their pages, and run with migrations disabled
 // for pinned pages (here: no migrator at all, matching the paper's static
 // annotation evaluation).
-func (r *Runner) annotationRun(spec workload.Spec) (sim.Result, []annotate.Annotation, error) {
-	prof, err := r.ProfileOf(spec)
+func (r *Runner) annotationRun(ctx context.Context, spec workload.Spec) (sim.Result, []annotate.Annotation, error) {
+	prof, err := r.ProfileOf(ctx, spec)
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
 	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages()))
 
-	res, err := r.runs.Do("annotation/"+spec.Name, func() (sim.Result, error) {
+	res, err := r.runs.DoCtx(ctx, "annotation/"+spec.Name, func() (sim.Result, error) {
 		suite, err := r.buildSuite(spec)
 		if err != nil {
 			return sim.Result{}, err
@@ -34,15 +36,15 @@ func (r *Runner) annotationRun(spec workload.Spec) (sim.Result, []annotate.Annot
 }
 
 // RunAnnotation exposes the §7 annotation run for the facade.
-func (r *Runner) RunAnnotation(spec workload.Spec) (sim.Result, error) {
-	res, _, err := r.annotationRun(spec)
+func (r *Runner) RunAnnotation(ctx context.Context, spec workload.Spec) (sim.Result, error) {
+	res, _, err := r.annotationRun(ctx, spec)
 	return res, err
 }
 
 // Figure16 compares annotation-based placement against the perf-focused
 // static oracle (paper: SER ÷1.3 at 1.1% IPC cost).
-func (r *Runner) Figure16() (*report.Table, error) {
-	ordered, err := r.byMPKIDesc()
+func (r *Runner) Figure16(ctx context.Context) (*report.Table, error) {
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -52,20 +54,20 @@ func (r *Runner) Figure16() (*report.Table, error) {
 		ipc, ser float64
 		pinned   int
 	}
-	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
-		perf, err := r.RunStatic(spec, core.PerfFocused{})
+	rows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (row, error) {
+		perf, err := r.RunStatic(ctx, spec, core.PerfFocused{})
 		if err != nil {
 			return row{}, err
 		}
-		res, ann, err := r.annotationRun(spec)
+		res, ann, err := r.annotationRun(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return row{}, err
 		}
-		resSER, _, err := r.SEROf(res)
+		resSER, _, err := r.SEROf(ctx, res)
 		if err != nil {
 			return row{}, err
 		}
@@ -95,13 +97,13 @@ func (r *Runner) Figure16() (*report.Table, error) {
 
 // Figure17 counts how many structures must be annotated per workload
 // (paper: 1-6 for most, 39/45 for cactusADM/mix1, average 8).
-func (r *Runner) Figure17() (*report.Table, error) {
+func (r *Runner) Figure17(ctx context.Context) (*report.Table, error) {
 	t := report.New("Figure 17: number of annotated program structures",
 		"workload", "annotations", "pages pinned")
 	specs := r.Workloads()
 	type row struct{ count, pinned int }
-	rows, err := mapSpecs(r, specs, func(spec workload.Spec) (row, error) {
-		_, ann, err := r.annotationRun(spec)
+	rows, err := mapSpecs(ctx, r, specs, func(spec workload.Spec) (row, error) {
+		_, ann, err := r.annotationRun(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}

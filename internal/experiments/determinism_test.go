@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"runtime"
 	"testing"
 )
@@ -27,7 +28,7 @@ func TestSuiteDeterministicAcrossParallelism(t *testing.T) {
 			if !ok {
 				t.Fatalf("missing experiment %q", id)
 			}
-			tab, err := exp.Run()
+			tab, err := exp.Run(context.Background())
 			if err != nil {
 				t.Fatalf("%s at parallel=%d: %v", id, parallel, err)
 			}

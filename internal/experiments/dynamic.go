@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/migration"
@@ -17,24 +19,24 @@ const (
 	mechCC   = "cc-reliability"
 )
 
-func (r *Runner) perfMigration(spec workload.Spec) (sim.Result, error) {
-	return r.RunDynamic(spec, mechPerf, func() sim.Migrator {
+func (r *Runner) perfMigration(ctx context.Context, spec workload.Spec) (sim.Result, error) {
+	return r.RunDynamic(ctx, spec, mechPerf, func() sim.Migrator {
 		return migration.NewPerf(r.opts.FCIntervalCycles)
 	}, core.PerfFocused{})
 }
 
-func (r *Runner) fcMigration(spec workload.Spec) (sim.Result, error) {
+func (r *Runner) fcMigration(ctx context.Context, spec workload.Spec) (sim.Result, error) {
 	// Reliability-aware mechanisms warm-start from the balanced oracle
 	// placement (§6.2: "an initial placement of the top hot and low-risk
 	// pages from our static oracular placement").
-	return r.RunDynamic(spec, mechFC, func() sim.Migrator {
+	return r.RunDynamic(ctx, spec, mechFC, func() sim.Migrator {
 		return migration.NewFullCounter(r.opts.FCIntervalCycles)
 	}, core.Balanced{})
 }
 
-func (r *Runner) ccMigration(spec workload.Spec) (sim.Result, error) {
+func (r *Runner) ccMigration(ctx context.Context, spec workload.Spec) (sim.Result, error) {
 	ratio := int(r.opts.FCIntervalCycles / r.opts.MEAIntervalCycles)
-	return r.RunDynamic(spec, mechCC, func() sim.Migrator {
+	return r.RunDynamic(ctx, spec, mechCC, func() sim.Migrator {
 		return migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
 	}, core.Balanced{})
 }
@@ -42,8 +44,8 @@ func (r *Runner) ccMigration(spec workload.Spec) (sim.Result, error) {
 // Figure12 evaluates performance-focused migration against DDR-only and the
 // static oracle (paper: IPC 1.52x vs DDR-only — 5.8% under static — and
 // SER 268x vs DDR-only).
-func (r *Runner) Figure12() (*report.Table, error) {
-	ordered, err := r.byMPKIDesc()
+func (r *Runner) Figure12(ctx context.Context) (*report.Table, error) {
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -53,20 +55,20 @@ func (r *Runner) Figure12() (*report.Table, error) {
 		ipc, ser, vsStatic float64
 		migrated           uint64
 	}
-	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
-		prof, err := r.ProfileOf(spec)
+	rows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (row, error) {
+		prof, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		static, err := r.RunStatic(spec, core.PerfFocused{})
+		static, err := r.RunStatic(ctx, spec, core.PerfFocused{})
 		if err != nil {
 			return row{}, err
 		}
-		res, err := r.perfMigration(spec)
+		res, err := r.perfMigration(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		_, rel, err := r.SEROf(res)
+		_, rel, err := r.SEROf(ctx, res)
 		if err != nil {
 			return row{}, err
 		}
@@ -97,7 +99,7 @@ func (r *Runner) Figure12() (*report.Table, error) {
 
 // Figure13 sweeps the migration interval on three workloads of different
 // memory intensity to find the best interval (paper: 100 ms).
-func (r *Runner) Figure13() (*report.Table, error) {
+func (r *Runner) Figure13(ctx context.Context) (*report.Table, error) {
 	base := r.opts.FCIntervalCycles
 	intervals := []int64{base / 8, base / 4, base / 2, base, base * 2, base * 4}
 	names := []string{"libquantum", "soplex", "astar"} // high / medium / low intensity
@@ -105,17 +107,17 @@ func (r *Runner) Figure13() (*report.Table, error) {
 		"interval (cycles)", "mean IPC vs DDR-only")
 	// Flatten the interval × workload grid into one fan-out.
 	n := len(intervals) * len(names)
-	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (float64, error) {
+	cells, err := exec.Map(ctx, r.opts.Parallel, n, func(i int) (float64, error) {
 		iv := intervals[i/len(names)]
 		spec, err := workload.SpecByName(names[i%len(names)])
 		if err != nil {
 			return 0, err
 		}
-		prof, err := r.ProfileOf(spec)
+		prof, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return 0, err
 		}
-		res, err := r.RunDynamic(spec, report.Int(int(iv))+"-interval", func() sim.Migrator {
+		res, err := r.RunDynamic(ctx, spec, report.Int(int(iv))+"-interval", func() sim.Migrator {
 			return migration.NewPerf(iv)
 		}, core.PerfFocused{})
 		if err != nil {
@@ -141,8 +143,8 @@ func (r *Runner) Figure13() (*report.Table, error) {
 
 // dynamicTable renders a reliability-aware mechanism against the
 // performance-focused migration baseline (the §6 normalization).
-func (r *Runner) dynamicTable(title string, run func(workload.Spec) (sim.Result, error), note string) (*report.Table, error) {
-	ordered, err := r.byMPKIDesc()
+func (r *Runner) dynamicTable(ctx context.Context, title string, run func(context.Context, workload.Spec) (sim.Result, error), note string) (*report.Table, error) {
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -152,20 +154,20 @@ func (r *Runner) dynamicTable(title string, run func(workload.Spec) (sim.Result,
 		ipc, ser float64
 		migrated uint64
 	}
-	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
-		perf, err := r.perfMigration(spec)
+	rows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (row, error) {
+		perf, err := r.perfMigration(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		res, err := run(spec)
+		res, err := run(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return row{}, err
 		}
-		resSER, _, err := r.SEROf(res)
+		resSER, _, err := r.SEROf(ctx, res)
 		if err != nil {
 			return row{}, err
 		}
@@ -192,14 +194,14 @@ func (r *Runner) dynamicTable(title string, run func(workload.Spec) (sim.Result,
 
 // Figure14 is the Full Counter reliability-aware migration (paper: SER ÷1.8
 // at 6% IPC loss vs perf-focused migration).
-func (r *Runner) Figure14() (*report.Table, error) {
-	return r.dynamicTable("Figure 14: reliability-aware migration (Full Counters)",
+func (r *Runner) Figure14(ctx context.Context) (*report.Table, error) {
+	return r.dynamicTable(ctx, "Figure 14: reliability-aware migration (Full Counters)",
 		r.fcMigration, "paper: SER reduced 1.8x at 6% IPC cost vs perf-focused migration")
 }
 
 // Figure15 is the Cross Counter mechanism (paper: SER ÷1.5 at 4.9% IPC loss
 // with 676 KB of hardware).
-func (r *Runner) Figure15() (*report.Table, error) {
-	return r.dynamicTable("Figure 15: reliability-aware migration (Cross Counters)",
+func (r *Runner) Figure15(ctx context.Context) (*report.Table, error) {
+	return r.dynamicTable(ctx, "Figure 15: reliability-aware migration (Cross Counters)",
 		r.ccMigration, "paper: SER reduced 1.5x at 4.9% IPC cost vs perf-focused migration")
 }

@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"strconv"
 	"strings"
@@ -90,7 +91,7 @@ func TestByID(t *testing.T) {
 
 func TestFitsPlausible(t *testing.T) {
 	r := mustRunner(t, Options{FaultTrials: 5000})
-	fits, err := r.Fits()
+	fits, err := r.Fits(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -98,7 +99,7 @@ func TestFitsPlausible(t *testing.T) {
 		t.Fatalf("tier FIT ratio %.0f implausible", ratio)
 	}
 	// Memoized: second call is identical.
-	again, err := r.Fits()
+	again, err := r.Fits(context.Background())
 	if err != nil || again != fits {
 		t.Fatal("Fits not memoized")
 	}
@@ -106,7 +107,7 @@ func TestFitsPlausible(t *testing.T) {
 
 func TestFigure1FrontierShape(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.Figure1()
+	tab, err := r.Figure1(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -129,7 +130,7 @@ func TestFigure1FrontierShape(t *testing.T) {
 
 func TestFigure2SortedAscending(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.Figure2()
+	tab, err := r.Figure2(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestFigure2SortedAscending(t *testing.T) {
 
 func TestFigure4QuadrantsSumToOne(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.Figure4()
+	tab, err := r.Figure4(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -159,7 +160,7 @@ func TestFigure4QuadrantsSumToOne(t *testing.T) {
 
 func TestFigure5HeadlineShape(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.Figure5()
+	tab, err := r.Figure5(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -176,12 +177,12 @@ func TestFigure5HeadlineShape(t *testing.T) {
 
 func TestStaticPolicyOrderings(t *testing.T) {
 	r := testRunner(t)
-	ordered, err := r.byMPKIDesc()
+	ordered, err := r.byMPKIDesc(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	avgFor := func(p core.Policy) policyRow {
-		rows, err := r.staticComparison(p, ordered)
+		rows, err := r.staticComparison(context.Background(), p, ordered)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -215,7 +216,7 @@ func TestStaticPolicyOrderings(t *testing.T) {
 
 func TestFigure6And9Correlations(t *testing.T) {
 	r := testRunner(t)
-	f6, err := r.Figure6()
+	f6, err := r.Figure6(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestFigure6And9Correlations(t *testing.T) {
 	if !(cell(t, f6.Rows[0][1]) > cell(t, f6.Rows[9][1])) {
 		t.Error("Figure 6 buckets not ordered by hotness")
 	}
-	f9, err := r.Figure9()
+	f9, err := r.Figure9(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestFigure6And9Correlations(t *testing.T) {
 
 func TestDynamicMechanismShapes(t *testing.T) {
 	r := testRunner(t)
-	f12, err := r.Figure12()
+	f12, err := r.Figure12(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -253,7 +254,7 @@ func TestDynamicMechanismShapes(t *testing.T) {
 		t.Errorf("perf migration should beat DDR-only: %.2fx", ipc)
 	}
 
-	f14, err := r.Figure14()
+	f14, err := r.Figure14(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestDynamicMechanismShapes(t *testing.T) {
 		t.Errorf("FC mechanism should reduce SER vs perf migration: %.2f", fcSER)
 	}
 
-	f15, err := r.Figure15()
+	f15, err := r.Figure15(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -279,7 +280,7 @@ func TestDynamicMechanismShapes(t *testing.T) {
 
 func TestFigure13SweepHasInteriorOptimum(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.Figure13()
+	tab, err := r.Figure13(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -293,14 +294,14 @@ func TestFigure13SweepHasInteriorOptimum(t *testing.T) {
 
 func TestAnnotationExperiments(t *testing.T) {
 	r := testRunner(t)
-	f16, err := r.Figure16()
+	f16, err := r.Figure16(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
 	if ser := cell(t, lastRow(t, f16)[2]); ser >= 1 {
 		t.Errorf("annotations should reduce SER vs perf-focused: %.2f", ser)
 	}
-	f17, err := r.Figure17()
+	f17, err := r.Figure17(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -326,7 +327,7 @@ func TestTablesRender(t *testing.T) {
 	if !strings.Contains(hw.String(), "676") && !strings.Contains(hw.String(), "692224") {
 		t.Error("hardware-cost table missing the 676 KB figure")
 	}
-	t3, err := r.Table3()
+	t3, err := r.Table3(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -344,11 +345,11 @@ func TestTablesRender(t *testing.T) {
 
 func TestMPKIOrderingStable(t *testing.T) {
 	r := testRunner(t)
-	a, err := r.byMPKIDesc()
+	a, err := r.byMPKIDesc(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
-	b, err := r.byMPKIDesc()
+	b, err := r.byMPKIDesc(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -390,7 +391,7 @@ func TestSEROfZeroBaselineIsAnError(t *testing.T) {
 	}); err != nil {
 		t.Fatal(err)
 	}
-	_, _, err := r.SEROf(sim.Result{})
+	_, _, err := r.SEROf(context.Background(), sim.Result{})
 	if !errors.Is(err, ErrZeroBaselineSER) {
 		t.Fatalf("err = %v, want ErrZeroBaselineSER", err)
 	}
@@ -402,11 +403,11 @@ func TestSEROfUsesAllDDRBaseline(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	prof, err := r.ProfileOf(spec)
+	prof, err := r.ProfileOf(context.Background(), spec)
 	if err != nil {
 		t.Fatal(err)
 	}
-	_, rel, err := r.SEROf(prof.Result)
+	_, rel, err := r.SEROf(context.Background(), prof.Result)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -418,7 +419,7 @@ func TestSEROfUsesAllDDRBaseline(t *testing.T) {
 
 func TestAblationCCShape(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.AblationCC()
+	tab, err := r.AblationCC(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -438,7 +439,7 @@ func TestAblationCCShape(t *testing.T) {
 
 func TestExtensionAnnotatedMigrationShape(t *testing.T) {
 	r := testRunner(t)
-	tab, err := r.ExtensionAnnotatedMigration()
+	tab, err := r.ExtensionAnnotatedMigration(context.Background())
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -473,7 +474,7 @@ func TestExperimentTablesDeterministic(t *testing.T) {
 		opts.Workloads = []string{"astar"}
 		opts.RecordsPerCore = 8000
 		r := mustRunner(t, opts)
-		tab, err := r.Figure5()
+		tab, err := r.Figure5(context.Background())
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"hmem/internal/annotate"
 	"hmem/internal/core"
 	"hmem/internal/migration"
@@ -18,8 +20,8 @@ import (
 // the remaining frames dynamically. Compared against annotation-only and
 // FC-only on every workload, all relative to the perf-focused static
 // oracle.
-func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
-	ordered, err := r.byMPKIDesc()
+func (r *Runner) ExtensionAnnotatedMigration(ctx context.Context) (*report.Table, error) {
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
@@ -29,17 +31,17 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 	type row struct {
 		ai, as, fi, fs, ci, cs float64
 	}
-	rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (row, error) {
-		perf, err := r.RunStatic(spec, core.PerfFocused{})
+	rows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (row, error) {
+		perf, err := r.RunStatic(ctx, spec, core.PerfFocused{})
 		if err != nil {
 			return row{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return row{}, err
 		}
 		norm := func(res sim.Result) (float64, float64, error) {
-			resSER, _, err := r.SEROf(res)
+			resSER, _, err := r.SEROf(ctx, res)
 			if err != nil {
 				return 0, 0, err
 			}
@@ -50,15 +52,15 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 			return res.IPC / perf.IPC, serRatio, nil
 		}
 
-		annot, _, err := r.annotationRun(spec)
+		annot, _, err := r.annotationRun(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		fc, err := r.fcMigration(spec)
+		fc, err := r.fcMigration(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
-		combined, err := r.annotatedMigrationRun(spec)
+		combined, err := r.annotatedMigrationRun(ctx, spec)
 		if err != nil {
 			return row{}, err
 		}
@@ -98,9 +100,11 @@ func (r *Runner) ExtensionAnnotatedMigration() (*report.Table, error) {
 
 // annotatedMigrationRun pins the annotated structures and lets the FC
 // mechanism manage the remaining HBM frames.
-func (r *Runner) annotatedMigrationRun(spec workload.Spec) (sim.Result, error) {
-	return r.runs.Do("annotation+fc/"+spec.Name, func() (sim.Result, error) {
-		prof, err := r.ProfileOf(spec)
+func (r *Runner) annotatedMigrationRun(ctx context.Context, spec workload.Spec) (sim.Result, error) {
+	return r.runs.DoCtx(ctx, "annotation+fc/"+spec.Name, func() (sim.Result, error) {
+		// Background, not ctx: the computation is shared once started and a
+		// cached ctx.Err() would poison the key (see Memo.DoCtx).
+		prof, err := r.ProfileOf(context.Background(), spec)
 		if err != nil {
 			return sim.Result{}, err
 		}

@@ -8,6 +8,7 @@
 package experiments
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"strings"
@@ -62,6 +63,13 @@ func DefaultOptions() Options {
 // Runner executes and memoizes experiment building blocks. All methods are
 // safe for concurrent use: concurrent requests for the same profiling run,
 // policy run, or fault study share a single in-flight computation.
+//
+// Every building block takes a context.Context with requester semantics: a
+// cancelled context stops the caller from starting (or waiting on) work, but
+// a computation that has already started always runs to completion — its
+// result is shared with every other requester of the same key, so it must
+// not record one caller's cancellation. That is also why the memoized
+// closures below resolve their own dependencies with context.Background().
 type Runner struct {
 	opts  Options
 	cfg   sim.Config
@@ -153,27 +161,34 @@ func (r *Runner) Workloads() []workload.Spec {
 // mapSpecs evaluates fn over specs on the runner's worker budget and
 // returns the results in spec order regardless of completion order — the
 // deterministic fan-out every figure driver is built on.
-func mapSpecs[T any](r *Runner, specs []workload.Spec, fn func(workload.Spec) (T, error)) ([]T, error) {
-	return exec.Map(r.opts.Parallel, len(specs), func(i int) (T, error) {
+func mapSpecs[T any](ctx context.Context, r *Runner, specs []workload.Spec, fn func(workload.Spec) (T, error)) ([]T, error) {
+	return exec.Map(ctx, r.opts.Parallel, len(specs), func(i int) (T, error) {
 		return fn(specs[i])
 	})
 }
 
 // Fits runs (once) the FaultSim studies and returns both tiers'
 // uncorrectable FIT per GB. Concurrent callers share the one study.
-func (r *Runner) Fits() (faultsim.TierFITs, error) {
-	return r.fits.Do(struct{}{}, func() (faultsim.TierFITs, error) {
+func (r *Runner) Fits(ctx context.Context) (faultsim.TierFITs, error) {
+	return r.fits.DoCtx(ctx, struct{}{}, func() (faultsim.TierFITs, error) {
 		return faultsim.DefaultTierFITsWorkers(r.opts.FaultTrials, r.opts.Parallel)
 	})
 }
 
 // SERModel returns the SER scorer backed by the fault study.
-func (r *Runner) SERModel() (core.SERModel, error) {
-	fits, err := r.Fits()
+func (r *Runner) SERModel(ctx context.Context) (core.SERModel, error) {
+	fits, err := r.Fits(ctx)
 	if err != nil {
 		return core.SERModel{}, err
 	}
 	return core.SERModel{Fits: fits}, nil
+}
+
+// CacheStats aggregates the hit/miss counters of the runner's three memo
+// caches (fault study, profiles, policy runs) — the work-sharing counter
+// cmd/experiments prints after a run and hmemd exports on /metrics.
+func (r *Runner) CacheStats() exec.MemoStats {
+	return r.fits.Stats().Add(r.profiles.Stats()).Add(r.runs.Stats())
 }
 
 // buildSuite constructs a fresh suite for a spec (each simulation needs
@@ -183,8 +198,8 @@ func (r *Runner) buildSuite(spec workload.Spec) (*workload.Suite, error) {
 }
 
 // ProfileOf returns the memoized DDR-only profiling run for a workload.
-func (r *Runner) ProfileOf(spec workload.Spec) (*Profile, error) {
-	return r.profiles.Do(spec.Name, func() (*Profile, error) {
+func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, error) {
+	return r.profiles.DoCtx(ctx, spec.Name, func() (*Profile, error) {
 		suite, err := r.buildSuite(spec)
 		if err != nil {
 			return nil, err
@@ -200,9 +215,9 @@ func (r *Runner) ProfileOf(spec workload.Spec) (*Profile, error) {
 // RunStatic executes (memoized) a static-policy run: the policy selects HBM
 // residents from the oracle profile, and the workload re-runs with that
 // placement fixed.
-func (r *Runner) RunStatic(spec workload.Spec, policy core.Policy) (sim.Result, error) {
-	return r.runs.Do("static/"+spec.Name+"/"+policy.Name(), func() (sim.Result, error) {
-		prof, err := r.ProfileOf(spec)
+func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.Policy) (sim.Result, error) {
+	return r.runs.DoCtx(ctx, "static/"+spec.Name+"/"+policy.Name(), func() (sim.Result, error) {
+		prof, err := r.ProfileOf(context.Background(), spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -223,9 +238,9 @@ func (r *Runner) RunStatic(spec workload.Spec, policy core.Policy) (sim.Result, 
 // initial placement warms HBM with the oracle hot set ("we assume a good
 // pre-measurement placement ... the top hot pages from our oracular static
 // placement"), or the hot∧low-risk set for reliability-aware mechanisms.
-func (r *Runner) RunDynamic(spec workload.Spec, mech string, build func() sim.Migrator, warm core.Policy) (sim.Result, error) {
-	return r.runs.Do("dynamic/"+spec.Name+"/"+mech, func() (sim.Result, error) {
-		prof, err := r.ProfileOf(spec)
+func (r *Runner) RunDynamic(ctx context.Context, spec workload.Spec, mech string, build func() sim.Migrator, warm core.Policy) (sim.Result, error) {
+	return r.runs.DoCtx(ctx, "dynamic/"+spec.Name+"/"+mech, func() (sim.Result, error) {
+		prof, err := r.ProfileOf(context.Background(), spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
@@ -251,8 +266,8 @@ var ErrZeroBaselineSER = errors.New("experiments: all-DDR baseline SER is zero (
 // SEROf scores a finished run against the DDR-only baseline, returning
 // (absolute SER, SER relative to all-DDR). A zero baseline returns
 // ErrZeroBaselineSER.
-func (r *Runner) SEROf(res sim.Result) (abs, rel float64, err error) {
-	m, err := r.SERModel()
+func (r *Runner) SEROf(ctx context.Context, res sim.Result) (abs, rel float64, err error) {
+	m, err := r.SERModel(ctx)
 	if err != nil {
 		return 0, 0, err
 	}

@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"sort"
 
 	"hmem/internal/core"
@@ -23,10 +25,10 @@ func mpkiOf(res sim.Result) float64 {
 // to latency-sensitive (the Figure 7 x-axis ordering). The profiling runs
 // behind the MPKIs execute concurrently; the stable sort over the fixed
 // spec order keeps the result deterministic.
-func (r *Runner) byMPKIDesc() ([]workload.Spec, error) {
+func (r *Runner) byMPKIDesc(ctx context.Context) ([]workload.Spec, error) {
 	specs := r.Workloads()
-	mpkis, err := mapSpecs(r, specs, func(s workload.Spec) (float64, error) {
-		p, err := r.ProfileOf(s)
+	mpkis, err := mapSpecs(ctx, r, specs, func(s workload.Spec) (float64, error) {
+		p, err := r.ProfileOf(ctx, s)
 		if err != nil {
 			return 0, err
 		}
@@ -63,25 +65,25 @@ type policyRow struct {
 
 // staticComparison evaluates a policy on every workload, fanning the
 // per-workload simulations out over the runner's worker pool.
-func (r *Runner) staticComparison(policy core.Policy, ordered []workload.Spec) ([]policyRow, error) {
-	return mapSpecs(r, ordered, func(spec workload.Spec) (policyRow, error) {
-		prof, err := r.ProfileOf(spec)
+func (r *Runner) staticComparison(ctx context.Context, policy core.Policy, ordered []workload.Spec) ([]policyRow, error) {
+	return mapSpecs(ctx, r, ordered, func(spec workload.Spec) (policyRow, error) {
+		prof, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return policyRow{}, err
 		}
-		perf, err := r.RunStatic(spec, core.PerfFocused{})
+		perf, err := r.RunStatic(ctx, spec, core.PerfFocused{})
 		if err != nil {
 			return policyRow{}, err
 		}
-		pol, err := r.RunStatic(spec, policy)
+		pol, err := r.RunStatic(ctx, spec, policy)
 		if err != nil {
 			return policyRow{}, err
 		}
-		polSER, polRel, err := r.SEROf(pol)
+		polSER, polRel, err := r.SEROf(ctx, pol)
 		if err != nil {
 			return policyRow{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return policyRow{}, err
 		}
@@ -118,12 +120,12 @@ func avgRow(rows []policyRow) policyRow {
 
 // policyTable renders a static-policy comparison in the layout shared by
 // Figures 5, 7, 8, 10 and 11.
-func (r *Runner) policyTable(title string, policy core.Policy, note string) (*report.Table, error) {
-	ordered, err := r.byMPKIDesc()
+func (r *Runner) policyTable(ctx context.Context, title string, policy core.Policy, note string) (*report.Table, error) {
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := r.staticComparison(policy, ordered)
+	rows, err := r.staticComparison(ctx, policy, ordered)
 	if err != nil {
 		return nil, err
 	}
@@ -140,7 +142,7 @@ func (r *Runner) policyTable(title string, policy core.Policy, note string) (*re
 // Figure1 sweeps the fraction of hot pages placed in HBM (astar, cactusADM,
 // mix1 averaged, as in the paper's motivation figure): the SER cost of
 // approaching full performance.
-func (r *Runner) Figure1() (*report.Table, error) {
+func (r *Runner) Figure1(ctx context.Context) (*report.Table, error) {
 	specNames := []string{"astar", "cactusADM", "mix1"}
 	fractions := []float64{0, 0.125, 0.25, 0.375, 0.5, 0.625, 0.75, 0.875, 1}
 	t := report.New("Figure 1: reliability vs performance across hot-page fractions",
@@ -149,21 +151,21 @@ func (r *Runner) Figure1() (*report.Table, error) {
 	// one fan-out and regroup per fraction afterwards.
 	type cell struct{ ipc, ser float64 }
 	n := len(fractions) * len(specNames)
-	cells, err := exec.Map(r.opts.Parallel, n, func(i int) (cell, error) {
+	cells, err := exec.Map(ctx, r.opts.Parallel, n, func(i int) (cell, error) {
 		f := fractions[i/len(specNames)]
 		spec, err := workload.SpecByName(specNames[i%len(specNames)])
 		if err != nil {
 			return cell{}, err
 		}
-		prof, err := r.ProfileOf(spec)
+		prof, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return cell{}, err
 		}
-		res, err := r.RunStatic(spec, core.PerfFraction{F: f})
+		res, err := r.RunStatic(ctx, spec, core.PerfFraction{F: f})
 		if err != nil {
 			return cell{}, err
 		}
-		_, rel, err := r.SEROf(res)
+		_, rel, err := r.SEROf(ctx, res)
 		if err != nil {
 			return cell{}, err
 		}
@@ -187,14 +189,14 @@ func (r *Runner) Figure1() (*report.Table, error) {
 
 // Figure2 reports each workload's mean memory AVF on DDR-only, ascending —
 // the paper's Figure 2 (range 1.7%..22.5%).
-func (r *Runner) Figure2() (*report.Table, error) {
+func (r *Runner) Figure2(ctx context.Context) (*report.Table, error) {
 	type entry struct {
 		name string
 		avf  float64
 	}
 	specs := r.Workloads()
-	entries, err := mapSpecs(r, specs, func(spec workload.Spec) (entry, error) {
-		p, err := r.ProfileOf(spec)
+	entries, err := mapSpecs(ctx, r, specs, func(spec workload.Spec) (entry, error) {
+		p, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return entry{}, err
 		}
@@ -214,12 +216,12 @@ func (r *Runner) Figure2() (*report.Table, error) {
 
 // Figure4 is the quadrant census: the share of each workload's footprint in
 // the four hotness/risk quadrants, highlighting hot∧low-risk (9-39%).
-func (r *Runner) Figure4() (*report.Table, error) {
+func (r *Runner) Figure4(ctx context.Context) (*report.Table, error) {
 	t := report.New("Figure 4: hotness-risk quadrants per workload",
 		"workload", "hot+low-risk", "hot+high-risk", "cold+low-risk", "cold+high-risk", "pages")
 	specs := r.Workloads()
-	quads, err := mapSpecs(r, specs, func(spec workload.Spec) (core.QuadrantSummary, error) {
-		p, err := r.ProfileOf(spec)
+	quads, err := mapSpecs(ctx, r, specs, func(spec workload.Spec) (core.QuadrantSummary, error) {
+		p, err := r.ProfileOf(ctx, spec)
 		if err != nil {
 			return core.QuadrantSummary{}, err
 		}
@@ -249,19 +251,19 @@ func (r *Runner) Figure4() (*report.Table, error) {
 
 // Figure5 is the performance-focused placement: IPC boost and SER blowup
 // versus DDR-only (paper: 1.6x IPC, 287x SER).
-func (r *Runner) Figure5() (*report.Table, error) {
-	return r.policyTable("Figure 5: performance-focused static placement",
+func (r *Runner) Figure5(ctx context.Context) (*report.Table, error) {
+	return r.policyTable(ctx, "Figure 5: performance-focused static placement",
 		core.PerfFocused{}, "paper: 1.6x IPC and 287x SER vs DDR-only on average")
 }
 
 // Figure6 examines the hottest 1000 pages of mix1: hotness deciles vs AVF,
 // and the footprint-wide hotness-AVF correlation (paper: ρ = 0.08).
-func (r *Runner) Figure6() (*report.Table, error) {
+func (r *Runner) Figure6(ctx context.Context) (*report.Table, error) {
 	spec, err := workload.SpecByName("mix1")
 	if err != nil {
 		return nil, err
 	}
-	p, err := r.ProfileOf(spec)
+	p, err := r.ProfileOf(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -298,26 +300,26 @@ func (r *Runner) Figure6() (*report.Table, error) {
 
 // Figure7 is the naive reliability-focused placement (paper: SER ÷5 at 17%
 // IPC loss vs perf-focused), workloads ordered by MPKI.
-func (r *Runner) Figure7() (*report.Table, error) {
-	return r.policyTable("Figure 7: reliability-focused static placement (MPKI-ordered)",
+func (r *Runner) Figure7(ctx context.Context) (*report.Table, error) {
+	return r.policyTable(ctx, "Figure 7: reliability-focused static placement (MPKI-ordered)",
 		core.ReliabilityFocused{}, "paper: SER reduced 5x, IPC -17% vs perf-focused")
 }
 
 // Figure8 is the balanced quadrant placement (paper: SER ÷3, IPC -14%).
-func (r *Runner) Figure8() (*report.Table, error) {
-	return r.policyTable("Figure 8: balanced (hot+low-risk) static placement",
+func (r *Runner) Figure8(ctx context.Context) (*report.Table, error) {
+	return r.policyTable(ctx, "Figure 8: balanced (hot+low-risk) static placement",
 		core.Balanced{}, "paper: SER reduced 3x, IPC -14% vs perf-focused")
 }
 
 // Figure9 reports the write-ratio risk proxy on mix1: the correlation with
 // AVF over the hottest 1000 pages (paper: ρ = -0.32) and the write-ratio
 // histogram over the footprint (paper Figure 9b).
-func (r *Runner) Figure9() (*report.Table, error) {
+func (r *Runner) Figure9(ctx context.Context) (*report.Table, error) {
 	spec, err := workload.SpecByName("mix1")
 	if err != nil {
 		return nil, err
 	}
-	p, err := r.ProfileOf(spec)
+	p, err := r.ProfileOf(ctx, spec)
 	if err != nil {
 		return nil, err
 	}
@@ -356,14 +358,14 @@ func (r *Runner) Figure9() (*report.Table, error) {
 }
 
 // Figure10 is the Wr-ratio heuristic placement (paper: SER ÷1.8, IPC -8.1%).
-func (r *Runner) Figure10() (*report.Table, error) {
-	return r.policyTable("Figure 10: top Wr-ratio static placement",
+func (r *Runner) Figure10(ctx context.Context) (*report.Table, error) {
+	return r.policyTable(ctx, "Figure 10: top Wr-ratio static placement",
 		core.WrRatio{}, "paper: SER reduced 1.8x, IPC -8.1% vs perf-focused")
 }
 
 // Figure11 is the Wr²-ratio heuristic placement — the paper's best static
 // heuristic (SER ÷1.6 at just 1% IPC loss).
-func (r *Runner) Figure11() (*report.Table, error) {
-	return r.policyTable("Figure 11: top Wr2-ratio static placement",
+func (r *Runner) Figure11(ctx context.Context) (*report.Table, error) {
+	return r.policyTable(ctx, "Figure 11: top Wr2-ratio static placement",
 		core.Wr2Ratio{}, "paper: SER reduced 1.6x, IPC -1% vs perf-focused")
 }

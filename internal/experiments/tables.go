@@ -1,6 +1,8 @@
 package experiments
 
 import (
+	"context"
+
 	"fmt"
 
 	"hmem/internal/core"
@@ -49,16 +51,16 @@ func (r *Runner) Table2() *report.Table {
 
 // Table3 is the paper's summary: every scheme's average IPC degradation and
 // SER improvement against its performance-focused baseline.
-func (r *Runner) Table3() (*report.Table, error) {
+func (r *Runner) Table3(ctx context.Context) (*report.Table, error) {
 	t := report.New("Table 3: summary of reliability-aware schemes",
 		"scheme", "IPC degradation", "SER improvement", "paper (IPC / SER)")
-	ordered, err := r.byMPKIDesc()
+	ordered, err := r.byMPKIDesc(ctx)
 	if err != nil {
 		return nil, err
 	}
 
 	addStatic := func(label string, pol core.Policy, paper string) error {
-		rows, err := r.staticComparison(pol, ordered)
+		rows, err := r.staticComparison(ctx, pol, ordered)
 		if err != nil {
 			return err
 		}
@@ -83,21 +85,21 @@ func (r *Runner) Table3() (*report.Table, error) {
 		ipc, ser float64
 		hasSER   bool
 	}
-	addDynamic := func(label string, run func(workload.Spec) (sim.Result, error), paper string) error {
-		rows, err := mapSpecs(r, ordered, func(spec workload.Spec) (ratios, error) {
-			perf, err := r.perfMigration(spec)
+	addDynamic := func(label string, run func(context.Context, workload.Spec) (sim.Result, error), paper string) error {
+		rows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (ratios, error) {
+			perf, err := r.perfMigration(ctx, spec)
 			if err != nil {
 				return ratios{}, err
 			}
-			res, err := run(spec)
+			res, err := run(ctx, spec)
 			if err != nil {
 				return ratios{}, err
 			}
-			perfSER, _, err := r.SEROf(perf)
+			perfSER, _, err := r.SEROf(ctx, perf)
 			if err != nil {
 				return ratios{}, err
 			}
-			resSER, _, err := r.SEROf(res)
+			resSER, _, err := r.SEROf(ctx, res)
 			if err != nil {
 				return ratios{}, err
 			}
@@ -128,20 +130,20 @@ func (r *Runner) Table3() (*report.Table, error) {
 	}
 
 	// Annotations (vs static perf-focused).
-	annRows, err := mapSpecs(r, ordered, func(spec workload.Spec) (ratios, error) {
-		perf, err := r.RunStatic(spec, core.PerfFocused{})
+	annRows, err := mapSpecs(ctx, r, ordered, func(spec workload.Spec) (ratios, error) {
+		perf, err := r.RunStatic(ctx, spec, core.PerfFocused{})
 		if err != nil {
 			return ratios{}, err
 		}
-		res, _, err := r.annotationRun(spec)
+		res, _, err := r.annotationRun(ctx, spec)
 		if err != nil {
 			return ratios{}, err
 		}
-		perfSER, _, err := r.SEROf(perf)
+		perfSER, _, err := r.SEROf(ctx, perf)
 		if err != nil {
 			return ratios{}, err
 		}
-		resSER, _, err := r.SEROf(res)
+		resSER, _, err := r.SEROf(ctx, res)
 		if err != nil {
 			return ratios{}, err
 		}

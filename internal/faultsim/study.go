@@ -1,6 +1,7 @@
 package faultsim
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -121,7 +122,7 @@ func (s *Study) Run(trials int) (Result, error) {
 		unc      int
 		outcomes map[Mode]map[ecc.Outcome]int // populated only for k == 1
 	}
-	tallies, err := exec.Map(s.Workers, len(jobs), func(i int) (shardTally, error) {
+	tallies, err := exec.Map(context.Background(), s.Workers, len(jobs), func(i int) (shardTally, error) {
 		j := jobs[i]
 		rng := xrand.New(xrand.Derive(s.Seed, uint64(j.k), uint64(j.shard)))
 		var t shardTally

@@ -3,6 +3,7 @@ package report
 import (
 	"bytes"
 	"errors"
+	"reflect"
 	"strings"
 	"testing"
 )
@@ -100,5 +101,81 @@ func TestFormatters(t *testing.T) {
 		if c.got != c.want {
 			t.Errorf("got %q want %q", c.got, c.want)
 		}
+	}
+}
+
+func TestJSONRoundTrip(t *testing.T) {
+	tab := New("Figure 5: static placement", "workload", "IPC", "SER")
+	tab.Note = "paper: 1.6x"
+	tab.AddRow("astar", "1.63x", "287.00x")
+	tab.AddRow("short-row")
+	tab.AddRow("x", "y", "z", "extra-kept")
+	var buf bytes.Buffer
+	if err := tab.WriteJSON(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Title != tab.Title || got.Note != tab.Note {
+		t.Fatalf("title/note mangled: %+v", got)
+	}
+	if !reflect.DeepEqual(got.Columns, tab.Columns) || !reflect.DeepEqual(got.Rows, tab.Rows) {
+		t.Fatalf("cells mangled:\n%+v\nvs\n%+v", got, tab)
+	}
+}
+
+func TestJSONDeterministicBytes(t *testing.T) {
+	// The service promises byte-identical job results for identical runs;
+	// that only holds if the table encoding itself is stable.
+	tab := New("t", "a", "b")
+	tab.AddRow("1", "2")
+	var a, b bytes.Buffer
+	if err := tab.WriteJSON(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatalf("encodings differ: %q vs %q", a.String(), b.String())
+	}
+}
+
+func TestWriteJSONPropagatesErrors(t *testing.T) {
+	tab := New("t", "a")
+	if err := tab.WriteJSON(failWriter{}); err == nil {
+		t.Fatal("expected write error")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("{not json")); err == nil {
+		t.Fatal("expected parse error")
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	tab := New("t", "a", "b")
+	tab.AddRow("1", "with,comma")
+	tab.AddRow("only-one")
+	tab.AddRow("x", "y", "extra-kept")
+	var buf bytes.Buffer
+	if err := tab.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got.Columns, tab.Columns) || !reflect.DeepEqual(got.Rows, tab.Rows) {
+		t.Fatalf("round trip mangled:\n%+v\nvs\n%+v", got, tab)
+	}
+}
+
+func TestReadCSVRejectsEmpty(t *testing.T) {
+	if _, err := ReadCSV(strings.NewReader("")); err == nil {
+		t.Fatal("expected error for missing header")
 	}
 }

@@ -1,0 +1,266 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+
+	"hmem"
+	"hmem/internal/report"
+)
+
+// Client is a typed hmemd client. The zero Retries/Backoff give one attempt;
+// set Retries for bounded retry-with-backoff on idempotent calls (every GET,
+// Evaluate, and Compare — evaluations are deterministic and cached server
+// side, so re-asking is safe; SubmitJob is NOT retried because a lost
+// response would double-enqueue the run).
+type Client struct {
+	// BaseURL is the server root, e.g. "http://127.0.0.1:8080".
+	BaseURL string
+	// HTTPClient defaults to a client with a 5-minute timeout (simulations
+	// are slow; the per-call ctx is the sharper knife).
+	HTTPClient *http.Client
+	// Retries is the number of ADDITIONAL attempts for idempotent calls on
+	// transport errors or 5xx/429 responses.
+	Retries int
+	// Backoff is the initial retry delay, doubled per attempt (default
+	// 100ms).
+	Backoff time.Duration
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return &http.Client{Timeout: 5 * time.Minute}
+}
+
+func (c *Client) backoff() time.Duration {
+	if c.Backoff > 0 {
+		return c.Backoff
+	}
+	return 100 * time.Millisecond
+}
+
+// APIError is a non-2xx response with the server's error message.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("hmemd: HTTP %d: %s", e.StatusCode, e.Message)
+}
+
+// retryable reports whether a fresh attempt could succeed: transport errors,
+// 5xx (transient server trouble), and 429 (queue pressure).
+func retryable(err error) bool {
+	var apiErr *APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode >= 500 || apiErr.StatusCode == http.StatusTooManyRequests
+	}
+	return true // transport-level failure
+}
+
+// do performs one round trip and decodes a 2xx JSON body into out.
+func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	var body io.Reader
+	if in != nil {
+		buf, err := json.Marshal(in)
+		if err != nil {
+			return fmt.Errorf("hmemd: encoding request: %w", err)
+		}
+		body = bytes.NewReader(buf)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, strings.TrimRight(c.BaseURL, "/")+path, body)
+	if err != nil {
+		return fmt.Errorf("hmemd: building request: %w", err)
+	}
+	if in != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return fmt.Errorf("hmemd: %s %s: %w", method, path, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode < 200 || resp.StatusCode > 299 {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	if out == nil {
+		return nil
+	}
+	if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+		return fmt.Errorf("hmemd: decoding %s %s response: %w", method, path, err)
+	}
+	return nil
+}
+
+// doIdempotent is do with bounded retry-with-backoff.
+func (c *Client) doIdempotent(ctx context.Context, method, path string, in, out any) error {
+	delay := c.backoff()
+	var err error
+	for attempt := 0; ; attempt++ {
+		err = c.do(ctx, method, path, in, out)
+		if err == nil || attempt >= c.Retries || !retryable(err) {
+			return err
+		}
+		select {
+		case <-time.After(delay):
+		case <-ctx.Done():
+			return ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+// Workloads lists the evaluable workload and benchmark names.
+func (c *Client) Workloads(ctx context.Context) (workloads, benchmarks []string, err error) {
+	var out struct {
+		Workloads  []string `json:"workloads"`
+		Benchmarks []string `json:"benchmarks"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/workloads", nil, &out); err != nil {
+		return nil, nil, err
+	}
+	return out.Workloads, out.Benchmarks, nil
+}
+
+// Policies lists the placement policy names.
+func (c *Client) Policies(ctx context.Context) ([]hmem.PolicyName, error) {
+	var out struct {
+		Policies []hmem.PolicyName `json:"policies"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/policies", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Policies, nil
+}
+
+// Experiments lists the runnable experiment ids for SubmitJob.
+func (c *Client) Experiments(ctx context.Context) ([]string, error) {
+	var out struct {
+		Experiments []string `json:"experiments"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/experiments", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Experiments, nil
+}
+
+// Evaluate runs one workload × policy on the server. Idempotent (the server
+// caches by request shape), so it retries on transient failures.
+func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (hmem.Result, error) {
+	var out hmem.Result
+	if err := c.doIdempotent(ctx, http.MethodPost, "/v1/evaluate", req, &out); err != nil {
+		return hmem.Result{}, err
+	}
+	return out, nil
+}
+
+// Compare runs one workload under several policies.
+func (c *Client) Compare(ctx context.Context, req CompareRequest) ([]hmem.Result, error) {
+	var out struct {
+		Results []hmem.Result `json:"results"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodPost, "/v1/compare", req, &out); err != nil {
+		return nil, err
+	}
+	return out.Results, nil
+}
+
+// SubmitJob enqueues an experiment run. NOT retried: a response lost after
+// the server enqueued would double-submit.
+func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
+	var out JobStatus
+	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+		return JobStatus{}, err
+	}
+	return out, nil
+}
+
+// Job fetches one job's status (including the result table once done).
+func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
+	var out JobStatus
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &out); err != nil {
+		return JobStatus{}, err
+	}
+	return out, nil
+}
+
+// WaitJob streams the job's NDJSON progress events, invoking onEvent per
+// transition (nil is fine), until the job reaches a terminal state; it then
+// fetches and returns the final status. Safe to call again after a dropped
+// connection — the stream replays all events from the start.
+func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(JobEvent)) (JobStatus, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+		strings.TrimRight(c.BaseURL, "/")+"/v1/jobs/"+id+"?watch=1", nil)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("hmemd: building watch request: %w", err)
+	}
+	// Watching can outlive any fixed client timeout; rely on ctx instead.
+	hc := *c.httpClient()
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		return JobStatus{}, fmt.Errorf("hmemd: watching job %s: %w", id, err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return JobStatus{}, &APIError{StatusCode: resp.StatusCode, Message: msg}
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev JobEvent
+		if err := dec.Decode(&ev); err != nil {
+			if err == io.EOF {
+				break
+			}
+			return JobStatus{}, fmt.Errorf("hmemd: reading job %s events: %w", id, err)
+		}
+		if onEvent != nil {
+			onEvent(ev)
+		}
+		if terminal(ev.State) {
+			break
+		}
+	}
+	return c.Job(ctx, id)
+}
+
+// RunJob is SubmitJob + WaitJob + result extraction in one call.
+func (c *Client) RunJob(ctx context.Context, req JobRequest, onEvent func(JobEvent)) (*report.Table, error) {
+	st, err := c.SubmitJob(ctx, req)
+	if err != nil {
+		return nil, err
+	}
+	final, err := c.WaitJob(ctx, st.ID, onEvent)
+	if err != nil {
+		return nil, err
+	}
+	if final.State != JobDone {
+		return nil, fmt.Errorf("hmemd: job %s %s: %s", final.ID, final.State, final.Error)
+	}
+	return final.Result, nil
+}
+
+// Healthz reports whether the server answers its health endpoint with 200.
+func (c *Client) Healthz(ctx context.Context) error {
+	return c.do(ctx, http.MethodGet, "/healthz", nil, nil)
+}

@@ -1,0 +1,316 @@
+package service
+
+import (
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"sync"
+	"time"
+
+	"hmem/internal/report"
+)
+
+// Job states. A job moves queued -> running -> done|failed; cancelled marks
+// jobs still queued when a drain deadline expired.
+const (
+	JobQueued    = "queued"
+	JobRunning   = "running"
+	JobDone      = "done"
+	JobFailed    = "failed"
+	JobCancelled = "cancelled"
+)
+
+// JobRequest submits an experiment run: one of the table/figure drivers
+// listed by GET /v1/experiments, optionally with option overrides.
+type JobRequest struct {
+	Experiment string        `json:"experiment"`
+	Options    *OptionsPatch `json:"options,omitempty"`
+}
+
+// JobStatus is the wire form of a job.
+type JobStatus struct {
+	ID         string        `json:"id"`
+	Experiment string        `json:"experiment"`
+	State      string        `json:"state"`
+	Error      string        `json:"error,omitempty"`
+	Result     *report.Table `json:"result,omitempty"`
+	CreatedAt  time.Time     `json:"created_at"`
+	StartedAt  *time.Time    `json:"started_at,omitempty"`
+	FinishedAt *time.Time    `json:"finished_at,omitempty"`
+}
+
+// JobEvent is one line of the NDJSON progress stream: a state transition.
+type JobEvent struct {
+	Seq   int    `json:"seq"`
+	JobID string `json:"job_id"`
+	State string `json:"state"`
+	Error string `json:"error,omitempty"`
+}
+
+// job is the server-side record. All fields are guarded by the store mutex;
+// notify is closed-and-replaced on every event so watchers can block on it.
+type job struct {
+	id         string
+	experiment string
+	options    *OptionsPatch
+
+	state      string
+	err        string
+	result     *report.Table
+	createdAt  time.Time
+	startedAt  *time.Time
+	finishedAt *time.Time
+
+	events []JobEvent
+	notify chan struct{}
+}
+
+func (j *job) status() JobStatus {
+	return JobStatus{
+		ID:         j.id,
+		Experiment: j.experiment,
+		State:      j.state,
+		Error:      j.err,
+		Result:     j.result,
+		CreatedAt:  j.createdAt,
+		StartedAt:  j.startedAt,
+		FinishedAt: j.finishedAt,
+	}
+}
+
+func terminal(state string) bool {
+	return state == JobDone || state == JobFailed || state == JobCancelled
+}
+
+// jobStore owns every job ever submitted (jobs are few and small — the
+// result tables — so process-lifetime retention is fine for an advisory
+// daemon; a restart clears them).
+type jobStore struct {
+	mu    sync.Mutex
+	byID  map[string]*job
+	order []*job
+	next  int
+}
+
+func (st *jobStore) init() {
+	st.byID = map[string]*job{}
+}
+
+func (st *jobStore) add(experiment string, options *OptionsPatch) *job {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	st.next++
+	j := &job{
+		id:         fmt.Sprintf("job-%d", st.next),
+		experiment: experiment,
+		options:    options,
+		state:      JobQueued,
+		createdAt:  time.Now().UTC(),
+		notify:     make(chan struct{}),
+	}
+	j.events = append(j.events, JobEvent{Seq: 1, JobID: j.id, State: JobQueued})
+	st.byID[j.id] = j
+	st.order = append(st.order, j)
+	return j
+}
+
+// statusOf snapshots a job under the store lock (workers mutate jobs
+// concurrently with handlers reading them).
+func (st *jobStore) statusOf(j *job) JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return j.status()
+}
+
+func (st *jobStore) get(id string) (*job, bool) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j, ok := st.byID[id]
+	return j, ok
+}
+
+func (st *jobStore) list() []JobStatus {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := make([]JobStatus, 0, len(st.order))
+	for _, j := range st.order {
+		out = append(out, j.status())
+	}
+	return out
+}
+
+// transition records a state change, appends the event, and wakes watchers.
+func (st *jobStore) transition(j *job, state, errMsg string, result *report.Table) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	now := time.Now().UTC()
+	j.state = state
+	j.err = errMsg
+	if result != nil {
+		j.result = result
+	}
+	switch state {
+	case JobRunning:
+		j.startedAt = &now
+	case JobDone, JobFailed, JobCancelled:
+		j.finishedAt = &now
+	}
+	j.events = append(j.events, JobEvent{
+		Seq: len(j.events) + 1, JobID: j.id, State: state, Error: errMsg,
+	})
+	old := j.notify
+	j.notify = make(chan struct{})
+	close(old)
+}
+
+// snapshotEvents returns the events at or after fromSeq plus the channel
+// that closes on the next transition.
+func (st *jobStore) snapshotEvents(j *job, fromSeq int) ([]JobEvent, string, chan struct{}) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var out []JobEvent
+	for _, ev := range j.events {
+		if ev.Seq >= fromSeq {
+			out = append(out, ev)
+		}
+	}
+	return out, j.state, j.notify
+}
+
+// countByState tallies jobs per state (for /metrics).
+func (st *jobStore) countByState() map[string]int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	out := map[string]int{
+		JobQueued: 0, JobRunning: 0, JobDone: 0, JobFailed: 0, JobCancelled: 0,
+	}
+	for _, j := range st.order {
+		out[j.state]++
+	}
+	return out
+}
+
+// --- handlers ---
+
+func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfClosing(w) {
+		return
+	}
+	var req JobRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	e, _, err := s.engineFor(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	known := false
+	for _, id := range e.ExperimentIDs() {
+		if id == req.Experiment {
+			known = true
+			break
+		}
+	}
+	if !known {
+		writeError(w, http.StatusBadRequest,
+			fmt.Errorf("unknown experiment %q (GET /v1/experiments lists the choices)", req.Experiment))
+		return
+	}
+
+	j := s.jobs.add(req.Experiment, req.Options)
+	// Enqueue under the mutex so a concurrent Shutdown can't close the
+	// channel between our closing-check and the send.
+	s.queueMu.Lock()
+	if s.queueClosed {
+		s.queueMu.Unlock()
+		s.jobs.transition(j, JobCancelled, "server is draining", nil)
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return
+	}
+	select {
+	case s.queue <- j:
+		s.queueMu.Unlock()
+	default:
+		s.queueMu.Unlock()
+		s.jobs.transition(j, JobCancelled, "job queue full", nil)
+		writeError(w, http.StatusTooManyRequests,
+			fmt.Errorf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
+		return
+	}
+	writeJSON(w, http.StatusAccepted, s.jobs.statusOf(j))
+}
+
+func (s *Service) handleListJobs(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+}
+
+func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	if r.URL.Query().Get("watch") != "" {
+		s.watchJob(w, r, j)
+		return
+	}
+	writeJSON(w, http.StatusOK, s.jobs.statusOf(j))
+}
+
+// watchJob streams the job's state transitions as NDJSON until the job
+// reaches a terminal state or the client disconnects. The final status
+// (with the result table) is one plain GET away once the stream ends.
+func (s *Service) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	enc := json.NewEncoder(w)
+
+	nextSeq := 1
+	for {
+		events, state, notify := s.jobs.snapshotEvents(j, nextSeq)
+		for _, ev := range events {
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
+			nextSeq = ev.Seq + 1
+		}
+		if flusher != nil {
+			flusher.Flush()
+		}
+		if terminal(state) {
+			return
+		}
+		select {
+		case <-notify:
+		case <-r.Context().Done():
+			return
+		}
+	}
+}
+
+// runJobs is one worker draining the queue until Shutdown closes it.
+func (s *Service) runJobs() {
+	defer s.workers.Done()
+	for j := range s.queue {
+		if s.baseCtx.Err() != nil {
+			// Drain deadline already passed: mark the remainder cancelled.
+			s.jobs.transition(j, JobCancelled, "server shut down before the job started", nil)
+			continue
+		}
+		s.jobs.transition(j, JobRunning, "", nil)
+		e, _, err := s.engineFor(j.options)
+		if err != nil {
+			s.jobs.transition(j, JobFailed, err.Error(), nil)
+			continue
+		}
+		table, err := e.RunExperiment(s.baseCtx, j.experiment)
+		if err != nil {
+			s.jobs.transition(j, JobFailed, err.Error(), nil)
+			continue
+		}
+		s.jobs.transition(j, JobDone, "", table)
+	}
+}

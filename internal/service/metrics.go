@@ -1,0 +1,117 @@
+package service
+
+import (
+	"fmt"
+	"net/http"
+	"strings"
+	"sync"
+	"time"
+)
+
+// metrics is a hand-rolled Prometheus-text registry: request counts and a
+// latency histogram per (route, status), rendered deterministically. The
+// stdlib-only rule keeps the real client library out; the exposition format
+// is simple enough to emit by hand.
+type metrics struct {
+	mu        sync.Mutex
+	requests  map[string]uint64        // "route|code" -> count
+	latencies map[string]*latencyHisto // route -> histogram
+}
+
+// latencyBounds are the histogram's upper bounds in seconds. Simulations
+// take seconds-to-minutes, list endpoints microseconds, so the buckets span
+// both regimes.
+var latencyBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
+
+type latencyHisto struct {
+	buckets []uint64 // one per bound, plus +Inf
+	sum     float64
+	count   uint64
+}
+
+func (m *metrics) observe(route string, code int, d time.Duration) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.requests == nil {
+		m.requests = map[string]uint64{}
+		m.latencies = map[string]*latencyHisto{}
+	}
+	m.requests[fmt.Sprintf("%s|%d", route, code)]++
+	h := m.latencies[route]
+	if h == nil {
+		h = &latencyHisto{buckets: make([]uint64, len(latencyBounds)+1)}
+		m.latencies[route] = h
+	}
+	secs := d.Seconds()
+	h.sum += secs
+	h.count++
+	idx := len(latencyBounds)
+	for i, bound := range latencyBounds {
+		if secs <= bound {
+			idx = i
+			break
+		}
+	}
+	h.buckets[idx]++
+}
+
+// handleMetrics renders the exposition page. Map iteration is randomized, so
+// every family sorts its series — scrapes are byte-stable for a fixed state.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	var b strings.Builder
+
+	s.metrics.mu.Lock()
+	b.WriteString("# HELP hmemd_requests_total HTTP requests served, by route and status code.\n")
+	b.WriteString("# TYPE hmemd_requests_total counter\n")
+	for _, key := range sortedKeys(s.metrics.requests) {
+		route, code, _ := strings.Cut(key, "|")
+		fmt.Fprintf(&b, "hmemd_requests_total{route=%q,code=%q} %d\n",
+			route, code, s.metrics.requests[key])
+	}
+	b.WriteString("# HELP hmemd_request_duration_seconds HTTP request latency.\n")
+	b.WriteString("# TYPE hmemd_request_duration_seconds histogram\n")
+	for _, route := range sortedKeys(s.metrics.latencies) {
+		h := s.metrics.latencies[route]
+		cum := uint64(0)
+		for i, bound := range latencyBounds {
+			cum += h.buckets[i]
+			fmt.Fprintf(&b, "hmemd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n",
+				route, bound, cum)
+		}
+		cum += h.buckets[len(latencyBounds)]
+		fmt.Fprintf(&b, "hmemd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
+		fmt.Fprintf(&b, "hmemd_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
+		fmt.Fprintf(&b, "hmemd_request_duration_seconds_count{route=%q} %d\n", route, h.count)
+	}
+	s.metrics.mu.Unlock()
+
+	rc := s.results.Stats()
+	b.WriteString("# HELP hmemd_result_cache_hits_total Evaluate requests served from the result cache (finished or in-flight).\n")
+	b.WriteString("# TYPE hmemd_result_cache_hits_total counter\n")
+	fmt.Fprintf(&b, "hmemd_result_cache_hits_total %d\n", rc.Hits)
+	b.WriteString("# HELP hmemd_result_cache_misses_total Evaluate requests that started a simulation.\n")
+	b.WriteString("# TYPE hmemd_result_cache_misses_total counter\n")
+	fmt.Fprintf(&b, "hmemd_result_cache_misses_total %d\n", rc.Misses)
+
+	es := s.engineStats()
+	b.WriteString("# HELP hmemd_engine_memo_hits_total Engine-level memo hits (profiles, policy runs, fault studies) across all engines.\n")
+	b.WriteString("# TYPE hmemd_engine_memo_hits_total counter\n")
+	fmt.Fprintf(&b, "hmemd_engine_memo_hits_total %d\n", es.Hits)
+	b.WriteString("# HELP hmemd_engine_memo_misses_total Engine-level memo misses across all engines.\n")
+	b.WriteString("# TYPE hmemd_engine_memo_misses_total counter\n")
+	fmt.Fprintf(&b, "hmemd_engine_memo_misses_total %d\n", es.Misses)
+
+	b.WriteString("# HELP hmemd_job_queue_depth Jobs waiting in the queue.\n")
+	b.WriteString("# TYPE hmemd_job_queue_depth gauge\n")
+	fmt.Fprintf(&b, "hmemd_job_queue_depth %d\n", len(s.queue))
+
+	counts := s.jobs.countByState()
+	b.WriteString("# HELP hmemd_jobs Jobs by state.\n")
+	b.WriteString("# TYPE hmemd_jobs gauge\n")
+	for _, state := range []string{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
+		fmt.Fprintf(&b, "hmemd_jobs{state=%q} %d\n", state, counts[state])
+	}
+
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_, _ = w.Write([]byte(b.String()))
+}

@@ -1,0 +1,528 @@
+// Package service implements hmemd, the placement-advisory HTTP service:
+// a JSON API over the hmem facade that a fleet operator (or the paper's
+// imagined OS policy daemon) can query for workload × policy evaluations
+// without linking the simulator into their own process.
+//
+// The service is three cooperating pieces:
+//
+//   - synchronous evaluation endpoints (/v1/evaluate, /v1/compare) that run
+//     on the caller's request goroutine, deduplicated by a process-lifetime
+//     singleflight result cache — two concurrent identical requests perform
+//     one simulation;
+//   - an async job queue (/v1/jobs) for the long-running experiment drivers
+//     (regenerating a paper figure can take minutes), bounded in depth and
+//     drained by a fixed worker pool, with NDJSON progress streaming;
+//   - observability (/metrics in Prometheus text format, /healthz) plus
+//     graceful shutdown that drains in-flight jobs while refusing new work.
+//
+// Everything is stdlib-only, matching the repository's no-dependency rule.
+package service
+
+import (
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hmem"
+	"hmem/internal/exec"
+)
+
+// Config tunes a Service. The zero value is usable: default options, 1 MiB
+// body limit, a 16-deep job queue drained by one worker.
+type Config struct {
+	// Defaults are the engine options used when a request carries no
+	// overrides. Requests may override RecordsPerCore etc. per call; each
+	// distinct resolved option set gets its own engine (and caches).
+	Defaults hmem.Options
+	// MaxBodyBytes bounds request bodies (<=0 = 1 MiB).
+	MaxBodyBytes int64
+	// QueueDepth bounds the async job queue (<=0 = 16). A full queue
+	// rejects submissions with 429 rather than blocking the client.
+	QueueDepth int
+	// JobWorkers is the number of goroutines draining the job queue
+	// (0 = 1; negative = none, for tests that inspect queued state).
+	JobWorkers int
+}
+
+const (
+	defaultMaxBodyBytes = 1 << 20
+	defaultQueueDepth   = 16
+)
+
+// Service is the hmemd HTTP handler plus its job queue and caches. Create
+// with New, mount via Handler, stop with Shutdown.
+type Service struct {
+	cfg Config
+	mux *http.ServeMux
+
+	// engines maps an options digest to its long-lived engine so every
+	// request shape shares one memoized runner per option set.
+	enginesMu sync.Mutex
+	engines   map[string]*hmem.Engine
+
+	// results collapses identical evaluate requests — concurrent and
+	// repeated — into one simulation. Keyed by digest|workload|policy.
+	results exec.Memo[string, hmem.Result]
+
+	jobs jobStore
+
+	// queue feeds submitted jobs to the worker pool. Guarded by queueMu so
+	// Shutdown can close it exactly once while submissions are in flight.
+	queueMu     sync.Mutex
+	queue       chan *job
+	queueClosed bool
+	workers     sync.WaitGroup
+
+	// closing flips at Shutdown: new work is refused with 503 while
+	// in-flight requests and queued jobs drain.
+	closing atomic.Bool
+	// baseCtx cancels job execution when a drain deadline expires.
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	metrics metrics
+}
+
+// New builds a Service and starts its job workers.
+func New(cfg Config) (*Service, error) {
+	if cfg.MaxBodyBytes <= 0 {
+		cfg.MaxBodyBytes = defaultMaxBodyBytes
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = defaultQueueDepth
+	}
+	workers := cfg.JobWorkers
+	if workers == 0 {
+		workers = 1
+	}
+	baseCtx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		cfg:        cfg,
+		engines:    map[string]*hmem.Engine{},
+		queue:      make(chan *job, cfg.QueueDepth),
+		baseCtx:    baseCtx,
+		cancelBase: cancel,
+	}
+	// Validate the configured defaults once, up front: a bad default option
+	// set should fail service start, not every request.
+	if _, _, err := s.engineFor(nil); err != nil {
+		cancel()
+		return nil, fmt.Errorf("service: invalid default options: %w", err)
+	}
+	s.jobs.init()
+	s.mux = s.routes()
+	for i := 0; i < workers; i++ {
+		s.workers.Add(1)
+		go s.runJobs()
+	}
+	return s, nil
+}
+
+// Handler returns the root HTTP handler (all routes, with the metrics
+// middleware applied).
+func (s *Service) Handler() http.Handler { return s.instrument(s.mux) }
+
+// Shutdown stops accepting new work (evaluations and job submissions get
+// 503), waits for queued and in-flight jobs to drain, and — if ctx expires
+// first — cancels job contexts so workers stop starting new simulations.
+// It is safe to call once; the HTTP server's own Shutdown handles in-flight
+// synchronous requests.
+func (s *Service) Shutdown(ctx context.Context) error {
+	s.closing.Store(true)
+	s.queueMu.Lock()
+	if !s.queueClosed {
+		s.queueClosed = true
+		close(s.queue)
+	}
+	s.queueMu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.workers.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		s.cancelBase()
+		return nil
+	case <-ctx.Done():
+		// Deadline passed: cancel the job context so in-flight drivers stop
+		// launching new simulations, then wait for the workers to notice.
+		s.cancelBase()
+		<-done
+		return ctx.Err()
+	}
+}
+
+// routes wires the API. Go 1.22 pattern routing gives us method dispatch
+// and path values without a router dependency.
+func (s *Service) routes() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
+	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
+	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
+	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	return mux
+}
+
+// --- wire types ---
+
+// EvaluateRequest asks for one workload × policy evaluation.
+type EvaluateRequest struct {
+	Workload string          `json:"workload"`
+	Policy   hmem.PolicyName `json:"policy"`
+	Options  *OptionsPatch   `json:"options,omitempty"`
+}
+
+// CompareRequest asks for one workload under several policies.
+type CompareRequest struct {
+	Workload string            `json:"workload"`
+	Policies []hmem.PolicyName `json:"policies"`
+	Options  *OptionsPatch     `json:"options,omitempty"`
+}
+
+// OptionsPatch is the subset of engine options a request may override.
+// Omitted (zero) fields keep the server's defaults. Parallel is
+// deliberately absent: it never changes results, only scheduling, and
+// letting clients set it would fragment the result cache.
+type OptionsPatch struct {
+	ScaleDiv       int    `json:"scale_div,omitempty"`
+	RecordsPerCore int    `json:"records_per_core,omitempty"`
+	Seed           uint64 `json:"seed,omitempty"`
+	FaultTrials    int    `json:"fault_trials,omitempty"`
+}
+
+func (p *OptionsPatch) apply(o hmem.Options) hmem.Options {
+	if p == nil {
+		return o
+	}
+	if p.ScaleDiv > 0 {
+		o.ScaleDiv = p.ScaleDiv
+	}
+	if p.RecordsPerCore > 0 {
+		o.RecordsPerCore = p.RecordsPerCore
+	}
+	if p.Seed != 0 {
+		o.Seed = p.Seed
+	}
+	if p.FaultTrials > 0 {
+		o.FaultTrials = p.FaultTrials
+	}
+	return o
+}
+
+// errorBody is the uniform error envelope.
+type errorBody struct {
+	Error string `json:"error"`
+}
+
+// --- engines and the result cache ---
+
+// optionsDigest canonically fingerprints a resolved option set. Parallel is
+// normalized out: it only changes scheduling, never a result, so requests
+// differing only in worker count share cache entries.
+func optionsDigest(o hmem.Options) string {
+	o.Parallel = 0
+	sum := sha256.Sum256([]byte(fmt.Sprintf("%#v", o)))
+	return hex.EncodeToString(sum[:8])
+}
+
+// engineFor returns the process-lifetime engine for an option patch,
+// creating it on first use. The digest of the engine's resolved options is
+// the cache-key prefix for its results.
+func (s *Service) engineFor(patch *OptionsPatch) (*hmem.Engine, string, error) {
+	opts := s.cfg.Defaults
+	if patch != nil {
+		opts = patch.apply(opts)
+	}
+	probe, err := hmem.NewEngine(&opts)
+	if err != nil {
+		return nil, "", err
+	}
+	digest := optionsDigest(probe.Options())
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
+	if e, ok := s.engines[digest]; ok {
+		return e, digest, nil
+	}
+	s.engines[digest] = probe
+	return probe, digest, nil
+}
+
+// engineStats sums the memo counters of every engine (for /metrics).
+func (s *Service) engineStats() exec.MemoStats {
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
+	var total exec.MemoStats
+	for _, e := range s.engines {
+		total = total.Add(e.CacheStats())
+	}
+	return total
+}
+
+// evaluateCached runs one evaluation through the result cache: concurrent
+// and repeated identical requests share a single simulation.
+func (s *Service) evaluateCached(ctx context.Context, e *hmem.Engine, digest, workloadName string, policy hmem.PolicyName) (hmem.Result, error) {
+	key := digest + "|" + workloadName + "|" + string(policy)
+	return s.results.DoCtx(ctx, key, func() (hmem.Result, error) {
+		// Background, not ctx: the result is shared with every requester of
+		// the key, so one caller's cancellation must not be cached.
+		return e.Evaluate(context.Background(), workloadName, policy)
+	})
+}
+
+// ResultCacheStats exposes the evaluate-cache counters (tests and /metrics).
+func (s *Service) ResultCacheStats() exec.MemoStats { return s.results.Stats() }
+
+// --- validation ---
+
+func knownWorkload(name string) bool {
+	for _, w := range hmem.Workloads() {
+		if w == name {
+			return true
+		}
+	}
+	for _, b := range hmem.Benchmarks() {
+		if b == name {
+			return true
+		}
+	}
+	return false
+}
+
+func knownPolicy(p hmem.PolicyName) bool {
+	for _, q := range hmem.Policies() {
+		if q == p {
+			return true
+		}
+	}
+	return false
+}
+
+// validateTarget 400s unknown workloads/policies before any simulation (or
+// cache entry) happens, with the valid choices in the message.
+func validateTarget(workloadName string, policies ...hmem.PolicyName) error {
+	if !knownWorkload(workloadName) {
+		return fmt.Errorf("unknown workload %q (GET /v1/workloads lists the choices)", workloadName)
+	}
+	for _, p := range policies {
+		if !knownPolicy(p) {
+			return fmt.Errorf("unknown policy %q (GET /v1/policies lists the choices)", p)
+		}
+	}
+	return nil
+}
+
+// --- handlers ---
+
+func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{
+		"workloads":  hmem.Workloads(),
+		"benchmarks": hmem.Benchmarks(),
+	})
+}
+
+func (s *Service) handlePolicies(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, http.StatusOK, map[string]any{"policies": hmem.Policies()})
+}
+
+func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {
+	e, _, err := s.engineFor(nil)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"experiments": e.ExperimentIDs()})
+}
+
+func (s *Service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfClosing(w) {
+		return
+	}
+	var req EvaluateRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if err := validateTarget(req.Workload, req.Policy); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, digest, err := s.engineFor(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	res, err := s.evaluateCached(r.Context(), e, digest, req.Workload, req.Policy)
+	if err != nil {
+		writeEvaluationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, res)
+}
+
+func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
+	if s.refuseIfClosing(w) {
+		return
+	}
+	var req CompareRequest
+	if !s.readJSON(w, r, &req) {
+		return
+	}
+	if len(req.Policies) == 0 {
+		writeError(w, http.StatusBadRequest, errors.New("policies must be non-empty"))
+		return
+	}
+	if err := validateTarget(req.Workload, req.Policies...); err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	e, digest, err := s.engineFor(req.Options)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	// Compare goes policy-by-policy through the same result cache the
+	// evaluate endpoint uses, so mixed evaluate/compare traffic shares
+	// simulations. The engine's own memoization already collapses the
+	// underlying profiling run.
+	results, err := exec.Map(r.Context(), e.Options().Parallel, len(req.Policies), func(i int) (hmem.Result, error) {
+		return s.evaluateCached(r.Context(), e, digest, req.Workload, req.Policies[i])
+	})
+	if err != nil {
+		writeEvaluationError(w, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"results": results})
+}
+
+func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
+	status := "ok"
+	code := http.StatusOK
+	if s.closing.Load() {
+		status = "draining"
+		code = http.StatusServiceUnavailable
+	}
+	writeJSON(w, code, map[string]any{"status": status})
+}
+
+// refuseIfClosing 503s work submitted after Shutdown began.
+func (s *Service) refuseIfClosing(w http.ResponseWriter) bool {
+	if s.closing.Load() {
+		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		return true
+	}
+	return false
+}
+
+// --- plumbing ---
+
+// readJSON decodes a bounded request body, rejecting trailing garbage and
+// unknown fields (a typoed option name should 400, not silently default).
+func (s *Service) readJSON(w http.ResponseWriter, r *http.Request, dst any) bool {
+	body := http.MaxBytesReader(w, r.Body, s.cfg.MaxBodyBytes)
+	dec := json.NewDecoder(body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		var tooBig *http.MaxBytesError
+		if errors.As(err, &tooBig) {
+			writeError(w, http.StatusRequestEntityTooLarge,
+				fmt.Errorf("request body exceeds %d bytes", tooBig.Limit))
+			return false
+		}
+		writeError(w, http.StatusBadRequest, fmt.Errorf("invalid request body: %v", err))
+		return false
+	}
+	if err := dec.Decode(&struct{}{}); !errors.Is(err, io.EOF) {
+		writeError(w, http.StatusBadRequest, errors.New("invalid request body: trailing data"))
+		return false
+	}
+	return true
+}
+
+// writeEvaluationError maps engine failures: caller cancellation is 499-ish
+// (client gone, nothing to write), everything else is a 500.
+func writeEvaluationError(w http.ResponseWriter, err error) {
+	if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+		// The client went away; any status we write is unread. Use 499 in
+		// the nginx tradition so metrics distinguish it from server faults.
+		w.WriteHeader(499)
+		return
+	}
+	writeError(w, http.StatusInternalServerError, err)
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	_ = enc.Encode(v)
+}
+
+func writeError(w http.ResponseWriter, code int, err error) {
+	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// --- metrics middleware ---
+
+// instrument wraps the mux with request counting and latency observation.
+func (s *Service) instrument(next http.Handler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		start := time.Now()
+		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
+		next.ServeHTTP(rec, r)
+		s.metrics.observe(routeLabel(r), rec.code, time.Since(start))
+	})
+}
+
+// routeLabel collapses paths with IDs so metrics stay low-cardinality.
+func routeLabel(r *http.Request) string {
+	path := r.URL.Path
+	if strings.HasPrefix(path, "/v1/jobs/") {
+		path = "/v1/jobs/{id}"
+	}
+	return r.Method + " " + path
+}
+
+type statusRecorder struct {
+	http.ResponseWriter
+	code int
+}
+
+func (r *statusRecorder) WriteHeader(code int) {
+	r.code = code
+	r.ResponseWriter.WriteHeader(code)
+}
+
+// Flush forwards to the underlying writer so NDJSON streaming works through
+// the middleware.
+func (r *statusRecorder) Flush() {
+	if f, ok := r.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// sortedKeys returns map keys in stable order (deterministic /metrics).
+func sortedKeys[V any](m map[string]V) []string {
+	keys := make([]string, 0, len(m))
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}

@@ -3,6 +3,7 @@ package trace
 import (
 	"errors"
 	"io"
+	"strings"
 	"testing"
 
 	"hmem/internal/xrand"
@@ -121,5 +122,59 @@ func TestInterleavePropagatesErrors(t *testing.T) {
 	// Error is sticky.
 	if _, err := m.Next(); err == nil {
 		t.Fatal("expected sticky error")
+	}
+}
+
+// failAfterStream yields n records, then fails with errBoom forever.
+type failAfterStream struct {
+	n    int
+	seen int
+}
+
+var errBoom = errors.New("boom")
+
+func (s *failAfterStream) Next() (Record, error) {
+	if s.seen >= s.n {
+		return Record{}, errBoom
+	}
+	s.seen++
+	return Record{Gap: 1, Addr: uint64(s.seen)}, nil
+}
+
+func TestInterleaveWrapsMidStreamSourceError(t *testing.T) {
+	good := make([]Record, 50)
+	for i := range good {
+		good[i] = Record{Gap: 1, Addr: 1000 + uint64(i)}
+	}
+	m := Interleave([]Stream{NewSliceStream(good), &failAfterStream{n: 3}}, 4)
+
+	var err error
+	emitted := 0
+	for {
+		if _, err = m.Next(); err != nil {
+			break
+		}
+		emitted++
+	}
+	if errors.Is(err, io.EOF) {
+		t.Fatal("failing source drained as clean EOF")
+	}
+	// The wrapped chain keeps the cause and names the offending source.
+	if !errors.Is(err, errBoom) {
+		t.Fatalf("err = %v, does not wrap the source error", err)
+	}
+	if !strings.Contains(err.Error(), "interleave source 1") {
+		t.Fatalf("err = %v, does not name source 1", err)
+	}
+	if emitted == 0 {
+		t.Fatal("no records emitted before the failure")
+	}
+	// Sticky: the merge stays failed with the same error.
+	if _, again := m.Next(); !errors.Is(again, errBoom) {
+		t.Fatalf("sticky err = %v", again)
+	}
+	// Collect surfaces the same wrapped error.
+	if _, err := Collect(Interleave([]Stream{&failAfterStream{n: 3}}, 4), 0); !errors.Is(err, errBoom) {
+		t.Fatalf("Collect err = %v", err)
 	}
 }
