@@ -1,0 +1,176 @@
+// Command hmembench is the benchmark-regression harness for the flat
+// hot-path data layout. It runs two benchmark groups via `go test`:
+//
+//   - micro: the per-access-cost benchmarks (page-table interning, counter
+//     observes, placement lookup, the composite per-access path, migrator
+//     Decide, the faultsim Monte-Carlo shard) at a time-based -benchtime;
+//   - figures: the top-level bench_test.go suite at -benchtime=1x (those
+//     benchmarks are memoized per process, so one iteration is the only
+//     meaningful measurement).
+//
+// Results are written as JSON (see internal/bench.File) and optionally
+// gated against a committed baseline: ns/op must stay within -tolerance of
+// the baseline, and allocs/op — machine-independent — must never exceed it.
+//
+// Usage:
+//
+//	go run ./cmd/hmembench -out BENCH_hotpath.json            # refresh baseline
+//	go run ./cmd/hmembench -compare BENCH_hotpath.json        # CI gate
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/exec"
+	"sort"
+	"strings"
+
+	"hmem/internal/bench"
+)
+
+// microPackages hosts the per-access and per-decision micro-benchmarks.
+var microPackages = []string{
+	"hmem/internal/core",
+	"hmem/internal/sim",
+	"hmem/internal/avf",
+	"hmem/internal/mea",
+	"hmem/internal/migration",
+	"hmem/internal/faultsim",
+}
+
+const microPattern = "^(BenchmarkPageTableIntern|BenchmarkFullCounters|BenchmarkPlacementLookupIndex|BenchmarkPerAccessPath|BenchmarkMigratorDecide|BenchmarkObserve|BenchmarkAccess|BenchmarkStudyHBM)"
+
+func main() {
+	var (
+		compare   = flag.String("compare", "", "baseline JSON to gate against (empty: no gate)")
+		tolerance = flag.Float64("tolerance", 0.25, "allowed fractional ns/op regression vs the baseline")
+		out       = flag.String("out", "", "write fresh results to this JSON file (empty: don't write)")
+		benchtime = flag.String("benchtime", "100ms", "-benchtime for the micro group")
+		figures   = flag.String("figures", "^Benchmark", "-bench regex for the top-level suite (empty: skip the suite)")
+		micro     = flag.String("micro", microPattern, "-bench regex for the micro group (empty: skip)")
+		verbose   = flag.Bool("v", false, "stream go test output")
+	)
+	flag.Parse()
+	if err := run(*compare, *tolerance, *out, *benchtime, *figures, *micro, *verbose); err != nil {
+		fmt.Fprintln(os.Stderr, "hmembench:", err)
+		os.Exit(1)
+	}
+}
+
+func run(compare string, tolerance float64, out, benchtime, figures, micro string, verbose bool) error {
+	var raw bytes.Buffer
+	sink := io.Writer(&raw)
+	if verbose {
+		sink = io.MultiWriter(&raw, os.Stderr)
+	}
+
+	if micro != "" {
+		args := append([]string{"test", "-run", "^$", "-bench", micro,
+			"-benchmem", "-benchtime", benchtime}, microPackages...)
+		if err := goTest(args, sink); err != nil {
+			return fmt.Errorf("micro group: %w", err)
+		}
+	}
+	if figures != "" {
+		args := []string{"test", "-run", "^$", "-bench", figures,
+			"-benchmem", "-benchtime", "1x", "-timeout", "30m", "hmem"}
+		if err := goTest(args, sink); err != nil {
+			return fmt.Errorf("figure group: %w", err)
+		}
+	}
+
+	parsed, err := bench.Parse(bytes.NewReader(raw.Bytes()))
+	if err != nil {
+		return err
+	}
+	if len(parsed.Benchmarks) == 0 {
+		return fmt.Errorf("no benchmark results parsed (both groups skipped?)")
+	}
+	report(parsed)
+
+	if out != "" {
+		f := &bench.File{
+			Note:       "hot-path benchmark baseline; refresh with: go run ./cmd/hmembench -out " + out,
+			CPU:        parsed.CPU,
+			Benchmarks: parsed.Benchmarks,
+		}
+		// Preserve the informational reference section across refreshes.
+		if old, err := bench.ReadFile(out); err == nil {
+			f.Reference = old.Reference
+			f.ReferenceNote = old.ReferenceNote
+		}
+		if err := f.WriteFile(out); err != nil {
+			return err
+		}
+		fmt.Printf("wrote %d results to %s\n", len(parsed.Benchmarks), out)
+	}
+
+	if compare != "" {
+		base, err := bench.ReadFile(compare)
+		if err != nil {
+			return err
+		}
+		regs, missing := bench.Compare(base.Benchmarks, parsed.Benchmarks, tolerance)
+		for _, m := range missing {
+			fmt.Println("note: unmatched benchmark:", m)
+		}
+		if len(regs) > 0 {
+			for _, r := range regs {
+				fmt.Println("REGRESSION:", r)
+			}
+			return fmt.Errorf("%d benchmark regression(s) vs %s (tolerance %.0f%%)",
+				len(regs), compare, tolerance*100)
+		}
+		fmt.Printf("gate passed: %d benchmarks within %.0f%% of %s (allocs exact)\n",
+			len(base.Benchmarks)-len(missing), tolerance*100, compare)
+	}
+	return nil
+}
+
+// goTest runs `go <args>` from the module root and copies its stdout to
+// sink. Benchmark regressions are detected from parsed output, so a test
+// failure is the only hard error.
+func goTest(args []string, sink io.Writer) error {
+	cmd := exec.Command("go", args...)
+	cmd.Dir = moduleRoot()
+	cmd.Stdout = sink
+	cmd.Stderr = os.Stderr
+	fmt.Fprintln(os.Stderr, "hmembench: go", strings.Join(args, " "))
+	return cmd.Run()
+}
+
+// moduleRoot locates the repository so hmembench works from any directory
+// inside it (falls back to the current directory).
+func moduleRoot() string {
+	out, err := exec.Command("go", "list", "-m", "-f", "{{.Dir}}").Output()
+	if err != nil {
+		return "."
+	}
+	dir := strings.TrimSpace(string(out))
+	if dir == "" {
+		return "."
+	}
+	return dir
+}
+
+// report prints the parsed results sorted by name, flagging allocation-free
+// benchmarks (the hot-path contract) for quick eyeballing.
+func report(run *bench.Run) {
+	names := make([]string, 0, len(run.Benchmarks))
+	for name := range run.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		r := run.Benchmarks[name]
+		marker := ""
+		if r.AllocsPerOp == 0 {
+			marker = "  [alloc-free]"
+		}
+		fmt.Printf("%-70s %14.1f ns/op %10d B/op %8d allocs/op%s\n",
+			name, r.NsPerOp, r.BytesPerOp, r.AllocsPerOp, marker)
+	}
+}

@@ -15,6 +15,13 @@
 // Because dynamic schemes move pages between tiers mid-run, every ACE
 // interval is attributed to the tier the page occupied when the interval
 // started, splitting a page's soft-error exposure across tiers.
+//
+// The tracker is keyed by dense page indices (core.PageTable interning —
+// passed here as raw uint32 to keep this package import-free) and stores
+// per-page state in one flat slice: the per-access path is a single array
+// index, no map operations, and no allocations once the footprint has been
+// seen. Page ids reappear only at Snapshot time, when the caller provides
+// the dense index→id mapping.
 package avf
 
 import (
@@ -58,29 +65,51 @@ type pageState struct {
 	reads, writes uint64
 }
 
-// Tracker accumulates ACE time for every page it observes. The zero value is
-// not usable; construct with NewTracker. Not safe for concurrent use.
+// Tracker accumulates ACE time for every page index it observes. The zero
+// value is not usable; construct with NewTracker. Not safe for concurrent
+// use.
 type Tracker struct {
-	pages map[uint64]*pageState
+	pages    []pageState // indexed by dense page index
+	observed int         // entries with at least one access
 }
 
 // NewTracker returns an empty tracker.
 func NewTracker() *Tracker {
-	return &Tracker{pages: make(map[uint64]*pageState)}
+	return &Tracker{}
 }
 
-// Access records an access to line lineInPage (0..63) of page at cycle `at`,
-// residing in tier. Accesses to a line must be fed in non-decreasing time
-// order; the tracker panics on time travel since that indicates a simulator
-// bug upstream.
-func (t *Tracker) Access(page uint64, lineInPage int, at int64, write bool, tier Tier) {
+// ensure grows the state slice to cover index i.
+func (t *Tracker) ensure(i int) {
+	if i < len(t.pages) {
+		return
+	}
+	n := len(t.pages) * 2
+	if n <= i {
+		n = i + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	pages := make([]pageState, n)
+	copy(pages, t.pages)
+	t.pages = pages
+}
+
+// Access records an access to line lineInPage (0..63) of the page interned
+// at dense index pi, at cycle `at`, residing in tier. Accesses to a line
+// must be fed in non-decreasing time order; the tracker panics on time
+// travel since that indicates a simulator bug upstream.
+func (t *Tracker) Access(pi uint32, lineInPage int, at int64, write bool, tier Tier) {
 	if lineInPage < 0 || lineInPage >= trace.LinesPerPage {
 		panic("avf: line index out of page")
 	}
-	ps := t.pages[page]
-	if ps == nil {
-		ps = &pageState{}
-		t.pages[page] = ps
+	i := int(pi)
+	if i >= len(t.pages) {
+		t.ensure(i)
+	}
+	ps := &t.pages[i]
+	if ps.touched == 0 && ps.reads == 0 && ps.writes == 0 {
+		t.observed++
 	}
 	bit := uint64(1) << uint(lineInPage)
 	if ps.touched&bit != 0 {
@@ -118,9 +147,13 @@ func (t *Tracker) Access(page uint64, lineInPage int, at int64, write bool, tier
 // a faithful split is impossible without lookahead. Migrations are rare per
 // page relative to accesses, so the attribution error is small (documented
 // in DESIGN.md).
-func (t *Tracker) MigratePage(page uint64, to Tier) {
-	ps := t.pages[page]
-	if ps == nil {
+func (t *Tracker) MigratePage(pi uint32, to Tier) {
+	i := int(pi)
+	if i >= len(t.pages) {
+		return
+	}
+	ps := &t.pages[i]
+	if ps.touched == 0 {
 		return
 	}
 	if to == TierHBM {
@@ -141,15 +174,21 @@ type PageAVF struct {
 
 // Snapshot returns the per-page AVF over a run that lasted totalCycles,
 // ordered by page id (a deterministic order keeps downstream floating-point
-// aggregation bit-reproducible). totalCycles must be positive.
-func (t *Tracker) Snapshot(totalCycles int64) []PageAVF {
+// aggregation bit-reproducible). ids is the dense index→page-id mapping
+// (core.PageTable.IDs); indices the tracker never saw an access for are
+// skipped. totalCycles must be positive.
+func (t *Tracker) Snapshot(totalCycles int64, ids []uint64) []PageAVF {
 	if totalCycles <= 0 {
 		panic("avf: Snapshot with non-positive duration")
 	}
 	denom := float64(trace.LinesPerPage) * float64(totalCycles)
-	out := make([]PageAVF, 0, len(t.pages))
-	for page, ps := range t.pages {
-		p := PageAVF{Page: page, Reads: ps.reads, Writes: ps.writes}
+	out := make([]PageAVF, 0, t.observed)
+	for i := range t.pages {
+		ps := &t.pages[i]
+		if ps.touched == 0 {
+			continue
+		}
+		p := PageAVF{Page: ids[i], Reads: ps.reads, Writes: ps.writes}
 		for tier := Tier(0); tier < numTiers; tier++ {
 			p.ByTier[tier] = float64(ps.ace[tier]) / denom
 			p.AVF += p.ByTier[tier]
@@ -161,17 +200,18 @@ func (t *Tracker) Snapshot(totalCycles int64) []PageAVF {
 }
 
 // PageCount returns the number of distinct pages observed.
-func (t *Tracker) PageCount() int { return len(t.pages) }
+func (t *Tracker) PageCount() int { return t.observed }
 
 // MeanAVF returns the mean page AVF over totalCycles — the paper's Figure 2
-// metric ("Average AVF of memory").
-func (t *Tracker) MeanAVF(totalCycles int64) float64 {
-	if len(t.pages) == 0 {
+// metric ("Average AVF of memory"). ids is as for Snapshot.
+func (t *Tracker) MeanAVF(totalCycles int64, ids []uint64) float64 {
+	if t.observed == 0 {
 		return 0
 	}
 	sum := 0.0
-	for _, p := range t.Snapshot(totalCycles) {
+	snap := t.Snapshot(totalCycles, ids)
+	for _, p := range snap {
 		sum += p.AVF
 	}
-	return sum / float64(len(t.pages))
+	return sum / float64(len(snap))
 }

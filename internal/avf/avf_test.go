@@ -8,6 +8,16 @@ import (
 	"hmem/internal/xrand"
 )
 
+// identityIDs is the dense index→page-id mapping for tests that use small
+// integers as both: index i is page id i.
+func identityIDs(n int) []uint64 {
+	ids := make([]uint64, n)
+	for i := range ids {
+		ids[i] = uint64(i)
+	}
+	return ids
+}
+
 // lineAVF runs a sequence of (time, write) events on a single line and
 // returns the page AVF scaled back up to line granularity.
 func lineAVF(t *testing.T, total int64, events []struct {
@@ -19,7 +29,7 @@ func lineAVF(t *testing.T, total int64, events []struct {
 	for _, e := range events {
 		tr.Access(0, 0, e.at, e.write, TierDDR)
 	}
-	snap := tr.Snapshot(total)
+	snap := tr.Snapshot(total, identityIDs(1))
 	if len(snap) != 1 {
 		t.Fatalf("expected 1 page, got %d", len(snap))
 	}
@@ -104,7 +114,7 @@ func TestPageAveragesLines(t *testing.T) {
 	// Line 0: fully ACE over [0,100]; other 63 lines untouched.
 	tr.Access(7, 0, 0, true, TierDDR)
 	tr.Access(7, 0, 100, false, TierDDR)
-	snap := tr.Snapshot(100)
+	snap := tr.Snapshot(100, identityIDs(8))
 	want := 1.0 / 64
 	if math.Abs(snap[0].AVF-want) > 1e-12 {
 		t.Fatalf("page AVF = %v, want %v", snap[0].AVF, want)
@@ -117,7 +127,7 @@ func TestTierAttribution(t *testing.T) {
 	tr.Access(1, 0, 40, false, TierHBM)  // [0,40] ACE -> HBM
 	tr.MigratePage(1, TierDDR)           // move page to DDR
 	tr.Access(1, 0, 100, false, TierDDR) // [40,100] ACE -> DDR (start re-tagged)
-	snap := tr.Snapshot(160)
+	snap := tr.Snapshot(160, identityIDs(2))
 	p := snap[0]
 	denominator := 64.0 * 160
 	if math.Abs(p.ByTier[TierHBM]-40/denominator) > 1e-12 {
@@ -144,7 +154,7 @@ func TestAccessCountsTracked(t *testing.T) {
 	tr.Access(3, 1, 0, true, TierDDR)
 	tr.Access(3, 1, 5, false, TierDDR)
 	tr.Access(3, 2, 9, false, TierDDR)
-	p := tr.Snapshot(10)[0]
+	p := tr.Snapshot(10, identityIDs(4))[0]
 	if p.Reads != 2 || p.Writes != 1 {
 		t.Fatalf("counts = R%d/W%d, want R2/W1", p.Reads, p.Writes)
 	}
@@ -175,7 +185,7 @@ func TestPanicsOnBadInput(t *testing.T) {
 				t.Fatal("expected panic")
 			}
 		}()
-		NewTracker().Snapshot(0)
+		NewTracker().Snapshot(0, nil)
 	})
 }
 
@@ -193,9 +203,9 @@ func TestAVFBoundsProperty(t *testing.T) {
 			if at >= total {
 				break
 			}
-			tr.Access(rng.Uint64n(4), rng.Intn(64), at, rng.Bool(0.4), Tier(rng.Intn(2)))
+			tr.Access(uint32(rng.Uint64n(4)), rng.Intn(64), at, rng.Bool(0.4), Tier(rng.Intn(2)))
 		}
-		for _, p := range tr.Snapshot(total) {
+		for _, p := range tr.Snapshot(total, identityIDs(4)) {
 			if p.AVF < 0 || p.AVF > 1 {
 				return false
 			}
@@ -223,7 +233,7 @@ func TestMoreWritesLowerAVFProperty(t *testing.T) {
 		for at := int64(0); at < total; at += 50 {
 			tr.Access(0, int(rng.Uint64n(64)), at, rng.Bool(writeP), TierDDR)
 		}
-		return tr.Snapshot(total)[0].AVF
+		return tr.Snapshot(total, identityIDs(1))[0].AVF
 	}
 	low, high := avfFor(0.1), avfFor(0.9)
 	if low <= high {
@@ -233,7 +243,7 @@ func TestMoreWritesLowerAVFProperty(t *testing.T) {
 
 func TestMeanAVF(t *testing.T) {
 	tr := NewTracker()
-	if tr.MeanAVF(100) != 0 {
+	if tr.MeanAVF(100, nil) != 0 {
 		t.Fatal("empty tracker mean must be 0")
 	}
 	// Page 0: line fully ACE; page 1: untouched except one dead write.
@@ -241,7 +251,7 @@ func TestMeanAVF(t *testing.T) {
 	tr.Access(0, 0, 100, false, TierDDR)
 	tr.Access(1, 0, 0, true, TierDDR)
 	want := (1.0/64 + 0) / 2
-	if got := tr.MeanAVF(100); math.Abs(got-want) > 1e-12 {
+	if got := tr.MeanAVF(100, identityIDs(2)); math.Abs(got-want) > 1e-12 {
 		t.Fatalf("MeanAVF = %v, want %v", got, want)
 	}
 	if tr.PageCount() != 2 {
@@ -263,6 +273,25 @@ func BenchmarkAccess(b *testing.B) {
 	rng := xrand.New(1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		tr.Access(rng.Uint64n(1024), int(rng.Uint64n(64)), int64(i), i&3 == 0, TierDDR)
+		tr.Access(uint32(rng.Uint64n(1024)), int(rng.Uint64n(64)), int64(i), i&3 == 0, TierDDR)
+	}
+}
+
+// TestAccessZeroAllocsWhenWarm checks the AVF unit's hot path: once a page
+// index is covered by the flat state array, Access never allocates.
+func TestAccessZeroAllocsWhenWarm(t *testing.T) {
+	tr := NewTracker()
+	for pi := uint32(0); pi < 64; pi++ {
+		tr.Access(pi, 0, int64(pi)+1, false, TierDDR)
+	}
+	now := int64(100)
+	pi := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		now++
+		tr.Access(pi, int(now)%64, now, now%3 == 0, TierDDR)
+		pi = (pi + 1) % 64
+	})
+	if allocs != 0 {
+		t.Fatalf("Access allocated %.1f times per access; want 0", allocs)
 	}
 }

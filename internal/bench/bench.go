@@ -1,0 +1,195 @@
+// Package bench parses `go test -bench` output and gates it against a
+// committed baseline. It backs cmd/hmembench, the benchmark-regression
+// harness that locks in the flat hot-path data layout: ns/op may drift
+// within a tolerance, but allocs/op — which is machine-independent — must
+// never regress past the baseline.
+package bench
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark's measured costs.
+type Result struct {
+	Iterations  int64   `json:"iterations,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Run is the parsed output of one `go test -bench` invocation.
+type Run struct {
+	CPU string `json:"cpu,omitempty"`
+	// Benchmarks maps "<package>.<BenchmarkName>" (sub-benchmarks keep
+	// their "/sub" suffix; the GOMAXPROCS "-N" suffix is stripped) to the
+	// measured result.
+	Benchmarks map[string]Result `json:"benchmarks"`
+}
+
+// File is the on-disk JSON schema of a benchmark baseline. Reference holds
+// informational historical numbers (e.g. the pre-refactor hot path) that
+// are reported but never gated on.
+type File struct {
+	Note          string            `json:"note,omitempty"`
+	CPU           string            `json:"cpu,omitempty"`
+	Benchmarks    map[string]Result `json:"benchmarks"`
+	ReferenceNote string            `json:"reference_note,omitempty"`
+	Reference     map[string]Result `json:"reference,omitempty"`
+}
+
+// maxprocsSuffix matches the trailing "-N" GOMAXPROCS marker on benchmark
+// names ("BenchmarkFoo-8"). Sub-benchmark names keep their "/sub" part.
+var maxprocsSuffix = regexp.MustCompile(`-\d+$`)
+
+// Parse decodes `go test -bench` text output, attributing each Benchmark
+// line to the most recent "pkg:" header. Non-benchmark lines (experiment
+// tables, test chatter) are ignored. Benchmark lines for the same name are
+// last-write-wins, matching `go test -count` semantics.
+func Parse(r io.Reader) (*Run, error) {
+	run := &Run{Benchmarks: make(map[string]Result)}
+	pkg := ""
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		switch {
+		case strings.HasPrefix(line, "pkg:"):
+			pkg = strings.TrimSpace(strings.TrimPrefix(line, "pkg:"))
+			continue
+		case strings.HasPrefix(line, "cpu:"):
+			run.CPU = strings.TrimSpace(strings.TrimPrefix(line, "cpu:"))
+			continue
+		case !strings.HasPrefix(line, "Benchmark"):
+			continue
+		}
+		fields := strings.Fields(line)
+		// A benchmark line is "Name iterations value unit [value unit ...]".
+		if len(fields) < 4 || len(fields)%2 != 0 {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue // e.g. "BenchmarkFoo \t--- FAIL" or table noise
+		}
+		res := Result{Iterations: iters}
+		parsed := false
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				if res.NsPerOp, err = strconv.ParseFloat(val, 64); err != nil {
+					return nil, fmt.Errorf("bench: bad ns/op in %q: %v", line, err)
+				}
+				parsed = true
+			case "B/op":
+				if res.BytesPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("bench: bad B/op in %q: %v", line, err)
+				}
+			case "allocs/op":
+				if res.AllocsPerOp, err = strconv.ParseInt(val, 10, 64); err != nil {
+					return nil, fmt.Errorf("bench: bad allocs/op in %q: %v", line, err)
+				}
+			}
+		}
+		if !parsed {
+			continue
+		}
+		name := maxprocsSuffix.ReplaceAllString(fields[0], "")
+		if pkg != "" {
+			name = pkg + "." + name
+		}
+		run.Benchmarks[name] = res
+	}
+	if err := sc.Err(); err != nil {
+		return nil, fmt.Errorf("bench: scanning output: %w", err)
+	}
+	return run, nil
+}
+
+// Regression is one gate violation.
+type Regression struct {
+	Name     string
+	Metric   string // "ns/op" or "allocs/op"
+	Baseline float64
+	Current  float64
+	Limit    float64
+}
+
+func (r Regression) String() string {
+	return fmt.Sprintf("%s: %s %.6g exceeds limit %.6g (baseline %.6g)",
+		r.Name, r.Metric, r.Current, r.Limit, r.Baseline)
+}
+
+// Compare gates current results against a baseline. For every benchmark
+// present in both: ns/op must not exceed baseline*(1+tolerance); allocs/op
+// must not exceed the baseline count at all (allocation counts do not vary
+// with machine speed, so they get no slack). Benchmarks present on only
+// one side are returned in missing and do not fail the gate.
+func Compare(baseline, current map[string]Result, tolerance float64) (regs []Regression, missing []string) {
+	for name, base := range baseline {
+		cur, ok := current[name]
+		if !ok {
+			missing = append(missing, name+" (not in current run)")
+			continue
+		}
+		if limit := base.NsPerOp * (1 + tolerance); cur.NsPerOp > limit {
+			regs = append(regs, Regression{
+				Name: name, Metric: "ns/op",
+				Baseline: base.NsPerOp, Current: cur.NsPerOp, Limit: limit,
+			})
+		}
+		if cur.AllocsPerOp > base.AllocsPerOp {
+			regs = append(regs, Regression{
+				Name: name, Metric: "allocs/op",
+				Baseline: float64(base.AllocsPerOp), Current: float64(cur.AllocsPerOp),
+				Limit: float64(base.AllocsPerOp),
+			})
+		}
+	}
+	for name := range current {
+		if _, ok := baseline[name]; !ok {
+			missing = append(missing, name+" (not in baseline)")
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(missing)
+	return regs, missing
+}
+
+// ReadFile loads a baseline JSON file.
+func ReadFile(path string) (*File, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var f File
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if f.Benchmarks == nil {
+		return nil, fmt.Errorf("bench: %s has no benchmarks section", path)
+	}
+	return &f, nil
+}
+
+// WriteFile stores a baseline as deterministic, indented JSON.
+func (f *File) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

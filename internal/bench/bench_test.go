@@ -1,0 +1,133 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+const sampleOutput = `goos: linux
+goarch: amd64
+pkg: hmem/internal/core
+cpu: Intel(R) Xeon(R) Processor @ 2.70GHz
+BenchmarkPageTableIntern-8   	33243339	         3.595 ns/op	       0 B/op	       0 allocs/op
+BenchmarkFullCountersObserve 	39002168	         3.296 ns/op	       0 B/op	       0 allocs/op
+PASS
+ok  	hmem/internal/core	0.579s
+pkg: hmem/internal/migration
+BenchmarkMigratorDecide/cross-counter-8         	    2193	     26056 ns/op	     173 B/op	       4 allocs/op
+ok  	hmem/internal/migration	0.245s
+pkg: hmem
+| workload | ipc |
+Benchmark row that is actually a table line
+BenchmarkFigure9 	       1	 218986656 ns/op	48290376 B/op	   77306 allocs/op
+ok  	hmem	0.223s
+`
+
+func TestParse(t *testing.T) {
+	run, err := Parse(strings.NewReader(sampleOutput))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if run.CPU != "Intel(R) Xeon(R) Processor @ 2.70GHz" {
+		t.Errorf("cpu = %q", run.CPU)
+	}
+	want := map[string]Result{
+		"hmem/internal/core.BenchmarkPageTableIntern":                   {Iterations: 33243339, NsPerOp: 3.595},
+		"hmem/internal/core.BenchmarkFullCountersObserve":               {Iterations: 39002168, NsPerOp: 3.296},
+		"hmem/internal/migration.BenchmarkMigratorDecide/cross-counter": {Iterations: 2193, NsPerOp: 26056, BytesPerOp: 173, AllocsPerOp: 4},
+		"hmem.BenchmarkFigure9":                                         {Iterations: 1, NsPerOp: 218986656, BytesPerOp: 48290376, AllocsPerOp: 77306},
+	}
+	if len(run.Benchmarks) != len(want) {
+		t.Fatalf("parsed %d benchmarks, want %d: %v", len(run.Benchmarks), len(want), run.Benchmarks)
+	}
+	for name, w := range want {
+		got, ok := run.Benchmarks[name]
+		if !ok {
+			t.Errorf("missing %s", name)
+			continue
+		}
+		if got != w {
+			t.Errorf("%s = %+v, want %+v", name, got, w)
+		}
+	}
+}
+
+func TestParseStripsMaxprocsButKeepsSubBench(t *testing.T) {
+	out := "pkg: p\nBenchmarkA/sub-case-16 10 5.0 ns/op\n"
+	run, err := Parse(strings.NewReader(out))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := run.Benchmarks["p.BenchmarkA/sub-case"]; !ok {
+		t.Fatalf("keys = %v, want p.BenchmarkA/sub-case", run.Benchmarks)
+	}
+}
+
+func TestCompareGates(t *testing.T) {
+	base := map[string]Result{
+		"a":    {NsPerOp: 100, AllocsPerOp: 2},
+		"b":    {NsPerOp: 100, AllocsPerOp: 0},
+		"gone": {NsPerOp: 1},
+	}
+	cur := map[string]Result{
+		"a":   {NsPerOp: 124, AllocsPerOp: 2}, // within 25% tolerance, allocs equal
+		"b":   {NsPerOp: 126, AllocsPerOp: 1}, // ns regression AND alloc regression
+		"new": {NsPerOp: 1},
+	}
+	regs, missing := Compare(base, cur, 0.25)
+	if len(regs) != 2 {
+		t.Fatalf("regressions = %v, want 2 for benchmark b", regs)
+	}
+	if regs[0].Name != "b" || regs[1].Name != "b" {
+		t.Fatalf("regressions = %v, want both on b", regs)
+	}
+	metrics := regs[0].Metric + "," + regs[1].Metric
+	if metrics != "allocs/op,ns/op" {
+		t.Fatalf("metrics = %s", metrics)
+	}
+	if len(missing) != 2 {
+		t.Fatalf("missing = %v, want gone and new", missing)
+	}
+}
+
+func TestCompareAllocsHaveNoSlack(t *testing.T) {
+	base := map[string]Result{"a": {NsPerOp: 100, AllocsPerOp: 0}}
+	cur := map[string]Result{"a": {NsPerOp: 100, AllocsPerOp: 1}}
+	regs, _ := Compare(base, cur, 10.0) // huge ns tolerance must not excuse allocs
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want one allocs/op violation", regs)
+	}
+}
+
+func TestFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "bench.json")
+	f := &File{
+		Note:       "test baseline",
+		CPU:        "testcpu",
+		Benchmarks: map[string]Result{"a": {Iterations: 1, NsPerOp: 2.5, BytesPerOp: 3, AllocsPerOp: 4}},
+		Reference:  map[string]Result{"old": {NsPerOp: 9}},
+	}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Benchmarks["a"] != f.Benchmarks["a"] || got.Reference["old"] != f.Reference["old"] || got.Note != f.Note {
+		t.Fatalf("round trip: %+v", got)
+	}
+}
+
+func TestReadFileRejectsEmpty(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "empty.json")
+	if err := (&File{}).WriteFile(path); err == nil {
+		// WriteFile succeeds; ReadFile must reject the missing benchmarks map.
+		if _, err := ReadFile(path); err == nil {
+			t.Fatal("ReadFile accepted a baseline with no benchmarks")
+		}
+	}
+}

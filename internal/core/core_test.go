@@ -294,12 +294,14 @@ func TestSatCounterMonotoneProperty(t *testing.T) {
 }
 
 func TestFullCounters(t *testing.T) {
+	pt := NewPageTable()
 	fc := NewFullCounters(8)
-	fc.Observe(5, false)
-	fc.Observe(5, false)
-	fc.Observe(5, true)
-	fc.Observe(9, true)
-	snap := fc.Snapshot()
+	p5, p9 := pt.Intern(5), pt.Intern(9)
+	fc.Observe(p5, false)
+	fc.Observe(p5, false)
+	fc.Observe(p5, true)
+	fc.Observe(p9, true)
+	snap := fc.Snapshot(pt)
 	if len(snap) != 2 || fc.TouchedPages() != 2 {
 		t.Fatalf("snapshot = %+v", snap)
 	}
@@ -313,14 +315,19 @@ func TestFullCounters(t *testing.T) {
 	if fc.TouchedPages() != 0 {
 		t.Fatal("reset failed")
 	}
+	if got := fc.Snapshot(pt); len(got) != 0 {
+		t.Fatalf("post-reset snapshot = %+v", got)
+	}
 }
 
 func TestFullCountersSaturate(t *testing.T) {
+	pt := NewPageTable()
 	fc := NewFullCounters(8)
+	p1 := pt.Intern(1)
 	for i := 0; i < 1000; i++ {
-		fc.Observe(1, false)
+		fc.Observe(p1, false)
 	}
-	if got := fc.Snapshot()[0].Reads; got != 255 {
+	if got := fc.Snapshot(pt)[0].Reads; got != 255 {
 		t.Fatalf("reads = %d, want 255", got)
 	}
 }

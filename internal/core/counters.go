@@ -5,6 +5,12 @@ package core
 // the Full Counter mechanism, 16-bit risk counters for the Cross Counter
 // mechanism's HBM-resident reliability unit. The same constants drive the
 // §6.3/§6.4.2 hardware-cost table.
+//
+// The tracker is keyed by dense PageIndex (see PageTable) and stores its
+// state in flat slices: one bounds check and two array writes per access,
+// no map operations and no allocations in steady state. Interval resets
+// are O(touched) via an epoch stamp — entries are lazily zeroed on first
+// touch of the next interval instead of eagerly cleared or reallocated.
 
 // SatCounter is a saturating hardware counter of a configurable bit width.
 type SatCounter struct {
@@ -34,17 +40,17 @@ func (c *SatCounter) Value() uint32 { return c.v }
 // Reset zeroes the counter (interval boundary).
 func (c *SatCounter) Reset() { c.v = 0 }
 
-// PageCounters is one page's read/write counter pair.
-type PageCounters struct {
-	R, W SatCounter
-}
-
 // FullCounters tracks reads and writes per page — the §6.2 FC mechanism.
-// The backing store is sparse (only touched pages), but the hardware cost
-// is computed from the architected page count.
+// The backing store is dense over interned page indices (only touched pages
+// ever get an index), but the hardware cost is computed from the architected
+// page count. The zero value is unusable; construct with NewFullCounters.
 type FullCounters struct {
-	bits  int
-	pages map[uint64]*PageCounters
+	max     uint32 // saturation value, 2^bits - 1
+	reads   []uint32
+	writes  []uint32
+	mark    []uint64 // epoch stamp: entry is live iff mark[i] == epoch
+	epoch   uint64
+	touched []PageIndex // indices observed this interval, first-touch order
 }
 
 // NewFullCounters builds the tracker with the given counter width (the
@@ -53,41 +59,78 @@ func NewFullCounters(bits int) *FullCounters {
 	if bits <= 0 || bits > 32 {
 		panic("core: counter width must be 1..32 bits")
 	}
-	return &FullCounters{bits: bits, pages: make(map[uint64]*PageCounters)}
+	return &FullCounters{max: 1<<uint(bits) - 1, epoch: 1}
 }
 
-// Observe records one access.
-func (f *FullCounters) Observe(page uint64, write bool) {
-	pc := f.pages[page]
-	if pc == nil {
-		r := NewSatCounter(f.bits)
-		w := NewSatCounter(f.bits)
-		pc = &PageCounters{R: r, W: w}
-		f.pages[page] = pc
+// Observe records one access to the page interned at pi.
+func (f *FullCounters) Observe(pi PageIndex, write bool) {
+	i := int(pi)
+	if i >= len(f.mark) {
+		f.ensure(i + 1)
+	}
+	if f.mark[i] != f.epoch {
+		f.mark[i] = f.epoch
+		f.reads[i], f.writes[i] = 0, 0
+		f.touched = append(f.touched, pi)
 	}
 	if write {
-		pc.W.Inc()
+		if f.writes[i] < f.max {
+			f.writes[i]++
+		}
 	} else {
-		pc.R.Inc()
+		if f.reads[i] < f.max {
+			f.reads[i]++
+		}
 	}
+}
+
+// ensure grows the backing arrays to hold at least n entries. Growth is
+// amortized doubling so a run allocates O(log footprint) times total.
+func (f *FullCounters) ensure(n int) {
+	cap := len(f.mark) * 2
+	if cap < n {
+		cap = n
+	}
+	if cap < 64 {
+		cap = 64
+	}
+	reads := make([]uint32, cap)
+	writes := make([]uint32, cap)
+	mark := make([]uint64, cap)
+	copy(reads, f.reads)
+	copy(writes, f.writes)
+	copy(mark, f.mark)
+	f.reads, f.writes, f.mark = reads, writes, mark
 }
 
 // Snapshot exports the interval's counters as PageStats (AVF unknown: the
-// runtime mechanism estimates risk via WrRatio instead).
-func (f *FullCounters) Snapshot() []PageStats {
-	out := make([]PageStats, 0, len(f.pages))
-	for page, pc := range f.pages {
-		out = append(out, PageStats{Page: page, Reads: uint64(pc.R.Value()), Writes: uint64(pc.W.Value())})
+// runtime mechanism estimates risk via WrRatio instead). pt must be the
+// table that issued the indices fed to Observe; the result is ordered by
+// page id for deterministic downstream aggregation.
+func (f *FullCounters) Snapshot(pt *PageTable) []PageStats {
+	out := make([]PageStats, 0, len(f.touched))
+	for _, pi := range f.touched {
+		i := int(pi)
+		out = append(out, PageStats{
+			Page:   pt.ID(pi),
+			Reads:  uint64(f.reads[i]),
+			Writes: uint64(f.writes[i]),
+		})
 	}
 	SortByPage(out)
 	return out
 }
 
-// Reset clears all counters for the next interval.
-func (f *FullCounters) Reset() { f.pages = make(map[uint64]*PageCounters) }
+// Reset clears all counters for the next interval. It is O(1) and performs
+// no allocation: the touched list is truncated in place and stale entries
+// are invalidated by bumping the epoch stamp.
+func (f *FullCounters) Reset() {
+	f.epoch++
+	f.touched = f.touched[:0]
+}
 
 // TouchedPages returns how many distinct pages were observed this interval.
-func (f *FullCounters) TouchedPages() int { return len(f.pages) }
+func (f *FullCounters) TouchedPages() int { return len(f.touched) }
 
 // ---- Hardware cost (§6.3, §6.4.2) ------------------------------------------
 

@@ -1,0 +1,53 @@
+package core
+
+import "testing"
+
+// BenchmarkPageTableIntern measures the warm interning cost: the one
+// sparse→dense translation every access pays.
+func BenchmarkPageTableIntern(b *testing.B) {
+	pt := NewPageTable()
+	const pages = 4096
+	for pg := uint64(0); pg < pages; pg++ {
+		pt.Intern(pg * 4096)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pt.Intern(uint64(i%pages) * 4096)
+	}
+}
+
+// BenchmarkFullCountersObserve measures one counter update on the flat
+// array path (the FC mechanism's per-access cost).
+func BenchmarkFullCountersObserve(b *testing.B) {
+	fc := NewFullCounters(8)
+	const pages = 4096
+	for pg := PageIndex(0); pg < pages; pg++ {
+		fc.Observe(pg, false)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		fc.Observe(PageIndex(i%pages), i%3 == 0)
+	}
+}
+
+// BenchmarkFullCountersSnapshotReset measures one interval turnover:
+// snapshot of a 4K-page working set plus the epoch-stamp reset.
+func BenchmarkFullCountersSnapshotReset(b *testing.B) {
+	pt := NewPageTable()
+	const pages = 4096
+	for pg := uint64(0); pg < pages; pg++ {
+		pt.Intern(pg)
+	}
+	fc := NewFullCounters(8)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for pg := PageIndex(0); pg < pages; pg++ {
+			fc.Observe(pg, pg%3 == 0)
+		}
+		_ = fc.Snapshot(pt)
+		fc.Reset()
+	}
+}

@@ -1,0 +1,60 @@
+package core
+
+import "testing"
+
+// TestFullCountersResetReusesStorage pins the satellite bugfix: Reset must
+// recycle the backing storage (epoch bump + touched-list truncation), so a
+// counter unit that is reset every interval performs zero net allocations
+// once its slices cover the working set.
+func TestFullCountersResetReusesStorage(t *testing.T) {
+	const pages = 128
+	fc := NewFullCounters(16)
+	pt := NewPageTable()
+	cycle := func() {
+		for pg := uint64(0); pg < pages; pg++ {
+			fc.Observe(pt.Intern(pg), pg%2 == 0)
+		}
+		fc.Reset()
+	}
+	cycle() // grow to steady state
+	allocs := testing.AllocsPerRun(100, cycle)
+	if allocs != 0 {
+		t.Fatalf("observe+reset cycle allocated %.1f times; want 0", allocs)
+	}
+}
+
+// TestFullCountersObserveZeroAllocs checks the per-access half alone: once a
+// page index is covered by the flat arrays, Observe never allocates.
+func TestFullCountersObserveZeroAllocs(t *testing.T) {
+	fc := NewFullCounters(16)
+	pt := NewPageTable()
+	for pg := uint64(0); pg < 64; pg++ {
+		fc.Observe(pt.Intern(pg), false)
+	}
+	pg := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		fc.Observe(pt.Intern(pg), pg%2 == 0)
+		pg = (pg + 1) % 64
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f times per access; want 0", allocs)
+	}
+}
+
+// TestPageTableInternZeroAllocsWhenWarm checks that re-interning a known
+// page is a pure probe: no growth, no allocation.
+func TestPageTableInternZeroAllocsWhenWarm(t *testing.T) {
+	pt := NewPageTable()
+	const pages = 500
+	for pg := uint64(0); pg < pages; pg++ {
+		pt.Intern(pg * 4096)
+	}
+	pg := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		pt.Intern(pg * 4096)
+		pg = (pg + 1) % pages
+	})
+	if allocs != 0 {
+		t.Fatalf("warm Intern allocated %.1f times per access; want 0", allocs)
+	}
+}

@@ -1,0 +1,134 @@
+package core
+
+// PageTable interns sparse 64-bit page ids into dense uint32 indices so the
+// per-access bookkeeping (activity counters, placement, AVF tracking, MEA,
+// interval hotness) can live in flat slices instead of Go maps. Indices are
+// assigned in first-touch order, are stable for the lifetime of the table,
+// and are dense: after N distinct interns the live indices are exactly
+// 0..N-1.
+//
+// The table is a linear-probing open-addressing hash over plain slices: one
+// probe sequence per access, no Go map machinery, and zero allocations in
+// steady state (growth is amortized and stops once the footprint is seen).
+// It is the single sparse→dense translation on the simulator's hot path;
+// everything downstream indexes arrays.
+
+// PageIndex is a dense index assigned to a page id by a PageTable. Indices
+// from different tables are not comparable.
+type PageIndex uint32
+
+// NoPageIndex is the sentinel for "not interned" in sparse slot arrays.
+const NoPageIndex = PageIndex(^uint32(0))
+
+const emptyPageSlot = ^uint32(0)
+
+// PageTable maps page ids to dense indices. The zero value is not usable;
+// construct with NewPageTable. Not safe for concurrent use.
+type PageTable struct {
+	ids  []uint64 // dense: index -> page id
+	keys []uint64 // open-addressing slot keys
+	vals []uint32 // parallel to keys; emptyPageSlot marks a free slot
+	mask uint64   // len(keys)-1, len is a power of two
+}
+
+// NewPageTable returns an empty table.
+func NewPageTable() *PageTable {
+	const initial = 1 << 10
+	t := &PageTable{
+		keys: make([]uint64, initial),
+		vals: make([]uint32, initial),
+		mask: initial - 1,
+	}
+	for i := range t.vals {
+		t.vals[i] = emptyPageSlot
+	}
+	return t
+}
+
+// hashPage is the splitmix64 finalizer — a full-avalanche mixer so page ids
+// that differ only in high bits still spread across slots.
+func hashPage(id uint64) uint64 {
+	id ^= id >> 30
+	id *= 0xbf58476d1ce4e5b9
+	id ^= id >> 27
+	id *= 0x94d049bb133111eb
+	id ^= id >> 31
+	return id
+}
+
+// Intern returns the dense index for id, assigning the next free index on
+// first sight. Steady state (id already interned) performs no allocation.
+func (t *PageTable) Intern(id uint64) PageIndex {
+	slot := hashPage(id) & t.mask
+	for {
+		v := t.vals[slot]
+		if v == emptyPageSlot {
+			break
+		}
+		if t.keys[slot] == id {
+			return PageIndex(v)
+		}
+		slot = (slot + 1) & t.mask
+	}
+	ix := uint32(len(t.ids))
+	t.ids = append(t.ids, id)
+	t.keys[slot] = id
+	t.vals[slot] = ix
+	// Grow at 3/4 load so probe chains stay short.
+	if uint64(len(t.ids))*4 >= uint64(len(t.keys))*3 {
+		t.grow()
+	}
+	return PageIndex(ix)
+}
+
+// Find returns the dense index for id without interning it.
+func (t *PageTable) Find(id uint64) (PageIndex, bool) {
+	slot := hashPage(id) & t.mask
+	for {
+		v := t.vals[slot]
+		if v == emptyPageSlot {
+			return 0, false
+		}
+		if t.keys[slot] == id {
+			return PageIndex(v), true
+		}
+		slot = (slot + 1) & t.mask
+	}
+}
+
+// ID returns the page id interned at index ix. It panics on an index the
+// table never issued — that is a corrupted-index bug upstream.
+func (t *PageTable) ID(ix PageIndex) uint64 {
+	return t.ids[ix]
+}
+
+// Len returns the number of distinct page ids interned.
+func (t *PageTable) Len() int { return len(t.ids) }
+
+// IDs returns the dense index→id mapping as a slice: IDs()[ix] is the page
+// id of index ix. The slice is the table's backing store — callers must not
+// mutate it, and its length grows with future interns.
+func (t *PageTable) IDs() []uint64 { return t.ids }
+
+func (t *PageTable) grow() {
+	oldKeys, oldVals := t.keys, t.vals
+	n := uint64(len(oldKeys)) * 2
+	t.keys = make([]uint64, n)
+	t.vals = make([]uint32, n)
+	t.mask = n - 1
+	for i := range t.vals {
+		t.vals[i] = emptyPageSlot
+	}
+	for i, v := range oldVals {
+		if v == emptyPageSlot {
+			continue
+		}
+		id := oldKeys[i]
+		slot := hashPage(id) & t.mask
+		for t.vals[slot] != emptyPageSlot {
+			slot = (slot + 1) & t.mask
+		}
+		t.keys[slot] = id
+		t.vals[slot] = v
+	}
+}

@@ -1,0 +1,68 @@
+package core
+
+import (
+	"encoding/binary"
+	"testing"
+)
+
+// FuzzPageTable drives the interning table with an arbitrary page-id
+// sequence (8 bytes per id, little-endian) and checks its contract:
+//
+//   - the same id always interns to the same index (stable within a run);
+//   - indices are dense: the i-th distinct id gets index i;
+//   - no aliasing: distinct ids never share an index, and ID() inverts
+//     Intern() exactly;
+//   - Find agrees with Intern without side effects.
+func FuzzPageTable(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 0, 0, 0, 0})
+	seed := make([]byte, 0, 64)
+	for _, id := range []uint64{0, 1, 1, 2, 1 << 40, 0xffffffffffffffff, 4096, 8192} {
+		seed = binary.LittleEndian.AppendUint64(seed, id)
+	}
+	f.Add(seed)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		pt := NewPageTable()
+		want := make(map[uint64]PageIndex)
+		var order []uint64
+		for len(data) >= 8 {
+			id := binary.LittleEndian.Uint64(data[:8])
+			data = data[8:]
+
+			prev, seen := want[id]
+			if ix, ok := pt.Find(id); ok != seen {
+				t.Fatalf("Find(%#x) ok=%v disagrees with history (seen=%v)", id, ok, seen)
+			} else if ok && ix != prev {
+				t.Fatalf("Find(%#x) = %d, want %d", id, ix, prev)
+			}
+
+			ix := pt.Intern(id)
+			if seen {
+				if ix != prev {
+					t.Fatalf("Intern(%#x) = %d, previously %d (unstable)", id, ix, prev)
+				}
+			} else {
+				if int(ix) != len(order) {
+					t.Fatalf("Intern(%#x) = %d, want dense next index %d", id, ix, len(order))
+				}
+				want[id] = ix
+				order = append(order, id)
+			}
+			if back := pt.ID(ix); back != id {
+				t.Fatalf("ID(%d) = %#x, want %#x (aliasing)", ix, back, id)
+			}
+		}
+		if pt.Len() != len(order) {
+			t.Fatalf("Len() = %d, want %d distinct ids", pt.Len(), len(order))
+		}
+		ids := pt.IDs()
+		if len(ids) != len(order) {
+			t.Fatalf("IDs() has %d entries, want %d", len(ids), len(order))
+		}
+		for i, id := range order {
+			if ids[i] != id {
+				t.Fatalf("IDs()[%d] = %#x, want %#x (insertion order broken)", i, ids[i], id)
+			}
+		}
+	})
+}

@@ -4,15 +4,25 @@
 // set of counters tracks the most frequently touched pages of the current
 // interval with strong theoretical guarantees and O(k) state, in contrast to
 // a full counter per addressable page.
+//
+// The tracker is keyed by dense page indices (core.PageTable interning —
+// passed as raw uint32 to keep this package leaf-level). The k entries live
+// in two flat arrays and a reverse slot array indexed by page index answers
+// "is this page tracked?" in one load — the per-access path performs no map
+// operations and no allocations once the footprint has been seen.
 package mea
 
-import "sort"
+// noSlot marks a page index with no MEA entry.
+const noSlot = int32(-1)
 
-// Tracker is a k-counter Misra-Gries summary over page ids. The zero value
-// is unusable; construct with New. Not safe for concurrent use.
+// Tracker is a k-counter Misra-Gries summary over dense page indices. The
+// zero value is unusable; construct with New. Not safe for concurrent use.
 type Tracker struct {
 	k        int
-	counts   map[uint64]uint64
+	idx      []uint32 // entry -> dense page index (first n in use)
+	cnt      []uint64 // entry -> residual count
+	n        int      // entries in use, <= k
+	slot     []int32  // dense page index -> entry position, noSlot if absent
 	observed uint64
 }
 
@@ -22,7 +32,11 @@ func New(k int) *Tracker {
 	if k <= 0 {
 		panic("mea: k must be positive")
 	}
-	return &Tracker{k: k, counts: make(map[uint64]uint64, k+1)}
+	return &Tracker{
+		k:   k,
+		idx: make([]uint32, k),
+		cnt: make([]uint64, k),
+	}
 }
 
 // K returns the counter budget.
@@ -31,55 +45,90 @@ func (t *Tracker) K() int { return t.k }
 // Observed returns the number of observations in the current interval.
 func (t *Tracker) Observed() uint64 { return t.observed }
 
-// Observe feeds one page access. Classic Misra-Gries update: increment a
-// tracked entry, adopt the page if a counter is free, otherwise decrement
-// every counter (evicting zeros).
-func (t *Tracker) Observe(page uint64) {
+// ensure grows the reverse slot array to cover page index i.
+func (t *Tracker) ensure(i int) {
+	if i < len(t.slot) {
+		return
+	}
+	n := len(t.slot) * 2
+	if n <= i {
+		n = i + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	slot := make([]int32, n)
+	copy(slot, t.slot)
+	for j := len(t.slot); j < n; j++ {
+		slot[j] = noSlot
+	}
+	t.slot = slot
+}
+
+// Observe feeds one access to the page interned at dense index pi. Classic
+// Misra-Gries update: increment a tracked entry, adopt the page if a counter
+// is free, otherwise decrement every counter (evicting zeros).
+func (t *Tracker) Observe(pi uint32) {
 	t.observed++
-	if _, ok := t.counts[page]; ok {
-		t.counts[page]++
+	i := int(pi)
+	if i >= len(t.slot) {
+		t.ensure(i)
+	}
+	if s := t.slot[i]; s != noSlot {
+		t.cnt[s]++
 		return
 	}
-	if len(t.counts) < t.k {
-		t.counts[page] = 1
+	if t.n < t.k {
+		t.idx[t.n] = pi
+		t.cnt[t.n] = 1
+		t.slot[i] = int32(t.n)
+		t.n++
 		return
 	}
-	for p, c := range t.counts {
-		if c <= 1 {
-			delete(t.counts, p)
-		} else {
-			t.counts[p] = c - 1
+	// Decrement-all: compact survivors in place, freeing zeroed entries.
+	w := 0
+	for r := 0; r < t.n; r++ {
+		if t.cnt[r] <= 1 {
+			t.slot[t.idx[r]] = noSlot
+			continue
 		}
+		t.idx[w] = t.idx[r]
+		t.cnt[w] = t.cnt[r] - 1
+		t.slot[t.idx[w]] = int32(w)
+		w++
 	}
+	t.n = w
 }
 
 // Entry is one tracked page with its residual counter.
 type Entry struct {
-	Page  uint64
+	Index uint32 // dense page index
 	Count uint64
 }
 
-// Hot returns the tracked pages ordered by descending residual count
-// (ties by page id). These are the interval's migration candidates.
-func (t *Tracker) Hot() []Entry {
-	out := make([]Entry, 0, len(t.counts))
-	for p, c := range t.counts {
-		out = append(out, Entry{Page: p, Count: c})
+// Hot appends the tracked entries to dst and returns it. Entries come out
+// in internal (insertion) order: callers that need a deterministic ranking
+// resolve indices to page ids and sort by (count desc, page id asc) — see
+// migration.CrossCounter — because dense index order is first-touch order,
+// not id order.
+func (t *Tracker) Hot(dst []Entry) []Entry {
+	for e := 0; e < t.n; e++ {
+		dst = append(dst, Entry{Index: t.idx[e], Count: t.cnt[e]})
 	}
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Count != out[j].Count {
-			return out[i].Count > out[j].Count
-		}
-		return out[i].Page < out[j].Page
-	})
-	return out
+	return dst
 }
 
-// Reset clears the summary for the next MEA interval.
+// Reset clears the summary for the next MEA interval without allocating.
 func (t *Tracker) Reset() {
-	t.counts = make(map[uint64]uint64, t.k+1)
+	for e := 0; e < t.n; e++ {
+		t.slot[t.idx[e]] = noSlot
+	}
+	t.n = 0
 	t.observed = 0
 }
+
+// Len returns the number of entries currently tracked.
+func (t *Tracker) Len() int { return t.n }
 
 // CostBytes returns the hardware cost of a k-entry MEA unit with the given
 // counter width in bits plus a page-id tag (52 bits for 4 KiB pages in a

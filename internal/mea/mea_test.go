@@ -1,11 +1,25 @@
 package mea
 
 import (
+	"sort"
 	"testing"
 	"testing/quick"
 
 	"hmem/internal/xrand"
 )
+
+// hotSorted drains the summary into the deterministic ranking consumers use:
+// descending residual count, ties by index (tests use identity index→id).
+func hotSorted(tr *Tracker) []Entry {
+	hot := tr.Hot(nil)
+	sort.Slice(hot, func(i, j int) bool {
+		if hot[i].Count != hot[j].Count {
+			return hot[i].Count > hot[j].Count
+		}
+		return hot[i].Index < hot[j].Index
+	})
+	return hot
+}
 
 func TestNewPanics(t *testing.T) {
 	defer func() {
@@ -24,11 +38,11 @@ func TestTracksHeavyHitter(t *testing.T) {
 		if rng.Bool(0.5) {
 			tr.Observe(777)
 		} else {
-			tr.Observe(rng.Uint64n(1000))
+			tr.Observe(uint32(rng.Uint64n(1000)))
 		}
 	}
-	hot := tr.Hot()
-	if len(hot) == 0 || hot[0].Page != 777 {
+	hot := hotSorted(tr)
+	if len(hot) == 0 || hot[0].Index != 777 {
 		t.Fatalf("heavy hitter not at top: %+v", hot)
 	}
 }
@@ -46,14 +60,14 @@ func TestMisraGriesGuarantee(t *testing.T) {
 			tr.Observe(42)
 			heavy++
 		} else {
-			tr.Observe(1000 + rng.Uint64n(5000))
+			tr.Observe(uint32(1000 + rng.Uint64n(5000)))
 		}
 	}
 	if tr.Observed() != n {
 		t.Fatalf("observed = %d", tr.Observed())
 	}
-	for _, e := range tr.Hot() {
-		if e.Page == 42 {
+	for _, e := range tr.Hot(nil) {
+		if e.Index == 42 {
 			return
 		}
 	}
@@ -66,8 +80,8 @@ func TestCounterBudgetNeverExceeded(t *testing.T) {
 		k := 1 + rng.Intn(16)
 		tr := New(k)
 		for i := 0; i < 2000; i++ {
-			tr.Observe(rng.Uint64n(500))
-			if len(tr.counts) > k {
+			tr.Observe(uint32(rng.Uint64n(500)))
+			if tr.Len() > k {
 				return false
 			}
 		}
@@ -83,9 +97,9 @@ func TestHotOrderingDeterministic(t *testing.T) {
 		tr := New(8)
 		rng := xrand.New(3)
 		for i := 0; i < 5000; i++ {
-			tr.Observe(rng.Uint64n(100))
+			tr.Observe(uint32(rng.Uint64n(100)))
 		}
-		return tr.Hot()
+		return hotSorted(tr)
 	}
 	a, b := build(), build()
 	if len(a) != len(b) {
@@ -109,7 +123,7 @@ func TestReset(t *testing.T) {
 	tr.Observe(1)
 	tr.Observe(1)
 	tr.Reset()
-	if len(tr.Hot()) != 0 || tr.Observed() != 0 {
+	if len(tr.Hot(nil)) != 0 || tr.Observed() != 0 {
 		t.Fatal("reset incomplete")
 	}
 }
@@ -119,11 +133,11 @@ func TestDecrementEvictsSingletons(t *testing.T) {
 	tr.Observe(1) // counts: 1->1
 	tr.Observe(2) // counts: 1->1, 2->1
 	tr.Observe(3) // full: decrement all -> both evicted, 3 not adopted
-	if len(tr.counts) != 0 {
-		t.Fatalf("expected empty summary, got %v", tr.counts)
+	if tr.Len() != 0 {
+		t.Fatalf("expected empty summary, got %d entries", tr.Len())
 	}
 	tr.Observe(4)
-	if len(tr.counts) != 1 {
+	if tr.Len() != 1 {
 		t.Fatal("counter not reusable after eviction")
 	}
 }
@@ -142,12 +156,33 @@ func TestCostBytes(t *testing.T) {
 func BenchmarkObserve(b *testing.B) {
 	tr := New(32)
 	rng := xrand.New(1)
-	pages := make([]uint64, 1<<12)
+	pages := make([]uint32, 1<<12)
 	for i := range pages {
-		pages[i] = rng.Uint64n(1 << 20)
+		pages[i] = uint32(rng.Uint64n(1 << 20))
 	}
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		tr.Observe(pages[i&(1<<12-1)])
+	}
+}
+
+// TestObserveAndResetZeroAllocs checks the Misra-Gries unit's hot path: once
+// the slot table covers the index space, Observe and Reset never allocate.
+func TestObserveAndResetZeroAllocs(t *testing.T) {
+	tr := New(8)
+	for pi := uint32(0); pi < 64; pi++ {
+		tr.Observe(pi)
+	}
+	tr.Reset()
+	pi := uint32(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		tr.Observe(pi)
+		pi = (pi + 1) % 64
+	})
+	if allocs != 0 {
+		t.Fatalf("Observe allocated %.1f times per access; want 0", allocs)
+	}
+	if allocs := testing.AllocsPerRun(100, tr.Reset); allocs != 0 {
+		t.Fatalf("Reset allocated %.1f times; want 0", allocs)
 	}
 }

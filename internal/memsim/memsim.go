@@ -17,6 +17,20 @@ type Request struct {
 	finish int64
 	seq    uint64
 	served bool
+	// Geometry is resolved once at Enqueue so the FR-FCFS scan and the
+	// command sequencer never re-divide the line address.
+	ch, bk int32
+	row    int64
+}
+
+// Reset prepares a served Request for reuse with new parameters, letting
+// callers pool Requests instead of allocating one per access. It panics if
+// the request is still in flight.
+func (r *Request) Reset(line uint64, write bool, arrival int64) {
+	if !r.served {
+		panic("memsim: Reset of in-flight request")
+	}
+	*r = Request{Line: line, Write: write, Arrival: arrival}
 }
 
 // Finished reports whether the scheduler has served the request.
@@ -93,6 +107,12 @@ type ServiceEvent struct {
 	DataEnd       int64
 }
 
+// cycTiming is the tier's Timing pre-converted to CPU cycles, so the
+// per-request command sequencer never multiplies by TCK.
+type cycTiming struct {
+	cl, cwl, rcd, rp, ras, wr, bl, ccd, rrd, wtr, rtp, refi, rfc int64
+}
+
 // Memory simulates one tier. It is not safe for concurrent use.
 type Memory struct {
 	cfg      Config
@@ -100,6 +120,11 @@ type Memory struct {
 	seq      uint64
 	stats    Stats
 	audit    func(ServiceEvent)
+
+	// Geometry constants hoisted out of Config so the per-access address
+	// mapping is pure integer arithmetic on local fields.
+	nch, lpr, nbk, lines uint64
+	ct                   cycTiming
 }
 
 // SetAudit installs a hook receiving every serviced request's committed
@@ -113,6 +138,18 @@ func New(cfg Config) *Memory {
 		panic(err)
 	}
 	m := &Memory{cfg: cfg}
+	m.nch = uint64(cfg.Channels)
+	m.lpr = cfg.LinesPerRow()
+	m.nbk = uint64(cfg.RanksPerChannel * cfg.BanksPerRank)
+	m.lines = cfg.Lines()
+	t := cfg.Timing
+	m.ct = cycTiming{
+		cl: t.cc(t.TCL), cwl: t.cc(t.TCWL),
+		rcd: t.cc(t.TRCD), rp: t.cc(t.TRP), ras: t.cc(t.TRAS), wr: t.cc(t.TWR),
+		bl: t.cc(t.TBL), ccd: t.cc(t.TCCD), rrd: t.cc(t.TRRD),
+		wtr: t.cc(t.TWTR), rtp: t.cc(t.TRTP),
+		refi: t.cc(t.TREFI), rfc: t.cc(t.TRFC),
+	}
 	m.channels = make([]*channel, cfg.Channels)
 	for i := range m.channels {
 		// lastAct starts far in the past so the first ACT is not delayed
@@ -143,15 +180,12 @@ func (m *Memory) ResetStats() { m.stats = Stats{} }
 // channel-level parallelism for streaming), then column within row, then
 // bank interleave on row index (consecutive rows in different banks).
 func (m *Memory) geometry(line uint64) (ch, bk int, row int64, col uint64) {
-	nch := uint64(m.cfg.Channels)
-	ch = int(line % nch)
-	chLine := line / nch
-	lpr := m.cfg.LinesPerRow()
-	col = chLine % lpr
-	rowIdx := chLine / lpr
-	nbk := uint64(m.cfg.RanksPerChannel * m.cfg.BanksPerRank)
-	bk = int(rowIdx % nbk)
-	row = int64(rowIdx / nbk)
+	ch = int(line % m.nch)
+	chLine := line / m.nch
+	col = chLine % m.lpr
+	rowIdx := chLine / m.lpr
+	bk = int(rowIdx % m.nbk)
+	row = int64(rowIdx / m.nbk)
 	return ch, bk, row, col
 }
 
@@ -160,15 +194,16 @@ func (m *Memory) geometry(line uint64) (ch, bk int, row int64, col uint64) {
 // request's Line must be inside the tier; callers map global pages to
 // tier-local frames before enqueueing.
 func (m *Memory) Enqueue(r *Request) {
-	if r.Line >= m.cfg.Lines() {
-		panic(fmt.Sprintf("memsim: %s: line %d beyond capacity (%d lines)", m.cfg.Name, r.Line, m.cfg.Lines()))
+	if r.Line >= m.lines {
+		panic(fmt.Sprintf("memsim: %s: line %d beyond capacity (%d lines)", m.cfg.Name, r.Line, m.lines))
 	}
 	if r.served {
 		panic("memsim: Enqueue of already-served request")
 	}
 	m.seq++
 	r.seq = m.seq
-	chIdx, _, _, _ := m.geometry(r.Line)
+	chIdx, bk, row, _ := m.geometry(r.Line)
+	r.ch, r.bk, r.row = int32(chIdx), int32(bk), row
 	ch := m.channels[chIdx]
 	for len(ch.pending) >= m.cfg.QueueDepth {
 		m.serveOne(ch)
@@ -182,8 +217,7 @@ func (m *Memory) Complete(r *Request) int64 {
 	if r.served {
 		return r.finish
 	}
-	chIdx, _, _, _ := m.geometry(r.Line)
-	ch := m.channels[chIdx]
+	ch := m.channels[r.ch]
 	for !r.served {
 		if !m.serveOne(ch) {
 			panic("memsim: Complete on request not enqueued")
@@ -236,9 +270,8 @@ func (m *Memory) serveOne(ch *channel) bool {
 		if r.Arrival > ch.now {
 			continue
 		}
-		_, bk, row, _ := m.geometry(r.Line)
 		prio := 0
-		if ch.banks[bk].openRow == row {
+		if ch.banks[r.bk].openRow == r.row {
 			prio++
 		}
 		if !r.Write {
@@ -269,9 +302,8 @@ func (m *Memory) refreshUpTo(ch *channel, at int64) {
 	if ch.nextRefresh == 0 {
 		return
 	}
-	t := &m.cfg.Timing
 	for ch.nextRefresh <= at {
-		end := max64(ch.nextRefresh, ch.cmdFree) + t.cc(t.TRFC)
+		end := max64(ch.nextRefresh, ch.cmdFree) + m.ct.rfc
 		for i := range ch.banks {
 			ch.banks[i].openRow = -1
 			if ch.banks[i].preReady < end {
@@ -285,15 +317,15 @@ func (m *Memory) refreshUpTo(ch *channel, at int64) {
 			ch.cmdFree = end
 		}
 		m.stats.Refreshes++
-		ch.nextRefresh += t.cc(t.TREFI)
+		ch.nextRefresh += m.ct.refi
 	}
 }
 
 // service runs the DRAM command sequence for r and stamps its finish time.
 func (m *Memory) service(ch *channel, r *Request) {
-	t := &m.cfg.Timing
-	_, bk, row, _ := m.geometry(r.Line)
-	b := &ch.banks[bk]
+	t := &m.ct
+	row := r.row
+	b := &ch.banks[r.bk]
 
 	start := max64(ch.now, r.Arrival)
 	m.refreshUpTo(ch, start)
@@ -306,49 +338,49 @@ func (m *Memory) service(ch *channel, r *Request) {
 	case b.openRow == -1:
 		m.stats.RowMisses++
 		// ACT: respect tRRD across the rank and the command bus.
-		act := max64(start, ch.cmdFree, ch.lastAct+t.cc(t.TRRD))
+		act := max64(start, ch.cmdFree, ch.lastAct+t.rrd)
 		ch.lastAct = act
 		b.openRow = row
-		b.casReady = act + t.cc(t.TRCD)
-		b.preReady = act + t.cc(t.TRAS)
+		b.casReady = act + t.rcd
+		b.preReady = act + t.ras
 	default:
 		m.stats.RowMisses++
 		m.stats.RowConflicts++
 		// PRE must respect tRAS since the opening ACT, the read-to-PRE
 		// delay, and write recovery — all folded into preReady.
 		pre := max64(start, ch.cmdFree, b.preReady)
-		act := max64(pre+t.cc(t.TRP), ch.lastAct+t.cc(t.TRRD))
+		act := max64(pre+t.rp, ch.lastAct+t.rrd)
 		ch.lastAct = act
 		b.openRow = row
-		b.casReady = act + t.cc(t.TRCD)
-		b.preReady = act + t.cc(t.TRAS)
+		b.casReady = act + t.rcd
+		b.preReady = act + t.ras
 	}
 
 	// CAS issue: ACT-to-CAS readiness, command bus, CAS-to-CAS spacing, and
 	// write-to-read turnaround when a read follows a write on this bank.
 	cas := max64(start, b.casReady, ch.cmdFree)
 	if !r.Write && b.lastWriteEnd > 0 {
-		cas = max64(cas, b.lastWriteEnd+t.cc(t.TWTR))
+		cas = max64(cas, b.lastWriteEnd+t.wtr)
 	}
-	ch.cmdFree = cas + t.cc(t.TCCD)
+	ch.cmdFree = cas + t.ccd
 
 	// Data burst occupies the channel's data bus for tBL.
-	casLat := t.TCL
+	casLat := t.cl
 	if r.Write {
-		casLat = t.TCWL
+		casLat = t.cwl
 	}
-	dataStart := max64(cas+t.cc(casLat), ch.dataFre)
-	dataEnd := dataStart + t.cc(t.TBL)
+	dataStart := max64(cas+casLat, ch.dataFre)
+	dataEnd := dataStart + t.bl
 	ch.dataFre = dataEnd
-	m.stats.DataBusBusy += t.cc(t.TBL)
+	m.stats.DataBusBusy += t.bl
 
 	if r.Write {
 		b.lastWriteEnd = dataEnd
-		b.preReady = max64(b.preReady, dataEnd+t.cc(t.TWR))
+		b.preReady = max64(b.preReady, dataEnd+t.wr)
 		m.stats.Writes++
 		m.stats.TotalWriteLatency += uint64(dataEnd - r.Arrival)
 	} else {
-		b.preReady = max64(b.preReady, cas+t.cc(t.TRTP))
+		b.preReady = max64(b.preReady, cas+t.rtp)
 		m.stats.Reads++
 		m.stats.TotalReadLatency += uint64(dataEnd - r.Arrival)
 	}
@@ -361,9 +393,8 @@ func (m *Memory) service(ch *channel, r *Request) {
 	r.served = true
 
 	if m.audit != nil {
-		chIdx, bkIdx, rowA, _ := m.geometry(r.Line)
 		m.audit(ServiceEvent{
-			Channel: chIdx, Bank: bkIdx, Row: rowA, Write: r.Write,
+			Channel: int(r.ch), Bank: int(r.bk), Row: row, Write: r.Write,
 			RowHit: rowHit, CAS: cas, DataStart: dataStart, DataEnd: dataEnd,
 		})
 	}

@@ -15,8 +15,8 @@ func TestCCBlacklistBlocksReadmission(t *testing.T) {
 	}
 	// Resident 100 is read-heavy (high risk); 101 is writey and anchors
 	// the epoch's mean risk above zero.
-	feed(cc, 100, 50, 0, true)
-	feed(cc, 101, 5, 45, true)
+	feed(cc, placement, 100, 50, 0, true)
+	feed(cc, placement, 101, 5, 45, true)
 	_, out := cc.Decide(1000, placement)
 	if len(out) != 1 || out[0] != 100 {
 		t.Fatalf("out = %v, want [100]", out)
@@ -27,8 +27,8 @@ func TestCCBlacklistBlocksReadmission(t *testing.T) {
 	// Page 100 is now DDR-resident and still hot: MEA wants it back, but
 	// the blacklist must veto re-admission.
 	for tick := 0; tick < 3; tick++ {
-		feed(cc, 100, 50, 0, false)
-		feed(cc, 101, 5, 45, true)
+		feed(cc, placement, 100, 50, 0, false)
+		feed(cc, placement, 101, 5, 45, true)
 		in, _ := cc.Decide(int64(2000+tick*1000), placement)
 		for _, pg := range in {
 			if pg == 100 {
@@ -38,8 +38,8 @@ func TestCCBlacklistBlocksReadmission(t *testing.T) {
 	}
 	// After blockEpochs epochs the verdict expires and the page may return.
 	for tick := 0; tick < 8; tick++ {
-		feed(cc, 100, 50, 0, false)
-		feed(cc, 101, 5, 45, true)
+		feed(cc, placement, 100, 50, 0, false)
+		feed(cc, placement, 101, 5, 45, true)
 		in, _ := cc.Decide(int64(6000+tick*1000), placement)
 		for _, pg := range in {
 			if pg == 100 {
@@ -57,15 +57,15 @@ func TestCCBlacklistDisabled(t *testing.T) {
 	if err := placement.Preplace([]uint64{100, 101}, false); err != nil {
 		t.Fatal(err)
 	}
-	feed(cc, 100, 50, 0, true)
-	feed(cc, 101, 5, 45, true)
+	feed(cc, placement, 100, 50, 0, true)
+	feed(cc, placement, 101, 5, 45, true)
 	_, out := cc.Decide(1000, placement)
 	if len(out) != 1 {
 		t.Fatalf("out = %v", out)
 	}
 	placement.Migrate(nil, out)
 	// Without the blacklist the hot high-risk page bounces right back.
-	feed(cc, 100, 50, 0, false)
+	feed(cc, placement, 100, 50, 0, false)
 	in, _ := cc.Decide(2000, placement)
 	found := false
 	for _, pg := range in {
@@ -94,7 +94,7 @@ func TestCCEvictHysteresis(t *testing.T) {
 			if err := placement.Preplace([]uint64{page}, false); err != nil {
 				t.Fatal(err)
 			}
-			feed(cc, page, 10, w, true)
+			feed(cc, placement, page, 10, w, true)
 		}
 		_, out := cc.Decide(1000, placement)
 		return out

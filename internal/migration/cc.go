@@ -1,6 +1,8 @@
 package migration
 
 import (
+	"sort"
+
 	"hmem/internal/core"
 	"hmem/internal/mea"
 	"hmem/internal/sim"
@@ -20,6 +22,9 @@ type CrossCounter struct {
 	tick        int
 	perf        *mea.Tracker
 	risk        *core.FullCounters
+	pt          *core.PageTable
+	hotScratch  []mea.Entry
+	hotPages    []pageCount
 	pendingOut  []uint64
 	// blocked maps pages the reliability unit classified high-risk to the
 	// epoch of that verdict; the performance unit's in-migration query
@@ -59,6 +64,9 @@ func NewCrossCounter(meaIntervalCycles int64, fcRatio int, meaEntries int) *Cros
 // Name implements sim.Migrator.
 func (c *CrossCounter) Name() string { return "cc-reliability" }
 
+// Bind implements sim.Migrator.
+func (c *CrossCounter) Bind(pt *core.PageTable) { c.pt = pt }
+
 // SetBlockEpochs overrides how many FC epochs a high-risk verdict keeps a
 // page out of HBM (default 4; 0 disables the blacklist entirely). Exposed
 // for the ablation study.
@@ -88,11 +96,35 @@ func (c *CrossCounter) MigratesConcurrently() bool { return true }
 
 // OnAccess implements sim.Migrator: the performance unit sees every access;
 // the reliability unit tracks only HBM residents.
-func (c *CrossCounter) OnAccess(page uint64, write bool, inHBM bool) {
-	c.perf.Observe(page)
+func (c *CrossCounter) OnAccess(pi core.PageIndex, write bool, inHBM bool) {
+	c.perf.Observe(uint32(pi))
 	if inHBM {
-		c.risk.Observe(page, write)
+		c.risk.Observe(pi, write)
 	}
+}
+
+// pageCount is one MEA entry resolved to its page id.
+type pageCount struct {
+	page  uint64
+	count uint64
+}
+
+// hotSet resolves the MEA unit's tracked entries to page ids, ordered by
+// descending residual count (ties by page id) — the deterministic ranking
+// the id-keyed summary used to produce directly.
+func (c *CrossCounter) hotSet() []pageCount {
+	c.hotScratch = c.perf.Hot(c.hotScratch[:0])
+	c.hotPages = c.hotPages[:0]
+	for _, e := range c.hotScratch {
+		c.hotPages = append(c.hotPages, pageCount{page: c.pt.ID(core.PageIndex(e.Index)), count: e.Count})
+	}
+	sort.Slice(c.hotPages, func(i, j int) bool {
+		if c.hotPages[i].count != c.hotPages[j].count {
+			return c.hotPages[i].count > c.hotPages[j].count
+		}
+		return c.hotPages[i].page < c.hotPages[j].page
+	})
+	return c.hotPages
 }
 
 // Decide implements sim.Migrator. Every MEA interval the performance unit
@@ -116,9 +148,9 @@ func (c *CrossCounter) Decide(_ int64, placement *sim.Placement) (in, out []uint
 		}
 	}
 
-	for _, e := range c.perf.Hot() {
-		if _, bad := c.blocked[e.Page]; !bad && !placement.InHBM(e.Page) {
-			in = append(in, e.Page)
+	for _, e := range c.hotSet() {
+		if _, bad := c.blocked[e.page]; !bad && !placement.InHBM(e.page) {
+			in = append(in, e.page)
 		}
 	}
 	c.perf.Reset()
@@ -160,7 +192,7 @@ func (c *CrossCounter) drainPending(n int) []uint64 {
 // counters: pages that are high-risk (write ratio below the epoch mean) or
 // entirely cold leave HBM.
 func (c *CrossCounter) riskEpoch(placement *sim.Placement) []uint64 {
-	snap := c.risk.Snapshot()
+	snap := c.risk.Snapshot(c.pt)
 	defer c.risk.Reset()
 	if len(snap) == 0 {
 		return nil

@@ -31,6 +31,7 @@ func pagesByHotnessAsc(stats []core.PageStats) []uint64 {
 type FullCounter struct {
 	interval int64
 	counters *core.FullCounters
+	pt       *core.PageTable
 }
 
 // NewFullCounter builds the FC mechanism with the given interval.
@@ -41,17 +42,20 @@ func NewFullCounter(intervalCycles int64) *FullCounter {
 // Name implements sim.Migrator.
 func (f *FullCounter) Name() string { return "fc-reliability" }
 
+// Bind implements sim.Migrator.
+func (f *FullCounter) Bind(pt *core.PageTable) { f.pt = pt }
+
 // IntervalCycles implements sim.Migrator.
 func (f *FullCounter) IntervalCycles() int64 { return f.interval }
 
 // OnAccess implements sim.Migrator.
-func (f *FullCounter) OnAccess(page uint64, write bool, _ bool) {
-	f.counters.Observe(page, write)
+func (f *FullCounter) OnAccess(pi core.PageIndex, write bool, _ bool) {
+	f.counters.Observe(pi, write)
 }
 
 // Decide implements sim.Migrator.
 func (f *FullCounter) Decide(_ int64, placement *sim.Placement) (in, out []uint64) {
-	snap := f.counters.Snapshot()
+	snap := f.counters.Snapshot(f.pt)
 	defer f.counters.Reset()
 	if len(snap) == 0 {
 		return nil, nil

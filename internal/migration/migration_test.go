@@ -17,12 +17,16 @@ func simConfig() sim.Config {
 	}
 }
 
-func feed(m sim.Migrator, page uint64, reads, writes int, inHBM bool) {
+// feed binds m to placement's page table and feeds it a page's accesses.
+// Bind is idempotent, so repeated feeds against the same placement are fine.
+func feed(m sim.Migrator, placement *sim.Placement, page uint64, reads, writes int, inHBM bool) {
+	m.Bind(placement.PageTable())
+	pi := placement.PageTable().Intern(page)
 	for i := 0; i < reads; i++ {
-		m.OnAccess(page, false, inHBM)
+		m.OnAccess(pi, false, inHBM)
 	}
 	for i := 0; i < writes; i++ {
-		m.OnAccess(page, true, inHBM)
+		m.OnAccess(pi, true, inHBM)
 	}
 }
 
@@ -34,9 +38,9 @@ func TestPerfMigratorSwapsHotForCold(t *testing.T) {
 	}
 	// Page 100 in HBM is cold (1 access); page 5 in DDR is very hot.
 	placement.Lookup(5)
-	feed(p, 100, 1, 0, true)
-	feed(p, 101, 50, 0, true) // hot resident stays
-	feed(p, 5, 60, 0, false)
+	feed(p, placement, 100, 1, 0, true)
+	feed(p, placement, 101, 50, 0, true) // hot resident stays
+	feed(p, placement, 5, 60, 0, false)
 	in, out := p.Decide(1000, placement)
 	if len(in) != 1 || in[0] != 5 {
 		t.Fatalf("in = %v, want [5]", in)
@@ -62,7 +66,7 @@ func TestPerfMigratorEvictsUntouchedResidents(t *testing.T) {
 		t.Fatal(err)
 	}
 	placement.Lookup(5)
-	feed(p, 5, 10, 0, false) // page 100 never touched this interval
+	feed(p, placement, 5, 10, 0, false) // page 100 never touched this interval
 	_, out := p.Decide(1000, placement)
 	if len(out) != 1 || out[0] != 100 {
 		t.Fatalf("out = %v, want [100]", out)
@@ -73,7 +77,7 @@ func TestPerfMigratorCountersResetEachInterval(t *testing.T) {
 	p := NewPerf(1000)
 	placement := sim.NewPlacement(2, 16)
 	placement.Lookup(5)
-	feed(p, 5, 10, 0, false)
+	feed(p, placement, 5, 10, 0, false)
 	p.Decide(1000, placement)
 	// New interval: no accesses -> no decisions.
 	in, out := p.Decide(2000, placement)
@@ -88,7 +92,7 @@ func TestPerfMigratorRespectsCapacityBudget(t *testing.T) {
 	// 10 hot DDR pages, empty HBM with 2 frames: at most 2 come in.
 	for pg := uint64(0); pg < 10; pg++ {
 		placement.Lookup(pg)
-		feed(p, pg, int(10+pg*10), 0, false)
+		feed(p, placement, pg, int(10+pg*10), 0, false)
 	}
 	in, _ := p.Decide(1000, placement)
 	if len(in) > 2 {
@@ -105,13 +109,13 @@ func TestFullCounterKeepsHotLowRisk(t *testing.T) {
 	placement.Lookup(5)
 	placement.Lookup(6)
 	// 100: hot + write-heavy (low risk) resident -> stays.
-	feed(f, 100, 20, 45, true)
+	feed(f, placement, 100, 20, 45, true)
 	// 101: read-only (high risk) and below mean hotness -> evicted.
-	feed(f, 101, 50, 0, true)
+	feed(f, placement, 101, 50, 0, true)
 	// 5: hot + write-heavy in DDR -> comes in.
-	feed(f, 5, 15, 45, false)
+	feed(f, placement, 5, 15, 45, false)
 	// 6: read-only in DDR -> stays out.
-	feed(f, 6, 50, 0, false)
+	feed(f, placement, 6, 50, 0, false)
 	in, out := f.Decide(1000, placement)
 	if len(in) != 1 || in[0] != 5 {
 		t.Fatalf("in = %v, want [5]", in)
@@ -131,8 +135,10 @@ func TestCrossCounterMEADrivesInMigrations(t *testing.T) {
 	cc := NewCrossCounter(1000, 4, 8)
 	placement := sim.NewPlacement(4, 64)
 	placement.Lookup(5)
+	cc.Bind(placement.PageTable())
+	pi5 := placement.PageTable().Intern(5)
 	for i := 0; i < 100; i++ {
-		cc.OnAccess(5, false, false)
+		cc.OnAccess(pi5, false, false)
 	}
 	in, out := cc.Decide(1000, placement)
 	if len(in) != 1 || in[0] != 5 {
@@ -150,15 +156,15 @@ func TestCrossCounterRiskEpochFlushesHighRisk(t *testing.T) {
 		t.Fatal(err)
 	}
 	// 100 is read-heavy in HBM (high risk), 101 write-heavy (low risk).
-	feed(cc, 100, 50, 0, true)
-	feed(cc, 101, 5, 45, true)
+	feed(cc, placement, 100, 50, 0, true)
+	feed(cc, placement, 101, 5, 45, true)
 	// Tick 1: no risk epoch (ratio 2).
 	if _, out := cc.Decide(1000, placement); len(out) != 0 {
 		t.Fatalf("early risk flush: %v", out)
 	}
 	// Tick 2: risk epoch fires; 100 must be pending-out and flushed.
-	feed(cc, 100, 50, 0, true)
-	feed(cc, 101, 5, 45, true)
+	feed(cc, placement, 100, 50, 0, true)
+	feed(cc, placement, 101, 5, 45, true)
 	_, out := cc.Decide(2000, placement)
 	foundBad, foundGood := false, false
 	for _, pg := range out {

@@ -20,6 +20,7 @@ import (
 type Perf struct {
 	interval int64
 	counters *core.FullCounters
+	pt       *core.PageTable
 	// maxSwap bounds pages moved per interval (0 = unbounded, the paper's
 	// HMA swaps everything above threshold).
 	maxSwap int
@@ -33,19 +34,22 @@ func NewPerf(intervalCycles int64) *Perf {
 // Name implements sim.Migrator.
 func (p *Perf) Name() string { return "perf-migration" }
 
+// Bind implements sim.Migrator.
+func (p *Perf) Bind(pt *core.PageTable) { p.pt = pt }
+
 // IntervalCycles implements sim.Migrator.
 func (p *Perf) IntervalCycles() int64 { return p.interval }
 
 // OnAccess implements sim.Migrator.
-func (p *Perf) OnAccess(page uint64, write bool, _ bool) {
-	p.counters.Observe(page, write)
+func (p *Perf) OnAccess(pi core.PageIndex, write bool, _ bool) {
+	p.counters.Observe(pi, write)
 }
 
 // Decide implements sim.Migrator: swap cold HBM residents for hot DDR pages,
 // using the interval's mean page hotness as the threshold ("We use dynamic
 // mean page hotness levels during each interval to determine the threshold").
 func (p *Perf) Decide(_ int64, placement *sim.Placement) (in, out []uint64) {
-	snap := p.counters.Snapshot()
+	snap := p.counters.Snapshot(p.pt)
 	defer p.counters.Reset()
 	if len(snap) == 0 {
 		return nil, nil

@@ -1,25 +1,65 @@
 package sim
 
+import "hmem/internal/core"
+
 // intervalState accumulates one measurement interval's activity and derives
-// the IntervalSample at each boundary.
+// the IntervalSample at each boundary. State is dense over interned page
+// indices: per-access work is two array writes (epoch-stamped counts plus a
+// touched list), with no map operations and no steady-state allocations.
+// The previous interval's hot set is an epoch-stamped array too, so the
+// churn computation allocates nothing per boundary.
 type intervalState struct {
-	counts  map[uint64]uint64
+	counts  []uint32 // per-index access count, valid iff mark matches
+	mark    []uint64
+	epoch   uint64
+	touched []core.PageIndex
 	reads   uint64
 	writes  uint64
 	hbmHits uint64
-	prevHot map[uint64]bool
+	// hotMark[i] == hotEpoch marks membership in the previous interval's
+	// hot set; prevHotLen is that set's size.
+	hotMark    []uint64
+	hotEpoch   uint64
+	prevHotLen int
 }
 
 func newIntervalState() *intervalState {
-	return &intervalState{
-		counts:  make(map[uint64]uint64),
-		prevHot: make(map[uint64]bool),
-	}
+	return &intervalState{epoch: 1, hotEpoch: 1}
 }
 
-// observe records one access.
-func (iv *intervalState) observe(page uint64, write, inHBM bool) {
-	iv.counts[page]++
+// ensure grows the per-index arrays to cover index i.
+func (iv *intervalState) ensure(i int) {
+	if i < len(iv.counts) {
+		return
+	}
+	n := len(iv.counts) * 2
+	if n <= i {
+		n = i + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	counts := make([]uint32, n)
+	mark := make([]uint64, n)
+	hotMark := make([]uint64, n)
+	copy(counts, iv.counts)
+	copy(mark, iv.mark)
+	copy(hotMark, iv.hotMark)
+	iv.counts, iv.mark, iv.hotMark = counts, mark, hotMark
+}
+
+// observe records one access to the page interned at pi.
+func (iv *intervalState) observe(pi core.PageIndex, write, inHBM bool) {
+	i := int(pi)
+	if i >= len(iv.counts) {
+		iv.ensure(i)
+	}
+	if iv.mark[i] != iv.epoch {
+		iv.mark[i] = iv.epoch
+		iv.counts[i] = 0
+		iv.touched = append(iv.touched, pi)
+	}
+	iv.counts[i]++
 	if write {
 		iv.writes++
 	} else {
@@ -37,7 +77,7 @@ func (iv *intervalState) sample(endCycle int64, moved int) IntervalSample {
 		Reads:        iv.reads,
 		Writes:       iv.writes,
 		PagesMoved:   moved,
-		TouchedPages: len(iv.counts),
+		TouchedPages: len(iv.touched),
 	}
 	if total := iv.reads + iv.writes; total > 0 {
 		s.HBMFraction = float64(iv.hbmHits) / float64(total)
@@ -46,30 +86,32 @@ func (iv *intervalState) sample(endCycle int64, moved int) IntervalSample {
 	// Hot set: pages above the interval's mean access count (the same
 	// threshold the §6.1 migration mechanism uses).
 	var sum uint64
-	for _, c := range iv.counts {
-		sum += c
+	for _, pi := range iv.touched {
+		sum += uint64(iv.counts[pi])
 	}
-	hot := make(map[uint64]bool)
-	if len(iv.counts) > 0 {
-		mean := float64(sum) / float64(len(iv.counts))
-		for p, c := range iv.counts {
-			if float64(c) > mean {
-				hot[p] = true
+	hotLen := 0
+	fresh := 0
+	nextHotEpoch := iv.hotEpoch + 1
+	if len(iv.touched) > 0 {
+		mean := float64(sum) / float64(len(iv.touched))
+		for _, pi := range iv.touched {
+			if float64(iv.counts[pi]) > mean {
+				hotLen++
+				if iv.hotMark[pi] != iv.hotEpoch {
+					fresh++
+				}
+				iv.hotMark[pi] = nextHotEpoch
 			}
 		}
 	}
-	if len(hot) > 0 && len(iv.prevHot) > 0 {
-		fresh := 0
-		for p := range hot {
-			if !iv.prevHot[p] {
-				fresh++
-			}
-		}
-		s.HotSetChurn = float64(fresh) / float64(len(hot))
+	if hotLen > 0 && iv.prevHotLen > 0 {
+		s.HotSetChurn = float64(fresh) / float64(hotLen)
 	}
 
-	iv.prevHot = hot
-	iv.counts = make(map[uint64]uint64)
+	iv.hotEpoch = nextHotEpoch
+	iv.prevHotLen = hotLen
+	iv.epoch++
+	iv.touched = iv.touched[:0]
 	iv.reads, iv.writes, iv.hbmHits = 0, 0, 0
 	return s
 }

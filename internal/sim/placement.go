@@ -9,36 +9,44 @@ import (
 	"sort"
 
 	"hmem/internal/avf"
+	"hmem/internal/core"
 )
 
-// location is a page's current home: a tier and a frame within that tier.
-type location struct {
-	tier  avf.Tier
-	frame uint64
-}
+// Per-page state flags in Placement.flags.
+const (
+	pagePlaced uint8 = 1 << iota // a frame has been assigned
+	pageHBM                      // resident in HBM (valid iff pagePlaced)
+	pagePinned                   // never migrates (annotation)
+)
 
 // Placement is the system page table: it maps global page ids to tier-local
 // frames, allocates frames on first touch (DDR by default), and performs
 // migrations. Pinned pages (program annotations, §7) never migrate.
+//
+// Placement owns the run's core.PageTable: page ids are interned to dense
+// indices on first sight and all per-page state (tier, frame, pin) lives in
+// flat slices indexed by them, so the per-access LookupIndex path performs
+// no map operations and no allocations in steady state. The id-keyed
+// methods (Preplace, Migrate, InHBM, HBMPages, ...) remain the public
+// interval/driver API.
 type Placement struct {
+	pt          *core.PageTable
 	hbmCapacity uint64
 	ddrCapacity uint64
-	loc         map[uint64]location
+	flags       []uint8  // indexed by PageIndex
+	frame       []uint64 // indexed by PageIndex, valid iff pagePlaced
 	hbmFree     []uint64
 	ddrFree     []uint64
-	hbmResident map[uint64]bool
-	pinned      map[uint64]bool
+	hbmResident int
 	migrations  uint64
 }
 
 // NewPlacement builds a page table over the two tiers' capacities in pages.
 func NewPlacement(hbmPages, ddrPages uint64) *Placement {
 	p := &Placement{
+		pt:          core.NewPageTable(),
 		hbmCapacity: hbmPages,
 		ddrCapacity: ddrPages,
-		loc:         make(map[uint64]location),
-		hbmResident: make(map[uint64]bool),
-		pinned:      make(map[uint64]bool),
 	}
 	// Free lists hand out frames in descending order so frame 0 is used
 	// first (pop from the tail).
@@ -53,13 +61,40 @@ func NewPlacement(hbmPages, ddrPages uint64) *Placement {
 	return p
 }
 
+// PageTable returns the run's interning table. The simulator shares it with
+// the AVF tracker, the interval tracker, and the migrator so every structure
+// indexes the same dense space.
+func (p *Placement) PageTable() *core.PageTable { return p.pt }
+
+// ensure grows the per-index state to cover index i.
+func (p *Placement) ensure(i int) {
+	if i < len(p.flags) {
+		return
+	}
+	n := len(p.flags) * 2
+	if n <= i {
+		n = i + 1
+	}
+	if n < 64 {
+		n = 64
+	}
+	flags := make([]uint8, n)
+	frame := make([]uint64, n)
+	copy(flags, p.flags)
+	copy(frame, p.frame)
+	p.flags, p.frame = flags, frame
+}
+
 // Preplace installs pages in HBM before the measured region begins — the
 // paper's warm-start ("we assume a good pre-measurement placement"). Pages
 // beyond capacity are rejected with an error. pin marks them immovable
 // (annotation-based placement).
 func (p *Placement) Preplace(pages []uint64, pin bool) error {
 	for _, page := range pages {
-		if _, exists := p.loc[page]; exists {
+		pi := p.pt.Intern(page)
+		i := int(pi)
+		p.ensure(i)
+		if p.flags[i]&pagePlaced != 0 {
 			return fmt.Errorf("sim: page %d placed twice", page)
 		}
 		if len(p.hbmFree) == 0 {
@@ -67,42 +102,89 @@ func (p *Placement) Preplace(pages []uint64, pin bool) error {
 		}
 		frame := p.hbmFree[len(p.hbmFree)-1]
 		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
-		p.loc[page] = location{tier: avf.TierHBM, frame: frame}
-		p.hbmResident[page] = true
+		p.flags[i] = pagePlaced | pageHBM
 		if pin {
-			p.pinned[page] = true
+			p.flags[i] |= pagePinned
 		}
+		p.frame[i] = frame
+		p.hbmResident++
 	}
 	return nil
 }
 
-// Lookup returns a page's tier and frame, allocating a DDR frame on first
-// touch. It panics if DDR is out of frames — a configuration error, since
-// experiments size DDR to hold every footprint.
-func (p *Placement) Lookup(page uint64) (avf.Tier, uint64) {
-	if l, ok := p.loc[page]; ok {
-		return l.tier, l.frame
+// Intern returns the dense index for page, interning it on first sight.
+// The per-access caller interns once and then uses index-keyed calls only.
+func (p *Placement) Intern(page uint64) core.PageIndex {
+	pi := p.pt.Intern(page)
+	p.ensure(int(pi))
+	return pi
+}
+
+// LookupIndex returns the tier and frame of the page interned at pi,
+// allocating a DDR frame on first touch. It panics if DDR is out of frames —
+// a configuration error, since experiments size DDR to hold every footprint.
+// The index must come from this placement's Intern (or PageTable).
+func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64) {
+	i := int(pi)
+	if i >= len(p.flags) {
+		p.ensure(i)
+	}
+	f := p.flags[i]
+	if f&pagePlaced != 0 {
+		if f&pageHBM != 0 {
+			return avf.TierHBM, p.frame[i]
+		}
+		return avf.TierDDR, p.frame[i]
 	}
 	if len(p.ddrFree) == 0 {
 		panic(fmt.Sprintf("sim: DDR capacity %d pages exhausted", p.ddrCapacity))
 	}
 	frame := p.ddrFree[len(p.ddrFree)-1]
 	p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
-	p.loc[page] = location{tier: avf.TierDDR, frame: frame}
+	p.flags[i] = f | pagePlaced
+	p.frame[i] = frame
 	return avf.TierDDR, frame
 }
 
+// Lookup returns a page's tier and frame by id, allocating a DDR frame on
+// first touch (see LookupIndex).
+func (p *Placement) Lookup(page uint64) (avf.Tier, uint64) {
+	return p.LookupIndex(p.Intern(page))
+}
+
+// InHBMIndex reports whether the page interned at pi resides in HBM.
+func (p *Placement) InHBMIndex(pi core.PageIndex) bool {
+	i := int(pi)
+	return i < len(p.flags) && p.flags[i]&(pagePlaced|pageHBM) == pagePlaced|pageHBM
+}
+
 // InHBM reports whether page currently resides in HBM.
-func (p *Placement) InHBM(page uint64) bool { return p.hbmResident[page] }
+func (p *Placement) InHBM(page uint64) bool {
+	pi, ok := p.pt.Find(page)
+	return ok && p.InHBMIndex(pi)
+}
 
 // Pinned reports whether page is pinned (annotation).
-func (p *Placement) Pinned(page uint64) bool { return p.pinned[page] }
+func (p *Placement) Pinned(page uint64) bool {
+	pi, ok := p.pt.Find(page)
+	if !ok {
+		return false
+	}
+	i := int(pi)
+	return i < len(p.flags) && p.flags[i]&pagePinned != 0
+}
 
 // HBMPages returns the HBM-resident pages in ascending order.
 func (p *Placement) HBMPages() []uint64 {
-	out := make([]uint64, 0, len(p.hbmResident))
-	for page := range p.hbmResident {
-		out = append(out, page)
+	out := make([]uint64, 0, p.hbmResident)
+	ids := p.pt.IDs()
+	for i, f := range p.flags {
+		if i >= len(ids) {
+			break
+		}
+		if f&(pagePlaced|pageHBM) == pagePlaced|pageHBM {
+			out = append(out, ids[i])
+		}
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
 	return out
@@ -126,33 +208,51 @@ func (p *Placement) Migrations() uint64 { return p.migrations }
 func (p *Placement) Migrate(in, out []uint64) int {
 	moved := 0
 	for _, page := range out {
-		l, ok := p.loc[page]
-		if !ok || l.tier != avf.TierHBM || p.pinned[page] {
+		pi, ok := p.pt.Find(page)
+		if !ok {
+			continue
+		}
+		i := int(pi)
+		if i >= len(p.flags) {
+			continue
+		}
+		f := p.flags[i]
+		if f&(pagePlaced|pageHBM) != pagePlaced|pageHBM || f&pagePinned != 0 {
 			continue
 		}
 		if len(p.ddrFree) == 0 {
 			break
 		}
-		p.hbmFree = append(p.hbmFree, l.frame)
+		p.hbmFree = append(p.hbmFree, p.frame[i])
 		frame := p.ddrFree[len(p.ddrFree)-1]
 		p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
-		p.loc[page] = location{tier: avf.TierDDR, frame: frame}
-		delete(p.hbmResident, page)
+		p.flags[i] = f &^ pageHBM
+		p.frame[i] = frame
+		p.hbmResident--
 		moved++
 	}
 	for _, page := range in {
-		l, ok := p.loc[page]
-		if !ok || l.tier != avf.TierDDR || p.pinned[page] {
+		pi, ok := p.pt.Find(page)
+		if !ok {
+			continue
+		}
+		i := int(pi)
+		if i >= len(p.flags) {
+			continue
+		}
+		f := p.flags[i]
+		if f&pagePlaced == 0 || f&pageHBM != 0 || f&pagePinned != 0 {
 			continue
 		}
 		if len(p.hbmFree) == 0 {
 			break
 		}
-		p.ddrFree = append(p.ddrFree, l.frame)
+		p.ddrFree = append(p.ddrFree, p.frame[i])
 		frame := p.hbmFree[len(p.hbmFree)-1]
 		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
-		p.loc[page] = location{tier: avf.TierHBM, frame: frame}
-		p.hbmResident[page] = true
+		p.flags[i] = f | pageHBM
+		p.frame[i] = frame
+		p.hbmResident++
 		moved++
 	}
 	p.migrations += uint64(moved)

@@ -15,11 +15,19 @@ import (
 // simulator invokes OnAccess for every memory access and Decide at every
 // IntervalCycles boundary; mechanisms with multiple internal intervals
 // (Cross Counters) fire their coarser epoch internally on every Nth call.
+//
+// The per-access path runs on dense page indices: Run binds the placement's
+// core.PageTable to the migrator before simulation starts, OnAccess receives
+// interned indices, and Decide translates back to page ids (the public
+// currency of placement decisions and snapshots).
 type Migrator interface {
 	Name() string
+	// Bind attaches the run's interning table before the first access.
+	// Indices passed to OnAccess are issued by this table.
+	Bind(pt *core.PageTable)
 	// OnAccess observes one access; inHBM reflects the page's tier at
 	// access time (risk units that only track HBM use it to filter).
-	OnAccess(page uint64, write bool, inHBM bool)
+	OnAccess(pi core.PageIndex, write bool, inHBM bool)
 	// Decide returns the pages to move into and out of HBM.
 	Decide(now int64, placement *Placement) (in, out []uint64)
 	// IntervalCycles is the finest decision interval in CPU cycles.
@@ -158,6 +166,29 @@ type coreState struct {
 	outstanding []*memsim.Request
 	outTier     []avf.Tier
 	insts       uint64
+
+	// Request recycling: reads return to reqFree once Completed; posted
+	// writes park in writeRing until the controller retires them. Both pools
+	// are bounded by the ROB window and the channels' queue depths, so the
+	// steady-state access path performs no Request allocation.
+	reqFree   []*memsim.Request
+	writeRing []*memsim.Request
+}
+
+// getRequest returns a recycled Request when one is available, reclaiming
+// any posted writes the memory controller has since retired.
+func (c *coreState) getRequest(line uint64, write bool, arrival int64) *memsim.Request {
+	for len(c.writeRing) > 0 && c.writeRing[0].Finished() {
+		c.reqFree = append(c.reqFree, c.writeRing[0])
+		c.writeRing = c.writeRing[1:]
+	}
+	if n := len(c.reqFree); n > 0 {
+		r := c.reqFree[n-1]
+		c.reqFree = c.reqFree[:n-1]
+		r.Reset(line, write, arrival)
+		return r
+	}
+	return &memsim.Request{Line: line, Write: write, Arrival: arrival}
 }
 
 // Run simulates streams (one per core) against the configured HMA.
@@ -177,6 +208,7 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 	if err := placement.Preplace(initialHBM, pin); err != nil {
 		return Result{}, err
 	}
+	pt := placement.PageTable()
 	tracker := avf.NewTracker()
 
 	cores := make([]*coreState, len(streams))
@@ -192,6 +224,7 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		if mig.IntervalCycles() <= 0 {
 			return Result{}, fmt.Errorf("sim: migrator %s has non-positive interval", mig.Name())
 		}
+		mig.Bind(pt)
 		nextInterval = mig.IntervalCycles()
 		// Hardware mechanisms (MemPod-style remap tables) migrate without
 		// an OS pause; their traffic still contends in the memory system.
@@ -237,22 +270,20 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		c.time += int64(rec.Gap) / int64(cfg.IssueWidth)
 		c.insts += uint64(rec.Gap) + 1
 
-		page := rec.Page()
+		// The hot path: one sparse→dense translation (Intern), then every
+		// bookkeeping structure below is a flat array index.
+		pi := placement.Intern(rec.Page())
 		lineInPage := int(rec.Line() % trace.LinesPerPage)
-		tier, frame := placement.Lookup(page)
+		tier, frame := placement.LookupIndex(pi)
 		write := rec.Kind.IsWrite()
 
-		tracker.Access(page, lineInPage, c.time, write, tier)
+		tracker.Access(uint32(pi), lineInPage, c.time, write, tier)
 		if mig != nil {
-			mig.OnAccess(page, write, tier == avf.TierHBM)
-			iv.observe(page, write, tier == avf.TierHBM)
+			mig.OnAccess(pi, write, tier == avf.TierHBM)
+			iv.observe(pi, write, tier == avf.TierHBM)
 		}
 
-		req := &memsim.Request{
-			Line:    frame*trace.LinesPerPage + uint64(lineInPage),
-			Write:   write,
-			Arrival: c.time,
-		}
+		req := c.getRequest(frame*trace.LinesPerPage+uint64(lineInPage), write, c.time)
 		var mem *memsim.Memory
 		if tier == avf.TierHBM {
 			mem = hbm
@@ -261,6 +292,7 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		}
 		mem.Enqueue(req)
 		if write {
+			c.writeRing = append(c.writeRing, req)
 			res.Writes++
 			if cfg.WriteBufferCycles > 0 {
 				if lag := mem.Horizon(req.Line) - c.time; lag > cfg.WriteBufferCycles {
@@ -287,6 +319,7 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 				if fin := m.Complete(oldest); fin > c.time {
 					c.time = fin
 				}
+				c.reqFree = append(c.reqFree, oldest)
 			}
 		}
 		if tier == avf.TierHBM {
@@ -324,7 +357,7 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 	for i, c := range cores {
 		res.CoreIPC[i] = float64(c.insts) / float64(last)
 	}
-	res.Snapshot = tracker.Snapshot(last)
+	res.Snapshot = tracker.Snapshot(last, pt.IDs())
 	res.PagesMigrated = placement.Migrations()
 	res.HBMStats = hbm.Stats()
 	res.DDRStats = ddr.Stats()
@@ -346,14 +379,15 @@ func applyMigration(cores []*coreState, hbm, ddr *memsim.Memory, placement *Plac
 	if moved == 0 {
 		return 0
 	}
+	pt := placement.PageTable()
 	for _, page := range in {
-		if placement.InHBM(page) {
-			tracker.MigratePage(page, avf.TierHBM)
+		if pi, ok := pt.Find(page); ok && placement.InHBMIndex(pi) {
+			tracker.MigratePage(uint32(pi), avf.TierHBM)
 		}
 	}
 	for _, page := range out {
-		if !placement.InHBM(page) {
-			tracker.MigratePage(page, avf.TierDDR)
+		if pi, ok := pt.Find(page); ok && !placement.InHBMIndex(pi) {
+			tracker.MigratePage(uint32(pi), avf.TierDDR)
 		}
 	}
 	pause := ddr.BulkTransferCycles(moved)

@@ -225,9 +225,10 @@ type swapMigrator struct {
 	decided  int
 }
 
-func (s *swapMigrator) Name() string                { return "test-swap" }
-func (s *swapMigrator) OnAccess(uint64, bool, bool) {}
-func (s *swapMigrator) IntervalCycles() int64       { return s.interval }
+func (s *swapMigrator) Name() string                        { return "test-swap" }
+func (s *swapMigrator) Bind(*core.PageTable)                {}
+func (s *swapMigrator) OnAccess(core.PageIndex, bool, bool) {}
+func (s *swapMigrator) IntervalCycles() int64               { return s.interval }
 func (s *swapMigrator) Decide(_ int64, p *Placement) (in, out []uint64) {
 	s.decided++
 	if !p.InHBM(s.page) {
@@ -288,9 +289,10 @@ type thrashMigrator struct {
 	interval int64
 }
 
-func (m *thrashMigrator) Name() string                { return "thrash" }
-func (m *thrashMigrator) OnAccess(uint64, bool, bool) {}
-func (m *thrashMigrator) IntervalCycles() int64       { return m.interval }
+func (m *thrashMigrator) Name() string                        { return "thrash" }
+func (m *thrashMigrator) Bind(*core.PageTable)                {}
+func (m *thrashMigrator) OnAccess(core.PageIndex, bool, bool) {}
+func (m *thrashMigrator) IntervalCycles() int64               { return m.interval }
 func (m *thrashMigrator) Decide(_ int64, p *Placement) (in, out []uint64) {
 	if p.InHBM(m.a) {
 		return nil, []uint64{m.a}
@@ -316,9 +318,10 @@ type evictAllMigrator struct {
 	sawPinned bool
 }
 
-func (m *evictAllMigrator) Name() string                { return "evict-all" }
-func (m *evictAllMigrator) OnAccess(uint64, bool, bool) {}
-func (m *evictAllMigrator) IntervalCycles() int64       { return m.interval }
+func (m *evictAllMigrator) Name() string                        { return "evict-all" }
+func (m *evictAllMigrator) Bind(*core.PageTable)                {}
+func (m *evictAllMigrator) OnAccess(core.PageIndex, bool, bool) {}
+func (m *evictAllMigrator) IntervalCycles() int64               { return m.interval }
 func (m *evictAllMigrator) Decide(_ int64, p *Placement) (in, out []uint64) {
 	hbm := p.HBMPages()
 	if !p.InHBM(0) || !p.InHBM(1) {
