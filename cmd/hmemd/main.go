@@ -47,6 +47,7 @@ func main() {
 		jobWorkers   = flag.Int("job-workers", 1, "goroutines draining the job queue")
 		maxBody      = flag.Int64("max-body-bytes", 0, "request body limit (0 = default 1 MiB)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal (empty = jobs do not survive restarts)")
 	)
 	flag.Parse()
 
@@ -61,9 +62,15 @@ func main() {
 		MaxBodyBytes: *maxBody,
 		QueueDepth:   *queueDepth,
 		JobWorkers:   *jobWorkers,
+		JournalDir:   *journalDir,
 	})
 	if err != nil {
 		log.Fatalf("hmemd: %v", err)
+	}
+	if *journalDir != "" {
+		rec := svc.Recovery()
+		log.Printf("hmemd: journal replay: restored %d jobs (%d terminal, %d requeued, %d failed as poison)",
+			rec.Restored, rec.Terminal, rec.Requeued, rec.PoisonFailed)
 	}
 
 	srv := &http.Server{

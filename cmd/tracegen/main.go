@@ -46,10 +46,21 @@ func main() {
 		fatal(err)
 	}
 
-	var src trace.Stream = workload.NewGenerator(prof, 0, *records, *seed)
+	g, err := workload.NewGenerator(prof, 0, *records, *seed)
+	if err != nil {
+		fatal(err)
+	}
+	var src trace.Stream = g
 	if *cpu {
-		l2 := cachesim.New(cachesim.Table1L2(16))
-		src = cachesim.NewFilterStream(workload.CPUExpand(src, 4, *seed+1), cachesim.NewHierarchy(cachesim.Table1Hierarchy(), l2))
+		l2, err := cachesim.New(cachesim.Table1L2(16))
+		if err != nil {
+			fatal(err)
+		}
+		h, err := cachesim.NewHierarchy(cachesim.Table1Hierarchy(), l2)
+		if err != nil {
+			fatal(err)
+		}
+		src = cachesim.NewFilterStream(workload.CPUExpand(src, 4, *seed+1), h)
 	}
 	recs, err := trace.Collect(src, 0)
 	if err != nil {

@@ -39,7 +39,11 @@ func main() {
 			fmt.Fprintln(os.Stderr, "workloadstat:", err)
 			os.Exit(1)
 		}
-		g := workload.NewGenerator(prof, 0, *records, *seed)
+		g, err := workload.NewGenerator(prof, 0, *records, *seed)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "workloadstat:", err)
+			os.Exit(1)
+		}
 		counts := map[uint64]uint64{}
 		var writes, insts, gaps uint64
 		for {

@@ -101,7 +101,10 @@ func TestSelectOnRealWorkload(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := workload.NewGenerator(prof, 0, 30000, 7)
+	g, err := workload.NewGenerator(prof, 0, 30000, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
 	// Profile by draining the generator into per-page counters.
 	counts := map[uint64]*core.PageStats{}
 	for {

@@ -75,7 +75,10 @@ func TestDirectiveEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	g := workload.NewGenerator(prof, 0, 20000, 5)
+	g, err := workload.NewGenerator(prof, 0, 20000, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
 	counts := map[uint64]*corePageStats{}
 	for {
 		rec, err := g.Next()

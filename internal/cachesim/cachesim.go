@@ -67,14 +67,16 @@ type Cache struct {
 	stats   Stats
 }
 
-// New builds a cache; it panics on an invalid configuration.
-func New(cfg Config) *Cache {
+// New builds a cache. Invalid configurations are returned as errors, not
+// panicked: cache geometry can come from request-scoped option sets (scale
+// divisors), so a bad shape must fail one call, not the process.
+func New(cfg Config) (*Cache, error) {
 	if err := cfg.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	nsets := cfg.SizeBytes / (cfg.LineSize * cfg.Assoc)
 	if nsets&(nsets-1) != 0 {
-		panic(fmt.Sprintf("cachesim: %s: set count %d must be a power of two", cfg.Name, nsets))
+		return nil, fmt.Errorf("cachesim: %s: set count %d must be a power of two", cfg.Name, nsets)
 	}
 	c := &Cache{cfg: cfg, setMask: uint64(nsets - 1)}
 	for s := uint(0); 1<<s < cfg.LineSize; s++ {
@@ -85,7 +87,7 @@ func New(cfg Config) *Cache {
 	for i := range c.sets {
 		c.sets[i] = backing[i*cfg.Assoc : (i+1)*cfg.Assoc]
 	}
-	return c
+	return c, nil
 }
 
 // Config returns the cache's configuration.
@@ -206,8 +208,16 @@ type Hierarchy struct {
 }
 
 // NewHierarchy builds a per-core hierarchy on top of a shared L2.
-func NewHierarchy(cfg HierarchyConfig, l2 *Cache) *Hierarchy {
-	return &Hierarchy{l1i: New(cfg.L1I), l1d: New(cfg.L1D), l2: l2}
+func NewHierarchy(cfg HierarchyConfig, l2 *Cache) (*Hierarchy, error) {
+	l1i, err := New(cfg.L1I)
+	if err != nil {
+		return nil, err
+	}
+	l1d, err := New(cfg.L1D)
+	if err != nil {
+		return nil, err
+	}
+	return &Hierarchy{l1i: l1i, l1d: l1d, l2: l2}, nil
 }
 
 // L1I, L1D, and L2 expose the component caches (for stats).

@@ -14,6 +14,24 @@ func tiny() Config {
 	return Config{Name: "T", SizeBytes: 1024, Assoc: 2, LineSize: 64} // 8 sets
 }
 
+func mustNew(tb testing.TB, cfg Config) *Cache {
+	tb.Helper()
+	c, err := New(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return c
+}
+
+func mustHierarchy(tb testing.TB, cfg HierarchyConfig, l2 *Cache) *Hierarchy {
+	tb.Helper()
+	h, err := NewHierarchy(cfg, l2)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return h
+}
+
 func TestConfigValidate(t *testing.T) {
 	if err := tiny().Validate(); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
@@ -32,17 +50,17 @@ func TestConfigValidate(t *testing.T) {
 	}
 }
 
-func TestNewPanicsOnNonPow2Sets(t *testing.T) {
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	New(Config{Name: "x", SizeBytes: 3 * 64 * 2, Assoc: 2, LineSize: 64}) // 3 sets
+func TestNewRejectsNonPow2Sets(t *testing.T) {
+	if _, err := New(Config{Name: "x", SizeBytes: 3 * 64 * 2, Assoc: 2, LineSize: 64}); err == nil { // 3 sets
+		t.Fatal("expected error")
+	}
+	if _, err := New(Config{Name: "y", SizeBytes: 1000, Assoc: 2, LineSize: 64}); err == nil {
+		t.Fatal("expected validation error")
+	}
 }
 
 func TestHitAfterMiss(t *testing.T) {
-	c := New(tiny())
+	c := mustNew(t, tiny())
 	r := c.Access(0x1000, false)
 	if r.Hit || !r.Fill {
 		t.Fatalf("first access should miss+fill: %+v", r)
@@ -62,7 +80,7 @@ func TestHitAfterMiss(t *testing.T) {
 }
 
 func TestLRUEviction(t *testing.T) {
-	c := New(tiny()) // 8 sets, 2-way; set stride = 64*8 = 512
+	c := mustNew(t, tiny()) // 8 sets, 2-way; set stride = 64*8 = 512
 	a, b, d := uint64(0), uint64(512), uint64(1024)
 	c.Access(a, false)
 	c.Access(b, false)
@@ -74,7 +92,7 @@ func TestLRUEviction(t *testing.T) {
 }
 
 func TestDirtyWriteback(t *testing.T) {
-	c := New(tiny())
+	c := mustNew(t, tiny())
 	c.Access(0, true) // dirty
 	c.Access(512, false)
 	r := c.Access(1024, false) // evicts line 0 (dirty)
@@ -92,7 +110,7 @@ func TestDirtyWriteback(t *testing.T) {
 }
 
 func TestWritebackAddressReconstruction(t *testing.T) {
-	c := New(tiny())
+	c := mustNew(t, tiny())
 	addr := uint64(0x13A40) // arbitrary
 	c.Access(addr, true)
 	set := (addr / 64) & 7
@@ -113,7 +131,7 @@ func TestWritebackAddressReconstruction(t *testing.T) {
 }
 
 func TestMissRateSmallWorkingSet(t *testing.T) {
-	c := New(tiny())
+	c := mustNew(t, tiny())
 	// Working set fits: after warmup, all hits.
 	for pass := 0; pass < 10; pass++ {
 		for line := uint64(0); line < 16; line++ {
@@ -125,7 +143,7 @@ func TestMissRateSmallWorkingSet(t *testing.T) {
 		t.Fatalf("resident working set misses = %d, want 16 (cold only)", m)
 	}
 	// Streaming working set 100x the cache: high miss rate.
-	c2 := New(tiny())
+	c2 := mustNew(t, tiny())
 	for pass := 0; pass < 3; pass++ {
 		for line := uint64(0); line < 1600; line++ {
 			c2.Access(line*64, false)
@@ -138,7 +156,7 @@ func TestMissRateSmallWorkingSet(t *testing.T) {
 
 func TestStatsConsistencyProperty(t *testing.T) {
 	f := func(seed uint64) bool {
-		c := New(tiny())
+		c := mustNew(t, tiny())
 		rng := xrand.New(seed)
 		n := 200 + rng.Intn(800)
 		for i := 0; i < n; i++ {
@@ -155,8 +173,8 @@ func TestStatsConsistencyProperty(t *testing.T) {
 }
 
 func TestHierarchyFiltersHits(t *testing.T) {
-	l2 := New(Table1L2(16))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(16))
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	var out []trace.Record
 	// First access misses everywhere -> one memory read.
 	out = h.Filter(trace.Record{Addr: 0x8000, Kind: trace.Read}, out)
@@ -171,8 +189,8 @@ func TestHierarchyFiltersHits(t *testing.T) {
 }
 
 func TestHierarchyInstFetchUsesL1I(t *testing.T) {
-	l2 := New(Table1L2(16))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(16))
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	h.Filter(trace.Record{Addr: 0x4000, Kind: trace.InstFetch}, nil)
 	if h.L1I().Stats().Misses != 1 || h.L1D().Stats().Misses != 0 {
 		t.Fatal("instruction fetch did not route to L1I")
@@ -185,8 +203,8 @@ func TestHierarchyInstFetchUsesL1I(t *testing.T) {
 
 func TestHierarchyDirtyEvictionReachesMemory(t *testing.T) {
 	// Small L2 so we can force evictions quickly.
-	l2 := New(Config{Name: "L2", SizeBytes: 4096, Assoc: 2, LineSize: 64}) // 32 sets
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Config{Name: "L2", SizeBytes: 4096, Assoc: 2, LineSize: 64}) // 32 sets
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	// Dirty a line (write misses L1, fills L2; L1 holds it dirty).
 	h.Filter(trace.Record{Addr: 0, Kind: trace.Write}, nil)
 	// Force the dirty line out of L1D (16KB/4-way: 64 sets, stride 4096).
@@ -205,8 +223,8 @@ func TestHierarchyDirtyEvictionReachesMemory(t *testing.T) {
 }
 
 func TestFilterStreamGapAccumulation(t *testing.T) {
-	l2 := New(Table1L2(16))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(16))
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	src := trace.NewSliceStream([]trace.Record{
 		{Gap: 10, Addr: 0x1000, Kind: trace.Read}, // cold miss -> emitted
 		{Gap: 5, Addr: 0x1000, Kind: trace.Read},  // hit -> filtered
@@ -232,8 +250,8 @@ func TestFilterStreamGapAccumulation(t *testing.T) {
 }
 
 func TestFilterStreamEOFIsSticky(t *testing.T) {
-	l2 := New(Table1L2(16))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(16))
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	fs := NewFilterStream(trace.NewSliceStream(nil), h)
 	for i := 0; i < 3; i++ {
 		if _, err := fs.Next(); !errors.Is(err, io.EOF) {
@@ -243,9 +261,9 @@ func TestFilterStreamEOFIsSticky(t *testing.T) {
 }
 
 func TestSharedL2AcrossHierarchies(t *testing.T) {
-	l2 := New(Table1L2(16))
-	h1 := NewHierarchy(Table1Hierarchy(), l2)
-	h2 := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(16))
+	h1 := mustHierarchy(t, Table1Hierarchy(), l2)
+	h2 := mustHierarchy(t, Table1Hierarchy(), l2)
 	// Core 1 brings a line into shared L2.
 	h1.Filter(trace.Record{Addr: 0xA000, Kind: trace.Read}, nil)
 	// Core 2 misses L1 but should hit shared L2 -> no memory traffic.
@@ -256,8 +274,8 @@ func TestSharedL2AcrossHierarchies(t *testing.T) {
 }
 
 func TestFilterReducesTraffic(t *testing.T) {
-	l2 := New(Table1L2(64))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(t, Table1L2(64))
+	h := mustHierarchy(t, Table1Hierarchy(), l2)
 	rng := xrand.New(42)
 	// 80/20 locality: most accesses to a small hot set.
 	emitted := 0
@@ -278,7 +296,7 @@ func TestFilterReducesTraffic(t *testing.T) {
 }
 
 func BenchmarkCacheAccess(b *testing.B) {
-	c := New(Table1L2(1))
+	c := mustNew(b, Table1L2(1))
 	rng := xrand.New(3)
 	addrs := make([]uint64, 1<<14)
 	for i := range addrs {
@@ -291,8 +309,8 @@ func BenchmarkCacheAccess(b *testing.B) {
 }
 
 func BenchmarkHierarchyFilter(b *testing.B) {
-	l2 := New(Table1L2(4))
-	h := NewHierarchy(Table1Hierarchy(), l2)
+	l2 := mustNew(b, Table1L2(4))
+	h := mustHierarchy(b, Table1Hierarchy(), l2)
 	rng := xrand.New(3)
 	buf := make([]trace.Record, 0, 4)
 	b.ResetTimer()

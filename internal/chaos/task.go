@@ -1,0 +1,47 @@
+package chaos
+
+import (
+	"fmt"
+	"time"
+)
+
+// TaskPanic is the value an injected ModePanic task panics with, so a
+// recovery path can recognize (and a test can assert) a chaos-made panic.
+type TaskPanic struct {
+	// Call is the 0-based task-call index at which the panic fired.
+	Call int
+}
+
+// String makes captured panic values readable in logs and job errors.
+func (p TaskPanic) String() string {
+	return fmt.Sprintf("chaos: injected panic at task call %d", p.Call)
+}
+
+// Task wraps fn with the plan's task faults. The call counter is shared
+// across every task wrapped by this Injector: AtCall indices address the
+// global submission order, matching how a worker pool sees jobs.
+//
+// ModeDelay sleeps, then runs fn; ModeError returns an injected error
+// without running fn; ModePanic panics with a TaskPanic value.
+func (inj *Injector) Task(fn func() error) func() error {
+	return func() error {
+		idx := int(inj.taskCalls.Add(1)) - 1
+		for _, f := range inj.plan.Tasks {
+			if f.AtCall != idx {
+				continue
+			}
+			switch f.Mode {
+			case ModePanic:
+				inj.taskFaults.Add(1)
+				panic(TaskPanic{Call: idx})
+			case ModeDelay:
+				inj.taskFaults.Add(1)
+				time.Sleep(time.Duration(f.DelayMS) * time.Millisecond)
+			case ModeError:
+				inj.taskFaults.Add(1)
+				return fmt.Errorf("%w: task call %d", ErrInjected, idx)
+			}
+		}
+		return fn()
+	}
+}

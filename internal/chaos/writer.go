@@ -1,0 +1,52 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"sync"
+)
+
+// faultWriter decorates an io.Writer with the plan's write faults.
+type faultWriter struct {
+	inj *Injector
+	dst io.Writer
+
+	mu  sync.Mutex
+	pos int
+}
+
+// Writer wraps dst with the plan's write faults, standing in for a
+// filesystem that fills up or loses its disk mid-append. Each call returns
+// an independent wrapper whose fault indices count that wrapper's Write
+// calls. ModeError fails the write outright; ModeShort writes half the
+// buffer and then fails (a torn append — what a crash mid-write leaves
+// behind). The wrapper is safe for concurrent use iff dst is.
+func (inj *Injector) Writer(dst io.Writer) io.Writer {
+	return &faultWriter{inj: inj, dst: dst}
+}
+
+// Write implements io.Writer.
+func (w *faultWriter) Write(p []byte) (int, error) {
+	w.mu.Lock()
+	idx := w.pos
+	w.pos++
+	w.mu.Unlock()
+	for _, f := range w.inj.plan.Write {
+		if f.AtWrite != idx {
+			continue
+		}
+		switch f.Mode {
+		case ModeError:
+			w.inj.writeFaults.Add(1)
+			return 0, fmt.Errorf("%w: write %d", ErrInjected, idx)
+		case ModeShort:
+			w.inj.writeFaults.Add(1)
+			n, err := w.dst.Write(p[:len(p)/2])
+			if err != nil {
+				return n, err
+			}
+			return n, fmt.Errorf("%w: torn write %d after %d bytes", ErrInjected, idx, n)
+		}
+	}
+	return w.dst.Write(p)
+}

@@ -20,6 +20,7 @@ import (
 	"context"
 	"fmt"
 	"runtime"
+	"runtime/debug"
 	"sync"
 	"sync/atomic"
 )
@@ -72,10 +73,28 @@ func (s MemoStats) Add(o MemoStats) MemoStats {
 // preserved.
 type PanicError struct {
 	Value any
+	// Stack is the panicking goroutine's stack, captured at recovery time.
+	// Only Protect fills it; re-raised memo/group panics leave it empty
+	// because the original stack is gone by the time they propagate.
+	Stack string
 }
 
 // Error implements error.
 func (p PanicError) Error() string { return fmt.Sprintf("exec: panic in task: %v", p.Value) }
+
+// Protect runs fn and converts a panic into a returned *PanicError carrying
+// the recovered value and the panicking goroutine's stack. It is the
+// isolation primitive for long-lived worker loops (hmemd's job runner): a
+// broken invariant in one task must fail that task's request, not the
+// process. Deliberate runtime aborts (runtime.Goexit) are not intercepted.
+func Protect(fn func() error) (err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = &PanicError{Value: r, Stack: string(debug.Stack())}
+		}
+	}()
+	return fn()
+}
 
 // Do returns the memoized outcome for key, computing it with fn if this is
 // the first request. fn runs in the caller's goroutine.

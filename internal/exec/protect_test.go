@@ -1,0 +1,37 @@
+package exec
+
+import (
+	"errors"
+	"strings"
+	"testing"
+)
+
+func TestProtectPassesThroughResults(t *testing.T) {
+	if err := Protect(func() error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	want := errors.New("boom")
+	if err := Protect(func() error { return want }); !errors.Is(err, want) {
+		t.Fatalf("got %v, want %v", err, want)
+	}
+}
+
+func TestProtectConvertsPanicToError(t *testing.T) {
+	err := Protect(func() error { panic("invariant broken") })
+	if err == nil {
+		t.Fatal("panic not converted")
+	}
+	var pe *PanicError
+	if !errors.As(err, &pe) {
+		t.Fatalf("got %T, want *PanicError", err)
+	}
+	if pe.Value != "invariant broken" {
+		t.Fatalf("Value = %v", pe.Value)
+	}
+	if !strings.Contains(pe.Stack, "TestProtectConvertsPanicToError") {
+		t.Fatalf("Stack does not name the panic site:\n%s", pe.Stack)
+	}
+	if !strings.Contains(err.Error(), "invariant broken") {
+		t.Fatalf("Error() = %q", err.Error())
+	}
+}

@@ -7,7 +7,9 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math/rand/v2"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -52,6 +54,9 @@ func (c *Client) backoff() time.Duration {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent). The
+	// retry loop waits at least this long before the next attempt.
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
@@ -96,7 +101,11 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: msg}
+		return &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
 	}
 	if out == nil {
 		return nil
@@ -107,7 +116,20 @@ func (c *Client) do(ctx context.Context, method, path string, in, out any) error
 	return nil
 }
 
-// doIdempotent is do with bounded retry-with-backoff.
+// parseRetryAfter reads the header's delay-seconds form (the only form this
+// server emits); the HTTP-date form and garbage parse to zero.
+func parseRetryAfter(v string) time.Duration {
+	secs, err := strconv.Atoi(strings.TrimSpace(v))
+	if err != nil || secs < 0 {
+		return 0
+	}
+	return time.Duration(secs) * time.Second
+}
+
+// doIdempotent is do with bounded retry-with-backoff. The backoff doubles
+// per attempt and is jittered (uniform over [delay/2, delay]) so a fleet of
+// clients bounced by the same outage doesn't reconverge in lockstep; a
+// server Retry-After hint raises the wait when it asks for longer.
 func (c *Client) doIdempotent(ctx context.Context, method, path string, in, out any) error {
 	delay := c.backoff()
 	var err error
@@ -116,8 +138,13 @@ func (c *Client) doIdempotent(ctx context.Context, method, path string, in, out 
 		if err == nil || attempt >= c.Retries || !retryable(err) {
 			return err
 		}
+		wait := delay/2 + rand.N(delay/2+1)
+		var apiErr *APIError
+		if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+			wait = apiErr.RetryAfter
+		}
 		select {
-		case <-time.After(delay):
+		case <-time.After(wait):
 		case <-ctx.Done():
 			return ctx.Err()
 		}
@@ -180,11 +207,17 @@ func (c *Client) Compare(ctx context.Context, req CompareRequest) ([]hmem.Result
 	return out.Results, nil
 }
 
-// SubmitJob enqueues an experiment run. NOT retried: a response lost after
-// the server enqueued would double-submit.
+// SubmitJob enqueues an experiment run. Without an IdempotencyKey it is NOT
+// retried — a response lost after the server enqueued would double-submit.
+// With a key set the server deduplicates resubmissions, so transient
+// failures retry like any idempotent call.
 func (c *Client) SubmitJob(ctx context.Context, req JobRequest) (JobStatus, error) {
 	var out JobStatus
-	if err := c.do(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
+	call := c.do
+	if req.IdempotencyKey != "" {
+		call = c.doIdempotent
+	}
+	if err := call(ctx, http.MethodPost, "/v1/jobs", req, &out); err != nil {
 		return JobStatus{}, err
 	}
 	return out, nil

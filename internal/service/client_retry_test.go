@@ -1,0 +1,130 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// flakyServer fails the first n requests with code (plus headers), then
+// serves a valid /v1/policies body.
+func flakyServer(t *testing.T, n int, code int, headers map[string]string) (*httptest.Server, *atomic.Int64) {
+	t.Helper()
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) <= int64(n) {
+			for k, v := range headers {
+				w.Header().Set(k, v)
+			}
+			w.WriteHeader(code)
+			return
+		}
+		_ = json.NewEncoder(w).Encode(map[string]any{"policies": []string{"ddr-only"}})
+	}))
+	t.Cleanup(ts.Close)
+	return ts, &calls
+}
+
+// TestClientHonorsRetryAfter: a Retry-After hint longer than the computed
+// backoff stretches the wait; the client must not hammer a server that asked
+// for breathing room.
+func TestClientHonorsRetryAfter(t *testing.T) {
+	ts, calls := flakyServer(t, 1, http.StatusServiceUnavailable, map[string]string{"Retry-After": "1"})
+	c := &Client{BaseURL: ts.URL, Retries: 2, Backoff: time.Millisecond}
+
+	start := time.Now()
+	if _, err := c.Policies(context.Background()); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed < time.Second {
+		t.Fatalf("retried after %v, want >= 1s (Retry-After ignored)", elapsed)
+	}
+}
+
+// TestClientRetryAfterGarbageFallsBackToBackoff: an unparsable Retry-After
+// degrades to the normal jittered backoff rather than an error or a stall.
+func TestClientRetryAfterGarbageFallsBackToBackoff(t *testing.T) {
+	ts, calls := flakyServer(t, 1, http.StatusServiceUnavailable,
+		map[string]string{"Retry-After": "Wed, 21 Oct 2015 07:28:00 GMT"})
+	c := &Client{BaseURL: ts.URL, Retries: 2, Backoff: time.Millisecond}
+
+	start := time.Now()
+	if _, err := c.Policies(context.Background()); err != nil {
+		t.Fatalf("retry did not recover: %v", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Fatalf("calls = %d, want 2", got)
+	}
+	if elapsed := time.Since(start); elapsed > 500*time.Millisecond {
+		t.Fatalf("garbage Retry-After stalled the retry for %v", elapsed)
+	}
+}
+
+// TestClientCancelDuringBackoff: cancelling the context while the client
+// sleeps between attempts returns promptly with ctx.Err() — the backoff is
+// interruptible.
+func TestClientCancelDuringBackoff(t *testing.T) {
+	ts, calls := flakyServer(t, 100, http.StatusServiceUnavailable, nil)
+	c := &Client{BaseURL: ts.URL, Retries: 5, Backoff: 10 * time.Second}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(50 * time.Millisecond) // land inside the first backoff sleep
+		cancel()
+	}()
+	start := time.Now()
+	_, err := c.Policies(ctx)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if elapsed := time.Since(start); elapsed > 2*time.Second {
+		t.Fatalf("cancel took %v to unblock the backoff", elapsed)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("calls = %d, want 1 (cancelled before retrying)", got)
+	}
+}
+
+// TestClientSubmitJobRetriesOnlyWithIdempotencyKey: a keyless SubmitJob on a
+// flaky server is one attempt (a lost response could double-enqueue); the
+// same call with a key retries to success because the server deduplicates.
+func TestClientSubmitJobRetriesOnlyWithIdempotencyKey(t *testing.T) {
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		if calls.Add(1) == 1 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusServiceUnavailable)
+			return
+		}
+		w.WriteHeader(http.StatusAccepted)
+		_ = json.NewEncoder(w).Encode(JobStatus{ID: "job-1", State: JobQueued})
+	}))
+	t.Cleanup(ts.Close)
+	c := &Client{BaseURL: ts.URL, Retries: 3, Backoff: time.Millisecond}
+
+	_, err := c.SubmitJob(context.Background(), JobRequest{Experiment: "table1"})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+		t.Fatalf("keyless submit err = %v, want 503 passthrough", err)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Fatalf("keyless SubmitJob made %d calls, want 1", got)
+	}
+
+	calls.Store(0)
+	st, err := c.SubmitJob(context.Background(), JobRequest{Experiment: "table1", IdempotencyKey: "k"})
+	if err != nil {
+		t.Fatalf("keyed submit did not retry: %v", err)
+	}
+	if st.ID != "job-1" || calls.Load() != 2 {
+		t.Fatalf("keyed submit: id=%s calls=%d, want job-1 after 2 calls", st.ID, calls.Load())
+	}
+}

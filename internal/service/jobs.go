@@ -1,6 +1,7 @@
 package service
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"fmt"
@@ -8,6 +9,7 @@ import (
 	"sync"
 	"time"
 
+	"hmem/internal/exec"
 	"hmem/internal/report"
 )
 
@@ -26,6 +28,22 @@ const (
 type JobRequest struct {
 	Experiment string        `json:"experiment"`
 	Options    *OptionsPatch `json:"options,omitempty"`
+	// TimeoutMS, when positive, bounds the job's execution: a run that
+	// exceeds it fails with a deadline error instead of occupying a worker
+	// forever.
+	TimeoutMS int64 `json:"timeout_ms,omitempty"`
+	// IdempotencyKey makes the submission safe to retry: re-submitting the
+	// same key with the same request returns the existing job instead of
+	// enqueueing a duplicate; the same key with a different request is a
+	// 409 conflict.
+	IdempotencyKey string `json:"idempotency_key,omitempty"`
+}
+
+// fingerprint canonically identifies the request's content, for detecting
+// idempotency-key reuse across different requests.
+func (r JobRequest) fingerprint() string {
+	opts, _ := json.Marshal(r.Options)
+	return fmt.Sprintf("%s|%s|%d", r.Experiment, opts, r.TimeoutMS)
 }
 
 // JobStatus is the wire form of a job.
@@ -51,9 +69,12 @@ type JobEvent struct {
 // job is the server-side record. All fields are guarded by the store mutex;
 // notify is closed-and-replaced on every event so watchers can block on it.
 type job struct {
-	id         string
-	experiment string
-	options    *OptionsPatch
+	id          string
+	experiment  string
+	options     *OptionsPatch
+	timeoutMS   int64
+	idemKey     string
+	fingerprint string
 
 	state      string
 	err        string
@@ -85,34 +106,84 @@ func terminal(state string) bool {
 
 // jobStore owns every job ever submitted (jobs are few and small — the
 // result tables — so process-lifetime retention is fine for an advisory
-// daemon; a restart clears them).
+// daemon; with a journal configured, a restart restores them).
 type jobStore struct {
 	mu    sync.Mutex
 	byID  map[string]*job
+	byKey map[string]*job // idempotency key -> job
 	order []*job
 	next  int
 }
 
 func (st *jobStore) init() {
 	st.byID = map[string]*job{}
+	st.byKey = map[string]*job{}
 }
 
-func (st *jobStore) add(experiment string, options *OptionsPatch) *job {
+// errKeyConflict marks an idempotency key reused with a different request.
+var errKeyConflict = errors.New("idempotency key already used by a different request")
+
+// add creates a queued job, honoring idempotency keys: re-submitting a key
+// with the same fingerprint returns the existing job (existed=true); a
+// different fingerprint returns errKeyConflict. The check-and-insert is
+// atomic under the store lock so concurrent duplicate submissions collapse
+// to one job.
+func (st *jobStore) add(req JobRequest) (j *job, existed bool, err error) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
+	fp := req.fingerprint()
+	if req.IdempotencyKey != "" {
+		if prev, ok := st.byKey[req.IdempotencyKey]; ok {
+			if prev.fingerprint != fp {
+				return nil, false, errKeyConflict
+			}
+			return prev, true, nil
+		}
+	}
 	st.next++
-	j := &job{
-		id:         fmt.Sprintf("job-%d", st.next),
-		experiment: experiment,
-		options:    options,
-		state:      JobQueued,
-		createdAt:  time.Now().UTC(),
-		notify:     make(chan struct{}),
+	j = &job{
+		id:          fmt.Sprintf("job-%d", st.next),
+		experiment:  req.Experiment,
+		options:     req.Options,
+		timeoutMS:   req.TimeoutMS,
+		idemKey:     req.IdempotencyKey,
+		fingerprint: fp,
+		state:       JobQueued,
+		createdAt:   time.Now().UTC(),
+		notify:      make(chan struct{}),
 	}
 	j.events = append(j.events, JobEvent{Seq: 1, JobID: j.id, State: JobQueued})
 	st.byID[j.id] = j
+	if j.idemKey != "" {
+		st.byKey[j.idemKey] = j
+	}
 	st.order = append(st.order, j)
-	return j
+	return j, false, nil
+}
+
+// restore inserts a journal-reconstructed job. Replay runs before the
+// workers and handlers start, but takes the lock anyway for consistency.
+func (st *jobStore) restore(j *job) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	j.fingerprint = JobRequest{
+		Experiment: j.experiment, Options: j.options, TimeoutMS: j.timeoutMS,
+	}.fingerprint()
+	st.byID[j.id] = j
+	if j.idemKey != "" {
+		st.byKey[j.idemKey] = j
+	}
+	st.order = append(st.order, j)
+}
+
+// resumeIDs advances the id counter past every restored job so new ids never
+// collide with journaled ones.
+func (st *jobStore) resumeIDs(maxSeen int) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if maxSeen > st.next {
+		st.next = maxSeen
+	}
 }
 
 // statusOf snapshots a job under the store lock (workers mutate jobs
@@ -218,15 +289,35 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 			fmt.Errorf("unknown experiment %q (GET /v1/experiments lists the choices)", req.Experiment))
 		return
 	}
+	if req.TimeoutMS < 0 {
+		writeError(w, http.StatusBadRequest, errors.New("timeout_ms must be non-negative"))
+		return
+	}
 
-	j := s.jobs.add(req.Experiment, req.Options)
+	j, existed, err := s.jobs.add(req)
+	if err != nil {
+		writeError(w, http.StatusConflict, err)
+		return
+	}
+	if existed {
+		// Idempotent replay of a submission we already accepted: report the
+		// job as it stands, with 200 distinguishing it from a fresh 202.
+		writeJSON(w, http.StatusOK, s.jobs.statusOf(j))
+		return
+	}
+	// Journal before acknowledging: a 202 promises the job survives us.
+	s.journal.append(journalRecord{
+		Op: "submit", JobID: j.id, At: j.createdAt,
+		Experiment: j.experiment, Options: j.options,
+		IdemKey: j.idemKey, TimeoutMS: j.timeoutMS,
+	})
 	// Enqueue under the mutex so a concurrent Shutdown can't close the
 	// channel between our closing-check and the send.
 	s.queueMu.Lock()
 	if s.queueClosed {
 		s.queueMu.Unlock()
-		s.jobs.transition(j, JobCancelled, "server is draining", nil)
-		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		s.setJobState(j, JobCancelled, "server is draining", nil)
+		writeRetryableError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return
 	}
 	select {
@@ -234,8 +325,8 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 		s.queueMu.Unlock()
 	default:
 		s.queueMu.Unlock()
-		s.jobs.transition(j, JobCancelled, "job queue full", nil)
-		writeError(w, http.StatusTooManyRequests,
+		s.setJobState(j, JobCancelled, "job queue full", nil)
+		writeRetryableError(w, http.StatusTooManyRequests,
 			fmt.Errorf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
 		return
 	}
@@ -291,26 +382,73 @@ func (s *Service) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
 	}
 }
 
+// setJobState applies a state transition and journals it.
+func (s *Service) setJobState(j *job, state, errMsg string, result *report.Table) {
+	s.jobs.transition(j, state, errMsg, result)
+	s.journal.append(journalRecord{
+		Op: "state", JobID: j.id, At: time.Now().UTC(),
+		State: state, Error: errMsg, Result: result,
+	})
+}
+
+// panicStackLimit bounds the stack captured into a failed job's error: the
+// top frames name the broken invariant, the rest is scheduler noise.
+const panicStackLimit = 4096
+
 // runJobs is one worker draining the queue until Shutdown closes it.
 func (s *Service) runJobs() {
 	defer s.workers.Done()
 	for j := range s.queue {
-		if s.baseCtx.Err() != nil {
-			// Drain deadline already passed: mark the remainder cancelled.
-			s.jobs.transition(j, JobCancelled, "server shut down before the job started", nil)
-			continue
+		s.runOneJob(j)
+	}
+}
+
+// runOneJob executes one job with the failure domain of exactly that job: a
+// panicking experiment driver fails its own request with the captured stack
+// and the worker moves on; a configured deadline fails a runaway run; both
+// leave the daemon healthy.
+func (s *Service) runOneJob(j *job) {
+	if s.baseCtx.Err() != nil {
+		// Drain deadline already passed: mark the remainder cancelled.
+		s.setJobState(j, JobCancelled, "server shut down before the job started", nil)
+		return
+	}
+	s.setJobState(j, JobRunning, "", nil)
+	e, _, err := s.engineFor(j.options)
+	if err != nil {
+		s.setJobState(j, JobFailed, err.Error(), nil)
+		return
+	}
+	ctx := s.baseCtx
+	if j.timeoutMS > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.timeoutMS)*time.Millisecond)
+		defer cancel()
+	}
+	var table *report.Table
+	run := func() error {
+		var runErr error
+		table, runErr = e.RunExperiment(ctx, j.experiment)
+		return runErr
+	}
+	if s.cfg.TaskWrap != nil {
+		run = s.cfg.TaskWrap(run)
+	}
+	err = exec.Protect(run)
+	var pe *exec.PanicError
+	switch {
+	case errors.As(err, &pe):
+		s.jobPanics.Add(1)
+		stack := pe.Stack
+		if len(stack) > panicStackLimit {
+			stack = stack[:panicStackLimit] + "\n[stack truncated]"
 		}
-		s.jobs.transition(j, JobRunning, "", nil)
-		e, _, err := s.engineFor(j.options)
-		if err != nil {
-			s.jobs.transition(j, JobFailed, err.Error(), nil)
-			continue
-		}
-		table, err := e.RunExperiment(s.baseCtx, j.experiment)
-		if err != nil {
-			s.jobs.transition(j, JobFailed, err.Error(), nil)
-			continue
-		}
-		s.jobs.transition(j, JobDone, "", table)
+		s.setJobState(j, JobFailed, fmt.Sprintf("panic: %v\n%s", pe.Value, stack), nil)
+	case errors.Is(err, context.DeadlineExceeded) && j.timeoutMS > 0 && s.baseCtx.Err() == nil:
+		s.setJobState(j, JobFailed, fmt.Sprintf("job deadline (%dms) exceeded", j.timeoutMS), nil)
+	case err != nil:
+		s.setJobState(j, JobFailed, err.Error(), nil)
+	default:
+		s.setJobState(j, JobDone, "", table)
 	}
 }

@@ -1,0 +1,265 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"io/fs"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"hmem/internal/report"
+)
+
+// journalFileName is the append-only NDJSON log inside Config.JournalDir.
+const journalFileName = "journal.ndjson"
+
+// maxJobAttempts bounds how many times a journaled job may be (re)started.
+// A job that was running at three consecutive crashes is treated as poison —
+// the likeliest explanation is that the job itself kills the process — and
+// is failed on replay instead of re-enqueued a fourth time.
+const maxJobAttempts = 3
+
+// journalRecord is one NDJSON line. Two ops share the type:
+//
+//   - "submit" records a job's existence and its full request, written
+//     before the submission is acknowledged;
+//   - "state" records a state transition (and, for done, the result table).
+//
+// Seq is assigned by the journal and strictly increases across restarts, so
+// replay can order records without trusting file position, and re-enqueued
+// runs are distinguishable from the original submission.
+type journalRecord struct {
+	Seq   int64     `json:"seq"`
+	Op    string    `json:"op"`
+	JobID string    `json:"job_id"`
+	At    time.Time `json:"at"`
+
+	// submit fields
+	Experiment string        `json:"experiment,omitempty"`
+	Options    *OptionsPatch `json:"options,omitempty"`
+	IdemKey    string        `json:"idempotency_key,omitempty"`
+	TimeoutMS  int64         `json:"timeout_ms,omitempty"`
+
+	// state fields
+	State  string        `json:"state,omitempty"`
+	Error  string        `json:"error,omitempty"`
+	Result *report.Table `json:"result,omitempty"`
+}
+
+// journal is the durable, append-only job log. Appends are best-effort by
+// design: a full disk must degrade the durability guarantee (jobs submitted
+// during the outage are lost on restart), never the daemon — failures are
+// counted and surfaced on /metrics instead of propagated.
+//
+// Writes go through the OS page cache without fsync: the journal protects
+// against process death (crash, OOM-kill, SIGKILL), which is the failure
+// mode hmemd can do something about. Machine-level crash consistency would
+// buy little for an advisory cache that can always recompute.
+type journal struct {
+	mu  sync.Mutex
+	f   *os.File
+	w   io.Writer
+	seq int64
+
+	appendErrs atomic.Uint64
+}
+
+// openJournal reads dir's existing journal (if any) and opens it for append.
+// A torn trailing line — what a crash mid-append leaves behind — is skipped,
+// as is any other unparsable line: a best-effort journal must not brick the
+// daemon that owns it. wrap, when non-nil, decorates the append writer
+// (fault-injection seam).
+func openJournal(dir string, wrap func(io.Writer) io.Writer) (*journal, []journalRecord, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, nil, fmt.Errorf("service: creating journal dir: %w", err)
+	}
+	path := filepath.Join(dir, journalFileName)
+	var recs []journalRecord
+	if data, err := os.ReadFile(path); err == nil {
+		for _, line := range bytes.Split(data, []byte("\n")) {
+			line = bytes.TrimSpace(line)
+			if len(line) == 0 {
+				continue
+			}
+			var rec journalRecord
+			if json.Unmarshal(line, &rec) != nil {
+				continue
+			}
+			recs = append(recs, rec)
+		}
+	} else if !errors.Is(err, fs.ErrNotExist) {
+		return nil, nil, fmt.Errorf("service: reading journal: %w", err)
+	}
+	// File order is already seq order for an intact journal; sort anyway so
+	// a hand-edited or concatenated journal still replays coherently.
+	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+	}
+	jl := &journal{f: f, w: f}
+	if wrap != nil {
+		jl.w = wrap(f)
+	}
+	for _, r := range recs {
+		if r.Seq > jl.seq {
+			jl.seq = r.Seq
+		}
+	}
+	return jl, recs, nil
+}
+
+// append assigns the next sequence number and writes one line. Safe on a nil
+// journal (journalling disabled). Errors are absorbed into the append-error
+// counter.
+func (jl *journal) append(rec journalRecord) {
+	if jl == nil {
+		return
+	}
+	jl.mu.Lock()
+	defer jl.mu.Unlock()
+	jl.seq++
+	rec.Seq = jl.seq
+	data, err := json.Marshal(rec)
+	if err == nil {
+		data = append(data, '\n')
+		_, err = jl.w.Write(data)
+	}
+	if err != nil {
+		jl.appendErrs.Add(1)
+	}
+}
+
+// appendErrors reports how many appends have been dropped. Safe on nil.
+func (jl *journal) appendErrors() uint64 {
+	if jl == nil {
+		return 0
+	}
+	return jl.appendErrs.Load()
+}
+
+// close releases the journal file. Safe on nil.
+func (jl *journal) close() {
+	if jl != nil && jl.f != nil {
+		jl.f.Close()
+	}
+}
+
+// RecoveryStats summarizes a startup journal replay, for the daemon's
+// one-line recovery log and tests.
+type RecoveryStats struct {
+	// Restored is the total number of jobs reconstructed from the journal.
+	Restored int
+	// Terminal of those were already done/failed/cancelled; their results
+	// are served from memory again but they are not re-run.
+	Terminal int
+	// Requeued jobs were queued or running at the crash and have been
+	// re-enqueued exactly once.
+	Requeued int
+	// PoisonFailed jobs hit maxJobAttempts and were failed instead of
+	// re-enqueued.
+	PoisonFailed int
+}
+
+// replayedJob pairs a reconstructed job with how many times it had entered
+// the running state before the crash.
+type replayedJob struct {
+	j        *job
+	attempts int
+}
+
+// replayJournal rebuilds the job store from journal records and returns the
+// jobs that must be re-enqueued, in original submission order. Terminal jobs
+// are restored for GET /v1/jobs/{id}; interrupted ones either requeue (with
+// a fresh journaled "queued" transition, so attempts accumulate across
+// repeated crashes) or — at maxJobAttempts — fail as poison.
+func (s *Service) replayJournal(recs []journalRecord) []*job {
+	byID := map[string]*replayedJob{}
+	var order []*replayedJob
+	maxID := 0
+	for _, rec := range recs {
+		switch rec.Op {
+		case "submit":
+			if rec.JobID == "" || byID[rec.JobID] != nil {
+				continue
+			}
+			j := &job{
+				id:         rec.JobID,
+				experiment: rec.Experiment,
+				options:    rec.Options,
+				idemKey:    rec.IdemKey,
+				timeoutMS:  rec.TimeoutMS,
+				state:      JobQueued,
+				createdAt:  rec.At,
+				notify:     make(chan struct{}),
+			}
+			j.events = append(j.events, JobEvent{Seq: 1, JobID: j.id, State: JobQueued})
+			rj := &replayedJob{j: j}
+			byID[rec.JobID] = rj
+			order = append(order, rj)
+			if n, err := strconv.Atoi(strings.TrimPrefix(rec.JobID, "job-")); err == nil && n > maxID {
+				maxID = n
+			}
+		case "state":
+			rj := byID[rec.JobID]
+			if rj == nil {
+				continue
+			}
+			j := rj.j
+			at := rec.At
+			j.state = rec.State
+			j.err = rec.Error
+			if rec.Result != nil {
+				j.result = rec.Result
+			}
+			switch rec.State {
+			case JobRunning:
+				rj.attempts++
+				j.startedAt = &at
+			case JobDone, JobFailed, JobCancelled:
+				j.finishedAt = &at
+			}
+			j.events = append(j.events, JobEvent{
+				Seq: len(j.events) + 1, JobID: j.id, State: rec.State, Error: rec.Error,
+			})
+		}
+	}
+
+	var requeue []*job
+	for _, rj := range order {
+		j := rj.j
+		s.jobs.restore(j)
+		s.recovery.Restored++
+		if terminal(j.state) {
+			s.recovery.Terminal++
+			continue
+		}
+		if rj.attempts >= maxJobAttempts {
+			s.setJobState(j, JobFailed, fmt.Sprintf(
+				"interrupted %d times by daemon restarts; not retrying (poison job)", rj.attempts), nil)
+			s.recovery.PoisonFailed++
+			continue
+		}
+		// Journal the fresh queued state so the *next* crash still sees the
+		// accumulated running count and the requeue itself is exactly-once:
+		// a replayed journal never contains a requeue decision, only states.
+		if j.state != JobQueued {
+			s.jobRetries.Add(1)
+		}
+		s.setJobState(j, JobQueued, "", nil)
+		s.recovery.Requeued++
+		requeue = append(requeue, j)
+	}
+	s.jobs.resumeIDs(maxID)
+	return requeue
+}

@@ -112,6 +112,19 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 		fmt.Fprintf(&b, "hmemd_jobs{state=%q} %d\n", state, counts[state])
 	}
 
+	b.WriteString("# HELP hmemd_job_panics_total Jobs whose experiment driver panicked (isolated to the job; the daemon stayed up).\n")
+	b.WriteString("# TYPE hmemd_job_panics_total counter\n")
+	fmt.Fprintf(&b, "hmemd_job_panics_total %d\n", s.jobPanics.Load())
+	b.WriteString("# HELP hmemd_job_retries_total Interrupted jobs re-enqueued by journal replay at startup.\n")
+	b.WriteString("# TYPE hmemd_job_retries_total counter\n")
+	fmt.Fprintf(&b, "hmemd_job_retries_total %d\n", s.jobRetries.Load())
+	b.WriteString("# HELP hmemd_journal_replayed_jobs Jobs restored from the journal at startup.\n")
+	b.WriteString("# TYPE hmemd_journal_replayed_jobs gauge\n")
+	fmt.Fprintf(&b, "hmemd_journal_replayed_jobs %d\n", s.recovery.Restored)
+	b.WriteString("# HELP hmemd_journal_append_errors_total Journal appends dropped due to write failures.\n")
+	b.WriteString("# TYPE hmemd_journal_append_errors_total counter\n")
+	fmt.Fprintf(&b, "hmemd_journal_append_errors_total %d\n", s.journal.appendErrors())
+
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 	_, _ = w.Write([]byte(b.String()))
 }

@@ -52,6 +52,19 @@ type Config struct {
 	// JobWorkers is the number of goroutines draining the job queue
 	// (0 = 1; negative = none, for tests that inspect queued state).
 	JobWorkers int
+	// JournalDir, when non-empty, enables the durable job journal: every
+	// submission and state transition appends one NDJSON line to
+	// <dir>/journal.ndjson, and New replays the file so a killed daemon
+	// restarts with its jobs intact — terminal jobs answer GET again,
+	// interrupted ones re-enqueue exactly once.
+	JournalDir string
+	// TaskWrap, when set, wraps each job's execution closure. It is the
+	// fault-injection seam chaos tests use to make the experiment driver
+	// panic, stall, or fail on demand.
+	TaskWrap func(func() error) func() error
+	// WrapJournalWriter, when set, decorates the journal's append writer
+	// (fault-injection seam for disk-failure tests).
+	WrapJournalWriter func(io.Writer) io.Writer
 }
 
 const (
@@ -90,6 +103,15 @@ type Service struct {
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
+	// journal is nil unless Config.JournalDir is set.
+	journal  *journal
+	recovery RecoveryStats
+
+	// jobPanics counts experiment drivers that panicked inside a worker;
+	// jobRetries counts interrupted jobs re-enqueued by journal replay.
+	jobPanics  atomic.Uint64
+	jobRetries atomic.Uint64
+
 	metrics metrics
 }
 
@@ -109,7 +131,6 @@ func New(cfg Config) (*Service, error) {
 	s := &Service{
 		cfg:        cfg,
 		engines:    map[string]*hmem.Engine{},
-		queue:      make(chan *job, cfg.QueueDepth),
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
 	}
@@ -120,6 +141,33 @@ func New(cfg Config) (*Service, error) {
 		return nil, fmt.Errorf("service: invalid default options: %w", err)
 	}
 	s.jobs.init()
+
+	// Replay the journal (if configured) before anything can submit or run:
+	// restored jobs must be visible, and interrupted ones re-enqueued, ahead
+	// of any new traffic. A missing/corrupt journal dir fails startup —
+	// silently running without the durability the operator asked for would
+	// be worse than not starting.
+	var requeue []*job
+	if cfg.JournalDir != "" {
+		jl, recs, err := openJournal(cfg.JournalDir, cfg.WrapJournalWriter)
+		if err != nil {
+			cancel()
+			return nil, err
+		}
+		s.journal = jl
+		requeue = s.replayJournal(recs)
+	}
+	// The queue must hold every replayed job even when there are more of
+	// them than QueueDepth, or replay would deadlock before workers start.
+	depth := cfg.QueueDepth
+	if len(requeue) > depth {
+		depth = len(requeue)
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range requeue {
+		s.queue <- j
+	}
+
 	s.mux = s.routes()
 	for i := 0; i < workers; i++ {
 		s.workers.Add(1)
@@ -127,6 +175,10 @@ func New(cfg Config) (*Service, error) {
 	}
 	return s, nil
 }
+
+// Recovery reports what the startup journal replay restored. Zero when no
+// journal is configured (or it was empty).
+func (s *Service) Recovery() RecoveryStats { return s.recovery }
 
 // Handler returns the root HTTP handler (all routes, with the metrics
 // middleware applied).
@@ -154,12 +206,14 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancelBase()
+		s.journal.close()
 		return nil
 	case <-ctx.Done():
 		// Deadline passed: cancel the job context so in-flight drivers stop
 		// launching new simulations, then wait for the workers to notice.
 		s.cancelBase()
 		<-done
+		s.journal.close()
 		return ctx.Err()
 	}
 }
@@ -424,7 +478,7 @@ func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
 // refuseIfClosing 503s work submitted after Shutdown began.
 func (s *Service) refuseIfClosing(w http.ResponseWriter) bool {
 	if s.closing.Load() {
-		writeError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		writeRetryableError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
 		return true
 	}
 	return false
@@ -476,6 +530,14 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
+}
+
+// writeRetryableError is writeError plus a Retry-After hint, for transient
+// refusals (queue pressure, draining) the client should back off from and
+// retry rather than surface.
+func writeRetryableError(w http.ResponseWriter, code int, err error) {
+	w.Header().Set("Retry-After", "1")
+	writeError(w, code, err)
 }
 
 // --- metrics middleware ---

@@ -1,0 +1,101 @@
+package sim
+
+import (
+	"errors"
+	"reflect"
+	"strings"
+	"testing"
+
+	"hmem/internal/chaos"
+	"hmem/internal/trace"
+	"hmem/internal/workload"
+)
+
+// TestRunReportsInjectedStreamFaultAndStaysClean drives Run through a
+// chaos-wrapped trace: the injected mid-stream error must surface with the
+// record position and wrap chaos.ErrInjected, and a fault-free run afterward
+// must match a fault-free run from before — one poisoned stream never
+// corrupts later simulations.
+func TestRunReportsInjectedStreamFaultAndStaysClean(t *testing.T) {
+	cfg := testConfig()
+	prof, err := workload.Lookup("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	mkStream := func() trace.Stream {
+		g, err := workload.NewGenerator(prof, 0, 5000, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return g
+	}
+
+	reference, err := Run(cfg, []trace.Stream{mkStream()}, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	inj, err := chaos.New(chaos.Plan{Trace: []chaos.TraceFault{
+		{AtRecord: 1234, Mode: chaos.ModeError},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(cfg, []trace.Stream{inj.Stream(mkStream())}, nil, false, nil)
+	if err == nil {
+		t.Fatal("Run swallowed the injected stream fault")
+	}
+	if !errors.Is(err, chaos.ErrInjected) {
+		t.Fatalf("Run err = %v, does not wrap chaos.ErrInjected", err)
+	}
+	if !strings.Contains(err.Error(), "record 1234") {
+		t.Fatalf("Run err = %q, missing faulted record position", err)
+	}
+	if got := inj.Stats().Trace; got != 1 {
+		t.Fatalf("injected trace faults = %d, want 1", got)
+	}
+
+	after, err := Run(cfg, []trace.Stream{mkStream()}, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(reference, after) {
+		t.Fatal("fault-free run after an injected fault diverged from the reference")
+	}
+}
+
+// TestRunTruncatedStreamEndsEarlyNotBroken: a ModeTruncate fault is a clean
+// EOF — the simulation completes with fewer records instead of erroring.
+func TestRunTruncatedStreamEndsEarlyNotBroken(t *testing.T) {
+	cfg := testConfig()
+	prof, err := workload.Lookup("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(prof, 0, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	inj, err := chaos.New(chaos.Plan{Trace: []chaos.TraceFault{
+		{AtRecord: 500, Mode: chaos.ModeTruncate},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(cfg, []trace.Stream{g}, nil, false, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g2, err := workload.NewGenerator(prof, 0, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	short, err := Run(cfg, []trace.Stream{inj.Stream(g2)}, nil, false, nil)
+	if err != nil {
+		t.Fatalf("truncated stream errored: %v", err)
+	}
+	if short.Instructions >= full.Instructions {
+		t.Fatalf("truncated run committed %d instructions, full run %d",
+			short.Instructions, full.Instructions)
+	}
+}

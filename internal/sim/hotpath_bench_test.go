@@ -33,7 +33,7 @@ func BenchmarkPerAccessPath(b *testing.B) {
 	var now int64
 	for pg := uint64(0); pg < pages; pg++ {
 		pi := p.Intern(pg)
-		tier, _ := p.LookupIndex(pi)
+		tier, _, _ := p.LookupIndex(pi)
 		now++
 		tracker.Access(uint32(pi), int(pg%64), now, false, tier)
 		iv.observe(pi, false, tier == avf.TierHBM)
@@ -43,7 +43,7 @@ func BenchmarkPerAccessPath(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		pg := uint64(i % pages)
 		pi := p.Intern(pg)
-		tier, _ := p.LookupIndex(pi)
+		tier, _, _ := p.LookupIndex(pi)
 		now++
 		write := i%3 == 0
 		tracker.Access(uint32(pi), int(pg%64), now, write, tier)

@@ -25,7 +25,7 @@ func TestPerAccessPathZeroAllocs(t *testing.T) {
 	touch := func() {
 		for pg := uint64(0); pg < pages; pg++ {
 			pi := p.Intern(pg)
-			tier, _ := p.LookupIndex(pi)
+			tier, _, _ := p.LookupIndex(pi)
 			now++
 			write := pg%3 == 0
 			tracker.Access(uint32(pi), int(pg%64), now, write, tier)
@@ -39,7 +39,7 @@ func TestPerAccessPathZeroAllocs(t *testing.T) {
 	pg := uint64(0)
 	allocs := testing.AllocsPerRun(1000, func() {
 		pi := p.Intern(pg)
-		tier, _ := p.LookupIndex(pi)
+		tier, _, _ := p.LookupIndex(pi)
 		now++
 		tracker.Access(uint32(pi), int(pg%64), now, pg%3 == 0, tier)
 		iv.observe(pi, pg%3 == 0, tier == avf.TierHBM)

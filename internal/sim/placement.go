@@ -5,6 +5,7 @@
 package sim
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 
@@ -120,11 +121,18 @@ func (p *Placement) Intern(page uint64) core.PageIndex {
 	return pi
 }
 
+// ErrDDRExhausted reports that a run's footprint outgrew the DDR tier — a
+// workload/configuration mismatch. It is returned (not panicked) so a
+// misconfigured request fails one evaluation, not the process hosting it.
+var ErrDDRExhausted = errors.New("sim: DDR capacity exhausted")
+
 // LookupIndex returns the tier and frame of the page interned at pi,
-// allocating a DDR frame on first touch. It panics if DDR is out of frames —
-// a configuration error, since experiments size DDR to hold every footprint.
-// The index must come from this placement's Intern (or PageTable).
-func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64) {
+// allocating a DDR frame on first touch. If DDR is out of frames it returns
+// an error wrapping ErrDDRExhausted — a configuration error, since
+// experiments size DDR to hold every footprint. The error path is cold; the
+// steady-state lookup stays allocation-free. The index must come from this
+// placement's Intern (or PageTable).
+func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64, error) {
 	i := int(pi)
 	if i >= len(p.flags) {
 		p.ensure(i)
@@ -132,23 +140,23 @@ func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64) {
 	f := p.flags[i]
 	if f&pagePlaced != 0 {
 		if f&pageHBM != 0 {
-			return avf.TierHBM, p.frame[i]
+			return avf.TierHBM, p.frame[i], nil
 		}
-		return avf.TierDDR, p.frame[i]
+		return avf.TierDDR, p.frame[i], nil
 	}
 	if len(p.ddrFree) == 0 {
-		panic(fmt.Sprintf("sim: DDR capacity %d pages exhausted", p.ddrCapacity))
+		return avf.TierDDR, 0, fmt.Errorf("%w (%d pages)", ErrDDRExhausted, p.ddrCapacity)
 	}
 	frame := p.ddrFree[len(p.ddrFree)-1]
 	p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
 	p.flags[i] = f | pagePlaced
 	p.frame[i] = frame
-	return avf.TierDDR, frame
+	return avf.TierDDR, frame, nil
 }
 
 // Lookup returns a page's tier and frame by id, allocating a DDR frame on
 // first touch (see LookupIndex).
-func (p *Placement) Lookup(page uint64) (avf.Tier, uint64) {
+func (p *Placement) Lookup(page uint64) (avf.Tier, uint64, error) {
 	return p.LookupIndex(p.Intern(page))
 }
 

@@ -70,7 +70,10 @@ func churnProperty(seed uint64) error {
 			if !placed(p, pg) {
 				continue
 			}
-			tier, frame := p.Lookup(pg)
+			tier, frame, err := p.Lookup(pg)
+			if err != nil {
+				return fmt.Errorf("step %d: lookup page %d: %w", step, pg, err)
+			}
 			key := [2]uint64{uint64(tier), frame}
 			if seenFrames[key] {
 				return fmt.Errorf("step %d: frame %d aliased in tier %v", step, frame, tier)

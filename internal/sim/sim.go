@@ -274,7 +274,10 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		// bookkeeping structure below is a flat array index.
 		pi := placement.Intern(rec.Page())
 		lineInPage := int(rec.Line() % trace.LinesPerPage)
-		tier, frame := placement.LookupIndex(pi)
+		tier, frame, err := placement.LookupIndex(pi)
+		if err != nil {
+			return Result{}, fmt.Errorf("sim: placing page %d: %w", rec.Page(), err)
+		}
 		write := rec.Kind.IsWrite()
 
 		tracker.Access(uint32(pi), lineInPage, c.time, write, tier)

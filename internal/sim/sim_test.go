@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"errors"
 	"testing"
 
 	"hmem/internal/avf"
@@ -23,7 +24,10 @@ func testConfig() Config {
 
 func TestPlacementFirstTouchGoesToDDR(t *testing.T) {
 	p := NewPlacement(4, 8)
-	tier, frame := p.Lookup(100)
+	tier, frame, err := p.Lookup(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if tier != avf.TierDDR {
 		t.Fatalf("first touch tier = %v", tier)
 	}
@@ -31,7 +35,10 @@ func TestPlacementFirstTouchGoesToDDR(t *testing.T) {
 		t.Fatalf("frame %d out of range", frame)
 	}
 	// Stable on re-lookup.
-	t2, f2 := p.Lookup(100)
+	t2, f2, err := p.Lookup(100)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if t2 != tier || f2 != frame {
 		t.Fatal("lookup not stable")
 	}
@@ -63,7 +70,10 @@ func TestPlacementFramesUnique(t *testing.T) {
 	p := NewPlacement(8, 64)
 	seen := map[uint64]bool{}
 	for page := uint64(0); page < 64; page++ {
-		tier, frame := p.Lookup(page)
+		tier, frame, err := p.Lookup(page)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if tier != avf.TierDDR {
 			t.Fatal("expected DDR")
 		}
@@ -74,15 +84,36 @@ func TestPlacementFramesUnique(t *testing.T) {
 	}
 }
 
-func TestPlacementDDRExhaustionPanics(t *testing.T) {
+func TestPlacementDDRExhaustionReturnsError(t *testing.T) {
 	p := NewPlacement(1, 1)
-	p.Lookup(0)
-	defer func() {
-		if recover() == nil {
-			t.Fatal("expected panic")
-		}
-	}()
-	p.Lookup(1)
+	if _, _, err := p.Lookup(0); err != nil {
+		t.Fatal(err)
+	}
+	_, _, err := p.Lookup(1)
+	if !errors.Is(err, ErrDDRExhausted) {
+		t.Fatalf("err = %v, want ErrDDRExhausted", err)
+	}
+}
+
+// TestRunSurfacesDDRExhaustion drives a full Run against a DDR tier too
+// small for the workload's footprint: the run must fail with a returned
+// error (not a panic), so a misconfigured request fails one evaluation
+// rather than the process hosting it.
+func TestRunSurfacesDDRExhaustion(t *testing.T) {
+	cfg := testConfig()
+	cfg.DDR = memsim.DDR3(64 << 12) // 64 pages — far below any footprint
+	prof, err := workload.Lookup("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	g, err := workload.NewGenerator(prof, 0, 5000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = Run(cfg, []trace.Stream{g}, nil, false, nil)
+	if !errors.Is(err, ErrDDRExhausted) {
+		t.Fatalf("Run err = %v, want ErrDDRExhausted", err)
+	}
 }
 
 func TestMigrateSwapsAndRespectsPins(t *testing.T) {

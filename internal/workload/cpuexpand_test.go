@@ -10,12 +10,12 @@ import (
 
 func TestCPUExpandMultipliesAccesses(t *testing.T) {
 	p, _ := Lookup("gcc")
-	base := NewGenerator(p, 0, 5000, 3)
+	base := mustGen(t, p, 0, 5000, 3)
 	baseRecs, err := Drain(base)
 	if err != nil {
 		t.Fatal(err)
 	}
-	exp := CPUExpand(NewGenerator(p, 0, 5000, 3), 3, 7)
+	exp := CPUExpand(mustGen(t, p, 0, 5000, 3), 3, 7)
 	expRecs, err := Drain(exp)
 	if err != nil {
 		t.Fatal(err)
@@ -34,11 +34,11 @@ func TestCPUExpandPreservesInstructionCount(t *testing.T) {
 		}
 		return s
 	}
-	baseRecs, err := Drain(NewGenerator(p, 0, 5000, 3))
+	baseRecs, err := Drain(mustGen(t, p, 0, 5000, 3))
 	if err != nil {
 		t.Fatal(err)
 	}
-	expRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 5000, 3), 3, 7))
+	expRecs, err := Drain(CPUExpand(mustGen(t, p, 0, 5000, 3), 3, 7))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -50,11 +50,11 @@ func TestCPUExpandPreservesInstructionCount(t *testing.T) {
 
 func TestCPUExpandZeroFactorIsIdentity(t *testing.T) {
 	p, _ := Lookup("bzip")
-	baseRecs, err := Drain(NewGenerator(p, 0, 1000, 9))
+	baseRecs, err := Drain(mustGen(t, p, 0, 1000, 9))
 	if err != nil {
 		t.Fatal(err)
 	}
-	expRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 1000, 9), 0, 1))
+	expRecs, err := Drain(CPUExpand(mustGen(t, p, 0, 1000, 9), 0, 1))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -67,7 +67,7 @@ func TestCPUExpandZeroFactorIsIdentity(t *testing.T) {
 		}
 	}
 	// Negative factor clamps to identity too.
-	negRecs, err := Drain(CPUExpand(NewGenerator(p, 0, 1000, 9), -1, 1))
+	negRecs, err := Drain(CPUExpand(mustGen(t, p, 0, 1000, 9), -1, 1))
 	if err != nil || len(negRecs) != len(baseRecs) {
 		t.Fatal("negative factor should clamp to identity")
 	}
@@ -80,9 +80,15 @@ func TestFullPipelineRoundTrip(t *testing.T) {
 	// memory-level access count.
 	p, _ := Lookup("gcc")
 	const n = 8000
-	cpu := CPUExpand(NewGenerator(p, 0, n, 3), 4, 7)
-	l2 := cachesim.New(cachesim.Table1L2(16))
-	h := cachesim.NewHierarchy(cachesim.Table1Hierarchy(), l2)
+	cpu := CPUExpand(mustGen(t, p, 0, n, 3), 4, 7)
+	l2, err := cachesim.New(cachesim.Table1L2(16))
+	if err != nil {
+		t.Fatal(err)
+	}
+	h, err := cachesim.NewHierarchy(cachesim.Table1Hierarchy(), l2)
+	if err != nil {
+		t.Fatal(err)
+	}
 	memRecs, err := Drain(cachesim.NewFilterStream(cpu, h))
 	if err != nil {
 		t.Fatal(err)

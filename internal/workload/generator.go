@@ -1,6 +1,7 @@
 package workload
 
 import (
+	"fmt"
 	"io"
 	"strconv"
 
@@ -54,14 +55,16 @@ type Generator struct {
 }
 
 // NewGenerator builds a generator for prof emitting `records` records, with
-// the core's pages starting at global page id basePage. It panics on an
-// invalid profile (profiles are compiled-in constants).
-func NewGenerator(prof Profile, basePage uint64, records int, seed uint64) *Generator {
+// the core's pages starting at global page id basePage. Invalid profiles and
+// negative record counts are returned as errors: profiles normally come from
+// the compiled-in table, but callers can construct their own, and a bad one
+// must fail its request, not the process.
+func NewGenerator(prof Profile, basePage uint64, records int, seed uint64) (*Generator, error) {
 	if err := prof.Validate(); err != nil {
-		panic(err)
+		return nil, err
 	}
 	if records < 0 {
-		panic("workload: negative record count")
+		return nil, fmt.Errorf("workload: negative record count %d", records)
 	}
 	g := &Generator{
 		prof:     prof,
@@ -72,7 +75,7 @@ func NewGenerator(prof Profile, basePage uint64, records int, seed uint64) *Gene
 	}
 	g.layout()
 	g.weights()
-	return g
+	return g, nil
 }
 
 // layout partitions the footprint into class-homogeneous structures.

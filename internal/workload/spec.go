@@ -132,8 +132,11 @@ func (s Spec) Build(recordsPerCore int, seed uint64) (*Suite, error) {
 			return nil, err
 		}
 		for c := 0; c < m.Copies; c++ {
-			g := NewGenerator(prof, uint64(core)*coreStride, recordsPerCore,
+			g, err := NewGenerator(prof, uint64(core)*coreStride, recordsPerCore,
 				seed^(uint64(core)*0x9E3779B97F4A7C15+1))
+			if err != nil {
+				return nil, fmt.Errorf("workload: spec %s core %d: %w", s.Name, core, err)
+			}
 			suite.Generators = append(suite.Generators, g)
 			suite.Structures = append(suite.Structures, g.Structures()...)
 			core++

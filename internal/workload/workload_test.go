@@ -8,6 +8,15 @@ import (
 	"hmem/internal/trace"
 )
 
+func mustGen(tb testing.TB, p Profile, basePage uint64, records int, seed uint64) *Generator {
+	tb.Helper()
+	g, err := NewGenerator(p, basePage, records, seed)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return g
+}
+
 func TestAllProfilesValidate(t *testing.T) {
 	for _, name := range Names() {
 		p, err := Lookup(name)
@@ -59,7 +68,7 @@ func TestProfileValidateRejectsBadConfigs(t *testing.T) {
 func TestGeneratorDeterminism(t *testing.T) {
 	p, _ := Lookup("astar")
 	collect := func() []trace.Record {
-		g := NewGenerator(p, 0, 2000, 42)
+		g := mustGen(t, p, 0, 2000, 42)
 		recs, err := trace.Collect(g, 0)
 		if err != nil {
 			t.Fatal(err)
@@ -79,8 +88,8 @@ func TestGeneratorDeterminism(t *testing.T) {
 
 func TestGeneratorSeedsDiffer(t *testing.T) {
 	p, _ := Lookup("astar")
-	a, _ := trace.Collect(NewGenerator(p, 0, 100, 1), 0)
-	b, _ := trace.Collect(NewGenerator(p, 0, 100, 2), 0)
+	a, _ := trace.Collect(mustGen(t, p, 0, 100, 1), 0)
+	b, _ := trace.Collect(mustGen(t, p, 0, 100, 2), 0)
 	same := 0
 	for i := range a {
 		if a[i] == b[i] {
@@ -95,7 +104,7 @@ func TestGeneratorSeedsDiffer(t *testing.T) {
 func TestGeneratorAddressesWithinFootprint(t *testing.T) {
 	p, _ := Lookup("gcc")
 	const base = uint64(5) << 26
-	g := NewGenerator(p, base, 5000, 7)
+	g := mustGen(t, p, base, 5000, 7)
 	for {
 		r, err := g.Next()
 		if errors.Is(err, io.EOF) {
@@ -110,7 +119,7 @@ func TestGeneratorAddressesWithinFootprint(t *testing.T) {
 
 func TestGeneratorEOF(t *testing.T) {
 	p, _ := Lookup("bzip")
-	g := NewGenerator(p, 0, 10, 3)
+	g := mustGen(t, p, 0, 10, 3)
 	for i := 0; i < 10; i++ {
 		if _, err := g.Next(); err != nil {
 			t.Fatalf("record %d: %v", i, err)
@@ -124,7 +133,7 @@ func TestGeneratorEOF(t *testing.T) {
 func TestStructuresPartitionFootprint(t *testing.T) {
 	for _, name := range Names() {
 		p, _ := Lookup(name)
-		g := NewGenerator(p, 100, 1, 9)
+		g := mustGen(t, p, 100, 1, 9)
 		structs := g.Structures()
 		if len(structs) == 0 {
 			t.Fatalf("%s: no structures", name)
@@ -152,7 +161,7 @@ func TestStructuresPartitionFootprint(t *testing.T) {
 
 func TestClassFractionsRespected(t *testing.T) {
 	p, _ := Lookup("milc")
-	g := NewGenerator(p, 0, 1, 11)
+	g := mustGen(t, p, 0, 1, 11)
 	byClass := make([]int, len(p.Classes))
 	for _, s := range g.Structures() {
 		byClass[s.Class] += s.Pages
@@ -178,7 +187,7 @@ func TestWindowRespectedForReads(t *testing.T) {
 	if deadClass == -1 {
 		t.Skip("no windowed class in profile")
 	}
-	g := NewGenerator(p, 0, 60000, 13)
+	g := mustGen(t, p, 0, 60000, 13)
 	windowEnd := p.Classes[deadClass].Window[1]
 	lateReads, lateTotal := 0, 0
 	for i := 0; ; i++ {
@@ -210,7 +219,7 @@ func TestMPKIControlsGaps(t *testing.T) {
 	high, _ := Lookup("mcf")
 	low, _ := Lookup("bzip")
 	meanGap := func(p Profile) float64 {
-		g := NewGenerator(p, 0, 20000, 5)
+		g := mustGen(t, p, 0, 20000, 5)
 		sum := 0.0
 		for {
 			r, err := g.Next()
@@ -313,7 +322,7 @@ func TestSuiteBuild(t *testing.T) {
 
 func BenchmarkGeneratorNext(b *testing.B) {
 	p, _ := Lookup("mcf")
-	g := NewGenerator(p, 0, b.N+1, 1)
+	g := mustGen(b, p, 0, b.N+1, 1)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := g.Next(); err != nil {
