@@ -69,8 +69,12 @@ func main() {
 	}
 	if *journalDir != "" {
 		rec := svc.Recovery()
-		log.Printf("hmemd: journal replay: restored %d jobs (%d terminal, %d requeued, %d failed as poison)",
-			rec.Restored, rec.Terminal, rec.Requeued, rec.PoisonFailed)
+		log.Printf("hmemd: journal replay: restored %d jobs (%d terminal, %d requeued, %d failed as poison); compacted %d records, skipped %d corrupt lines",
+			rec.Restored, rec.Terminal, rec.Requeued, rec.PoisonFailed,
+			rec.CompactedRecords, rec.CorruptLines)
+		if rec.CorruptLines > 1 {
+			log.Printf("hmemd: warning: journal replay skipped %d unparsable lines (more than a single torn tail) — recovery may be lossy", rec.CorruptLines)
+		}
 	}
 
 	srv := &http.Server{

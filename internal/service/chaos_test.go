@@ -176,6 +176,106 @@ func TestSubmitIdempotencyKey(t *testing.T) {
 	}
 }
 
+// TestKeyedSubmitBounceFreesKey: a keyed submission bounced for queue
+// pressure is cancelled before it ever runs, and that cancellation frees the
+// key. The retry the 429 invites must never be answered 200 with the dead
+// job — it either bounces again or, once there is room, enqueues a fresh
+// job. The same holds across a restart that replays the cancelled job from
+// the journal.
+func TestKeyedSubmitBounceFreesKey(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+	cfg := tinyConfig()
+	cfg.JournalDir = dir
+	cfg.QueueDepth = 1
+	cfg.JobWorkers = -1 // keep the queue full by hand
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	c := &Client{BaseURL: ts.URL}
+
+	if _, err := c.SubmitJob(ctx, JobRequest{Experiment: "table1"}); err != nil {
+		t.Fatal(err) // fills the queue
+	}
+	keyed := JobRequest{Experiment: "table1", IdempotencyKey: "bounced"}
+	_, err = c.SubmitJob(ctx, keyed)
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("keyed submit into a full queue = %v, want 429", err)
+	}
+	// Retry while still full: another 429, never a 200 with the cancelled job.
+	_, err = c.SubmitJob(ctx, keyed)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("retry while full = %v, want 429 (a 200 would hand back a job that will never run)", err)
+	}
+	// Make room; the same key must now enqueue a fresh, live job.
+	<-svc.queue
+	st, err := c.SubmitJob(ctx, keyed)
+	if err != nil {
+		t.Fatalf("retry with room = %v, want accepted", err)
+	}
+	if st.State != JobQueued {
+		t.Fatalf("retried job state = %s, want queued", st.State)
+	}
+	ts.Close()
+	shutdownCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	_ = svc.Shutdown(shutdownCtx)
+	cancel()
+
+	// Restart: the journal holds cancelled jobs under other keys from the
+	// bounces above. A key that died with a cancelled job must stay free
+	// after replay too.
+	dir2 := t.TempDir()
+	cfg2 := tinyConfig()
+	cfg2.JournalDir = dir2
+	cfg2.QueueDepth = 1
+	cfg2.JobWorkers = -1
+	svc2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts2 := httptest.NewServer(svc2.Handler())
+	c2 := &Client{BaseURL: ts2.URL}
+	if _, err := c2.SubmitJob(ctx, JobRequest{Experiment: "table1"}); err != nil {
+		t.Fatal(err)
+	}
+	_, err = c2.SubmitJob(ctx, keyed)
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+		t.Fatalf("keyed submit = %v, want 429", err)
+	}
+	ts2.Close()
+	shutdownCtx2, cancel2 := context.WithTimeout(ctx, time.Minute)
+	_ = svc2.Shutdown(shutdownCtx2)
+	cancel2()
+
+	cfg3 := tinyConfig()
+	cfg3.JournalDir = dir2
+	svc3, err := New(cfg3) // with a worker: the requeued filler drains
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts3 := httptest.NewServer(svc3.Handler())
+	defer func() {
+		ts3.Close()
+		shutdownCtx3, cancel3 := context.WithTimeout(ctx, time.Minute)
+		defer cancel3()
+		_ = svc3.Shutdown(shutdownCtx3)
+	}()
+	c3 := &Client{BaseURL: ts3.URL}
+	st3, err := c3.SubmitJob(ctx, keyed)
+	if err != nil {
+		t.Fatalf("keyed submit after restart = %v, want accepted (key burned by replayed cancelled job?)", err)
+	}
+	if st3.State == JobCancelled {
+		t.Fatal("keyed submit after restart returned the replayed cancelled job")
+	}
+	if got := waitTerminal(t, c3, st3.ID); got.State != JobDone {
+		t.Fatalf("retried job after restart = %s (%s), want done", got.State, got.Error)
+	}
+}
+
 // readJournal parses every intact line of a journal directory's log.
 func readJournal(t *testing.T, dir string) []journalRecord {
 	t.Helper()
@@ -379,6 +479,114 @@ func TestJournalReplayRequeuesInterruptedAndPoisons(t *testing.T) {
 	}
 	if svc.jobRetries.Load() != 1 {
 		t.Fatalf("jobRetries = %d, want 1", svc.jobRetries.Load())
+	}
+}
+
+// TestJournalCompactsOnStartup: the journal does not grow without bound —
+// a restart rewrites it down to one submit plus one current-state line per
+// job, preserving results and the accumulated attempt count poison
+// detection needs.
+func TestJournalCompactsOnStartup(t *testing.T) {
+	dir := t.TempDir()
+	ctx := context.Background()
+
+	// Run one job to completion: the journal holds its full lifecycle
+	// (submit, queued→running→done) before any compaction.
+	cfg := tinyConfig()
+	cfg.JournalDir = dir
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	c := &Client{BaseURL: ts.URL}
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "table1", IdempotencyKey: "keep"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, c, st.ID); got.State != JobDone {
+		t.Fatalf("job = %s (%s), want done", got.State, got.Error)
+	}
+	ts.Close()
+	shutdownCtx, cancel := context.WithTimeout(ctx, time.Minute)
+	_ = svc.Shutdown(shutdownCtx)
+	cancel()
+	if before := readJournal(t, dir); len(before) <= 2 {
+		t.Fatalf("pre-compaction journal has %d records, expected a full lifecycle", len(before))
+	}
+
+	// Restart: the file shrinks to submit + done, the result and the
+	// idempotency key survive, and the one completed run is carried in the
+	// submit record's attempt count.
+	cfg2 := tinyConfig()
+	cfg2.JournalDir = dir
+	cfg2.JobWorkers = -1
+	svc2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		shutdownCtx2, cancel2 := context.WithTimeout(ctx, time.Minute)
+		defer cancel2()
+		_ = svc2.Shutdown(shutdownCtx2)
+	}()
+	rec := svc2.Recovery()
+	if rec.Restored != 1 || rec.Terminal != 1 || rec.CompactedRecords == 0 {
+		t.Fatalf("recovery = %+v, want 1 terminal job and compacted records", rec)
+	}
+	after := readJournal(t, dir)
+	if len(after) != 2 {
+		t.Fatalf("compacted journal has %d records, want 2 (submit + done):\n%+v", len(after), after)
+	}
+	if after[0].Op != "submit" || after[0].IdemKey != "keep" || after[0].Attempts != 1 {
+		t.Fatalf("compacted submit = %+v, want idempotency key and 1 attempt", after[0])
+	}
+	if after[1].Op != "state" || after[1].State != JobDone || after[1].Result == nil {
+		t.Fatalf("compacted state = %+v, want done with result", after[1])
+	}
+	j, ok := svc2.jobs.get(st.ID)
+	if !ok {
+		t.Fatal("job missing after compacting restart")
+	}
+	if got := svc2.jobs.statusOf(j); got.State != JobDone || got.Result == nil {
+		t.Fatalf("restored job = %s (result %v), want done with result", got.State, got.Result != nil)
+	}
+}
+
+// TestJournalRetriesFailedAppendAndSeversTornWrites: a dropped terminal
+// record does not just lose a result — it re-executes the job on restart —
+// so a failed write retries once, and the retry after a short write leads
+// with a newline so the torn fragment cannot swallow the re-written record.
+func TestJournalRetriesFailedAppendAndSeversTornWrites(t *testing.T) {
+	dir := t.TempDir()
+	inj, err := chaos.New(chaos.Plan{Write: []chaos.WriteFault{
+		{AtWrite: 0, Mode: chaos.ModeError}, // submit's first attempt fails outright
+		{AtWrite: 2, Mode: chaos.ModeShort}, // done's first attempt tears mid-line
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl, _, _, err := openJournal(dir, inj.Writer)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl.append(journalRecord{Op: "submit", JobID: "job-1", Experiment: "table1"})
+	jl.append(journalRecord{Op: "state", JobID: "job-1", State: JobDone})
+	jl.close()
+	if got := jl.appendErrors(); got != 2 {
+		t.Fatalf("append errors = %d, want 2 (one per failed attempt)", got)
+	}
+
+	jl2, recs, stats, err := openJournal(dir, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	jl2.close()
+	if stats.corruptLines != 1 {
+		t.Fatalf("corrupt lines = %d, want exactly the one torn fragment", stats.corruptLines)
+	}
+	if len(recs) != 2 || recs[0].Op != "submit" || recs[1].State != JobDone {
+		t.Fatalf("replayed records = %+v, want the retried submit and done", recs)
 	}
 }
 

@@ -35,7 +35,10 @@ type JobRequest struct {
 	// IdempotencyKey makes the submission safe to retry: re-submitting the
 	// same key with the same request returns the existing job instead of
 	// enqueueing a duplicate; the same key with a different request is a
-	// 409 conflict.
+	// 409 conflict. A key held by a cancelled job — one rejected for queue
+	// pressure or draining before it ever ran — is freed, so the retry that
+	// rejection invited creates a fresh job rather than being handed the
+	// dead one.
 	IdempotencyKey string `json:"idempotency_key,omitempty"`
 }
 
@@ -133,7 +136,12 @@ func (st *jobStore) add(req JobRequest) (j *job, existed bool, err error) {
 	defer st.mu.Unlock()
 	fp := req.fingerprint()
 	if req.IdempotencyKey != "" {
-		if prev, ok := st.byKey[req.IdempotencyKey]; ok {
+		// A cancelled job never ran and never will; if it kept its key, the
+		// retry a queue-full 429 or draining 503 explicitly invites would get
+		// a 200 for work that was silently dropped — so cancellation frees
+		// the key (in memory here, and across restarts because replayed
+		// cancelled jobs hit this same check).
+		if prev, ok := st.byKey[req.IdempotencyKey]; ok && prev.state != JobCancelled {
 			if prev.fingerprint != fp {
 				return nil, false, errKeyConflict
 			}

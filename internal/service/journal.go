@@ -53,12 +53,24 @@ type journalRecord struct {
 	State  string        `json:"state,omitempty"`
 	Error  string        `json:"error,omitempty"`
 	Result *report.Table `json:"result,omitempty"`
+
+	// Attempts is only written by the startup compaction rewrite: it carries
+	// the number of running transitions the compacted-away history contained,
+	// so poison detection keeps counting across compactions.
+	Attempts int `json:"attempts,omitempty"`
 }
 
-// journal is the durable, append-only job log. Appends are best-effort by
-// design: a full disk must degrade the durability guarantee (jobs submitted
-// during the outage are lost on restart), never the daemon — failures are
-// counted and surfaced on /metrics instead of propagated.
+// journal is the durable job log: append-only while the daemon runs,
+// compacted down to each job's current state on the next startup so a
+// long-lived daemon's replay time and disk use stay proportional to the
+// number of jobs, not the number of transitions. Appends are best-effort by
+// design: a full disk must degrade the durability guarantee, never the
+// daemon — a failed write is retried once, then counted and surfaced on
+// /metrics instead of propagated. A lost "submit" loses that job on
+// restart; a lost terminal "state" record is worse — the journal still says
+// running, so a restart re-executes a job that in fact finished. That
+// violation of at-most-once is bounded (maxJobAttempts poisons a repeat
+// offender) and is the price of never blocking the serving path on disk.
 //
 // Writes go through the OS page cache without fsync: the journal protects
 // against process death (crash, OOM-kill, SIGKILL), which is the failure
@@ -69,18 +81,35 @@ type journal struct {
 	f   *os.File
 	w   io.Writer
 	seq int64
+	// dirty is set after a failed or short write: the file may end in a torn
+	// fragment, so the next write leads with '\n' to sever it from the
+	// fragment instead of gluing two records into one unparsable line.
+	dirty bool
 
 	appendErrs atomic.Uint64
 }
 
-// openJournal reads dir's existing journal (if any) and opens it for append.
-// A torn trailing line — what a crash mid-append leaves behind — is skipped,
-// as is any other unparsable line: a best-effort journal must not brick the
-// daemon that owns it. wrap, when non-nil, decorates the append writer
-// (fault-injection seam).
-func openJournal(dir string, wrap func(io.Writer) io.Writer) (*journal, []journalRecord, error) {
+// journalOpenStats reports what opening the journal found and cleaned up.
+type journalOpenStats struct {
+	// corruptLines is how many unparsable lines were skipped: one torn tail
+	// is expected after a crash mid-append, anything more is corruption an
+	// operator should know turned the replay lossy.
+	corruptLines int
+	// compacted is how many superseded or orphaned records the startup
+	// rewrite dropped.
+	compacted int
+}
+
+// openJournal reads dir's existing journal (if any), compacts it, and opens
+// it for append. A torn trailing line — what a crash mid-append leaves
+// behind — is skipped, as is any other unparsable line: a best-effort
+// journal must not brick the daemon that owns it; the skips are counted so
+// operators can tell a clean replay from a lossy one. wrap, when non-nil,
+// decorates the append writer (fault-injection seam).
+func openJournal(dir string, wrap func(io.Writer) io.Writer) (*journal, []journalRecord, journalOpenStats, error) {
+	var stats journalOpenStats
 	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, nil, fmt.Errorf("service: creating journal dir: %w", err)
+		return nil, nil, stats, fmt.Errorf("service: creating journal dir: %w", err)
 	}
 	path := filepath.Join(dir, journalFileName)
 	var recs []journalRecord
@@ -92,36 +121,137 @@ func openJournal(dir string, wrap func(io.Writer) io.Writer) (*journal, []journa
 			}
 			var rec journalRecord
 			if json.Unmarshal(line, &rec) != nil {
+				stats.corruptLines++
 				continue
 			}
 			recs = append(recs, rec)
 		}
 	} else if !errors.Is(err, fs.ErrNotExist) {
-		return nil, nil, fmt.Errorf("service: reading journal: %w", err)
+		return nil, nil, stats, fmt.Errorf("service: reading journal: %w", err)
 	}
 	// File order is already seq order for an intact journal; sort anyway so
 	// a hand-edited or concatenated journal still replays coherently.
 	sort.SliceStable(recs, func(i, j int) bool { return recs[i].Seq < recs[j].Seq })
+	var maxSeq int64
+	for _, r := range recs {
+		if r.Seq > maxSeq {
+			maxSeq = r.Seq
+		}
+	}
+
+	// Compact before opening for append: without this the file accumulates
+	// every transition ever (plus one requeue record per interrupted job per
+	// restart) and replay cost grows without bound for a long-lived daemon.
+	// The rewrite is atomic (tmp + rename) and best-effort — if it fails the
+	// old file is still valid, just larger, and appends continue past its
+	// original tail.
+	kept := compactRecords(recs)
+	stats.compacted = len(recs) - len(kept)
+	if stats.compacted > 0 || stats.corruptLines > 0 {
+		if rewriteJournal(path, kept) == nil {
+			recs = kept
+		} else {
+			stats.compacted = 0
+		}
+	} else {
+		recs = kept
+	}
 
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
 	if err != nil {
-		return nil, nil, fmt.Errorf("service: opening journal: %w", err)
+		return nil, nil, stats, fmt.Errorf("service: opening journal: %w", err)
 	}
-	jl := &journal{f: f, w: f}
+	// Compaction preserves original sequence numbers, so resuming from the
+	// pre-compaction maximum keeps seq strictly increasing either way.
+	jl := &journal{f: f, w: f, seq: maxSeq}
 	if wrap != nil {
 		jl.w = wrap(f)
 	}
-	for _, r := range recs {
-		if r.Seq > jl.seq {
-			jl.seq = r.Seq
+	return jl, recs, stats, nil
+}
+
+// compactRecords collapses a record list to the minimum that replays
+// identically: per job, its submit record — carrying the accumulated count
+// of compacted-away running transitions in Attempts — plus its latest state
+// record (with the result table for done jobs). Original sequence numbers
+// are preserved. Orphaned state records, whose submit line was lost to
+// corruption, are dropped: without a request to re-run there is nothing
+// replay could do with them.
+func compactRecords(recs []journalRecord) []journalRecord {
+	type agg struct {
+		submit   journalRecord
+		last     *journalRecord
+		attempts int
+	}
+	byID := map[string]*agg{}
+	var order []*agg
+	for _, rec := range recs {
+		switch rec.Op {
+		case "submit":
+			if rec.JobID == "" || byID[rec.JobID] != nil {
+				continue
+			}
+			a := &agg{submit: rec, attempts: rec.Attempts}
+			byID[rec.JobID] = a
+			order = append(order, a)
+		case "state":
+			a := byID[rec.JobID]
+			if a == nil {
+				continue
+			}
+			if rec.State == JobRunning {
+				a.attempts++
+			}
+			r := rec
+			a.last = &r
 		}
 	}
-	return jl, recs, nil
+	var out []journalRecord
+	for _, a := range order {
+		sub := a.submit
+		sub.Attempts = a.attempts
+		if a.last != nil && a.last.State == JobRunning {
+			// The kept running record is counted again at replay.
+			sub.Attempts--
+		}
+		out = append(out, sub)
+		if a.last != nil {
+			out = append(out, *a.last)
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].Seq < out[j].Seq })
+	return out
+}
+
+// rewriteJournal atomically replaces the journal file with recs.
+func rewriteJournal(path string, recs []journalRecord) error {
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	for _, rec := range recs {
+		if err := enc.Encode(rec); err != nil {
+			f.Close()
+			os.Remove(tmp)
+			return err
+		}
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 // append assigns the next sequence number and writes one line. Safe on a nil
-// journal (journalling disabled). Errors are absorbed into the append-error
-// counter.
+// journal (journalling disabled). A failed write is retried once — a dropped
+// terminal record does not just lose a result, it re-executes the job on
+// restart — and each failed attempt is absorbed into the append-error
+// counter. A result table json cannot encode (NaN/Inf cells) costs the
+// record its result, never the transition: replay must still see the job as
+// finished.
 func (jl *journal) append(rec journalRecord) {
 	if jl == nil {
 		return
@@ -131,11 +261,25 @@ func (jl *journal) append(rec journalRecord) {
 	jl.seq++
 	rec.Seq = jl.seq
 	data, err := json.Marshal(rec)
-	if err == nil {
-		data = append(data, '\n')
-		_, err = jl.w.Write(data)
+	if err != nil && rec.Result != nil {
+		rec.Result = nil
+		data, err = json.Marshal(rec)
 	}
 	if err != nil {
+		jl.appendErrs.Add(1)
+		return
+	}
+	data = append(data, '\n')
+	for attempt := 0; attempt < 2; attempt++ {
+		line := data
+		if jl.dirty {
+			line = append([]byte{'\n'}, data...)
+		}
+		if _, werr := jl.w.Write(line); werr == nil {
+			jl.dirty = false
+			return
+		}
+		jl.dirty = true
 		jl.appendErrs.Add(1)
 	}
 }
@@ -169,6 +313,13 @@ type RecoveryStats struct {
 	// PoisonFailed jobs hit maxJobAttempts and were failed instead of
 	// re-enqueued.
 	PoisonFailed int
+	// CorruptLines is how many unparsable journal lines replay skipped. One
+	// is the expected torn tail of a crash mid-append; more means the replay
+	// was lossy (a skipped submit drops that job and orphans its states).
+	CorruptLines int
+	// CompactedRecords is how many superseded records the startup rewrite
+	// dropped to keep the journal's size bounded.
+	CompactedRecords int
 }
 
 // replayedJob pairs a reconstructed job with how many times it had entered
@@ -204,7 +355,9 @@ func (s *Service) replayJournal(recs []journalRecord) []*job {
 				notify:     make(chan struct{}),
 			}
 			j.events = append(j.events, JobEvent{Seq: 1, JobID: j.id, State: JobQueued})
-			rj := &replayedJob{j: j}
+			// Attempts carries running transitions a previous startup
+			// compacted away; state records below add the rest.
+			rj := &replayedJob{j: j, attempts: rec.Attempts}
 			byID[rec.JobID] = rj
 			order = append(order, rj)
 			if n, err := strconv.Atoi(strings.TrimPrefix(rec.JobID, "job-")); err == nil && n > maxID {

@@ -121,7 +121,10 @@ func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
 	b.WriteString("# HELP hmemd_journal_replayed_jobs Jobs restored from the journal at startup.\n")
 	b.WriteString("# TYPE hmemd_journal_replayed_jobs gauge\n")
 	fmt.Fprintf(&b, "hmemd_journal_replayed_jobs %d\n", s.recovery.Restored)
-	b.WriteString("# HELP hmemd_journal_append_errors_total Journal appends dropped due to write failures.\n")
+	b.WriteString("# HELP hmemd_journal_corrupt_lines Unparsable journal lines skipped by the startup replay (1 is a normal torn tail; more means lossy recovery).\n")
+	b.WriteString("# TYPE hmemd_journal_corrupt_lines gauge\n")
+	fmt.Fprintf(&b, "hmemd_journal_corrupt_lines %d\n", s.recovery.CorruptLines)
+	b.WriteString("# HELP hmemd_journal_append_errors_total Failed journal write attempts (each append retries once before dropping the record).\n")
 	b.WriteString("# TYPE hmemd_journal_append_errors_total counter\n")
 	fmt.Fprintf(&b, "hmemd_journal_append_errors_total %d\n", s.journal.appendErrors())
 

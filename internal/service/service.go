@@ -149,12 +149,14 @@ func New(cfg Config) (*Service, error) {
 	// be worse than not starting.
 	var requeue []*job
 	if cfg.JournalDir != "" {
-		jl, recs, err := openJournal(cfg.JournalDir, cfg.WrapJournalWriter)
+		jl, recs, jstats, err := openJournal(cfg.JournalDir, cfg.WrapJournalWriter)
 		if err != nil {
 			cancel()
 			return nil, err
 		}
 		s.journal = jl
+		s.recovery.CorruptLines = jstats.corruptLines
+		s.recovery.CompactedRecords = jstats.compacted
 		requeue = s.replayJournal(recs)
 	}
 	// The queue must hold every replayed job even when there are more of
