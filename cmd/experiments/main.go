@@ -7,6 +7,7 @@
 //	experiments -only figure5,table3  # a subset
 //	experiments -workloads astar,mix1 # restrict the workload set
 //	experiments -parallel 8           # bound the worker pool (default NumCPU)
+//	experiments -trace spans.ndjson   # dump tracing spans for the whole run
 //
 // Experiments run concurrently on a bounded worker pool; output order and
 // content are independent of -parallel (the same seed yields byte-identical
@@ -25,6 +26,7 @@ import (
 
 	"hmem/internal/exec"
 	"hmem/internal/experiments"
+	"hmem/internal/obs"
 	"hmem/internal/report"
 )
 
@@ -36,6 +38,7 @@ func main() {
 		records   = flag.Int("records", 0, "trace records per core (0 = default)")
 		scale     = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (<=0 = NumCPU)")
+		traceOut  = flag.String("trace", "", "write tracing spans as NDJSON to this file ('' = tracing off)")
 	)
 	flag.Parse()
 
@@ -99,6 +102,16 @@ func main() {
 	}
 	suiteStart := time.Now()
 	ctx := context.Background()
+	var tracer *obs.Tracer
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer("suite", obs.NewNDJSON(f))
+		ctx = obs.WithTracer(ctx, tracer)
+	}
 	outcomes, err := exec.Map(ctx, *parallel, len(selected), func(i int) (outcome, error) {
 		start := time.Now()
 		table, err := selected[i].Run(ctx)
@@ -133,6 +146,12 @@ func main() {
 	cs := runner.CacheStats()
 	fmt.Printf("memo cache: %d hits, %d misses (each miss is one simulation or fault study actually run)\n",
 		cs.Hits, cs.Misses)
+	if tracer != nil {
+		if d := tracer.Dropped(); d > 0 {
+			fmt.Fprintf(os.Stderr, "experiments: warning: %d spans dropped writing %s\n", d, *traceOut)
+		}
+		fmt.Printf("trace: spans written to %s\n", *traceOut)
+	}
 }
 
 func fatal(err error) {

@@ -6,11 +6,14 @@
 //     Decide, the faultsim Monte-Carlo shard) at a time-based -benchtime;
 //   - figures: the top-level bench_test.go suite at -benchtime=1x (those
 //     benchmarks are memoized per process, so one iteration is the only
-//     meaningful measurement).
+//     meaningful measurement per pass), run -repeat times and merged to the
+//     per-metric minimum so one noisy pass cannot skew the numbers.
 //
 // Results are written as JSON (see internal/bench.File) and optionally
 // gated against a committed baseline: ns/op must stay within -tolerance of
-// the baseline, and allocs/op — machine-independent — must never exceed it.
+// the baseline, and allocs/op is held near-exact — alloc-free benchmarks
+// must stay at exactly zero, and the rest get only a half-percent slack
+// for runtime scheduling jitter (see internal/bench.Compare).
 //
 // Usage:
 //
@@ -51,41 +54,59 @@ func main() {
 		benchtime = flag.String("benchtime", "100ms", "-benchtime for the micro group")
 		figures   = flag.String("figures", "^Benchmark", "-bench regex for the top-level suite (empty: skip the suite)")
 		micro     = flag.String("micro", microPattern, "-bench regex for the micro group (empty: skip)")
+		repeat    = flag.Int("repeat", 3, "figure-group passes; the per-metric minimum is kept")
 		verbose   = flag.Bool("v", false, "stream go test output")
 	)
 	flag.Parse()
-	if err := run(*compare, *tolerance, *out, *benchtime, *figures, *micro, *verbose); err != nil {
+	if err := run(*compare, *tolerance, *out, *benchtime, *figures, *micro, *repeat, *verbose); err != nil {
 		fmt.Fprintln(os.Stderr, "hmembench:", err)
 		os.Exit(1)
 	}
 }
 
-func run(compare string, tolerance float64, out, benchtime, figures, micro string, verbose bool) error {
-	var raw bytes.Buffer
-	sink := io.Writer(&raw)
-	if verbose {
-		sink = io.MultiWriter(&raw, os.Stderr)
+func run(compare string, tolerance float64, out, benchtime, figures, micro string, repeat int, verbose bool) error {
+	parsed := &bench.Run{Benchmarks: make(map[string]bench.Result)}
+	runGroup := func(args []string) error {
+		var raw bytes.Buffer
+		sink := io.Writer(&raw)
+		if verbose {
+			sink = io.MultiWriter(&raw, os.Stderr)
+		}
+		if err := goTest(args, sink); err != nil {
+			return err
+		}
+		r, err := bench.Parse(bytes.NewReader(raw.Bytes()))
+		if err != nil {
+			return err
+		}
+		parsed.MergeBest(r)
+		return nil
 	}
 
 	if micro != "" {
 		args := append([]string{"test", "-run", "^$", "-bench", micro,
 			"-benchmem", "-benchtime", benchtime}, microPackages...)
-		if err := goTest(args, sink); err != nil {
+		if err := runGroup(args); err != nil {
 			return fmt.Errorf("micro group: %w", err)
 		}
 	}
 	if figures != "" {
+		// The figure benchmarks are memoized per process, so each pass is a
+		// single meaningful iteration — and a single iteration of a sub-ms
+		// benchmark is dominated by machine-load noise. Several passes merged
+		// to their per-metric minimum gate on the stable noise floor.
+		if repeat < 1 {
+			repeat = 1
+		}
 		args := []string{"test", "-run", "^$", "-bench", figures,
 			"-benchmem", "-benchtime", "1x", "-timeout", "30m", "hmem"}
-		if err := goTest(args, sink); err != nil {
-			return fmt.Errorf("figure group: %w", err)
+		for i := 0; i < repeat; i++ {
+			if err := runGroup(args); err != nil {
+				return fmt.Errorf("figure group pass %d/%d: %w", i+1, repeat, err)
+			}
 		}
 	}
 
-	parsed, err := bench.Parse(bytes.NewReader(raw.Bytes()))
-	if err != nil {
-		return err
-	}
 	if len(parsed.Benchmarks) == 0 {
 		return fmt.Errorf("no benchmark results parsed (both groups skipped?)")
 	}
@@ -124,7 +145,7 @@ func run(compare string, tolerance float64, out, benchtime, figures, micro strin
 			return fmt.Errorf("%d benchmark regression(s) vs %s (tolerance %.0f%%)",
 				len(regs), compare, tolerance*100)
 		}
-		fmt.Printf("gate passed: %d benchmarks within %.0f%% of %s (allocs exact)\n",
+		fmt.Printf("gate passed: %d benchmarks within %.0f%% of %s (allocs near-exact)\n",
 			len(base.Benchmarks)-len(missing), tolerance*100, compare)
 	}
 	return nil

@@ -13,7 +13,11 @@
 //	GET  /v1/workloads    GET  /v1/policies    GET  /v1/experiments
 //	POST /v1/evaluate     POST /v1/compare
 //	POST /v1/jobs         GET  /v1/jobs        GET /v1/jobs/{id}[?watch=1]
-//	GET  /healthz         GET  /metrics
+//	GET  /healthz         GET  /metrics        GET /v1/jobs/{id}/trace
+//
+// -debug-addr starts a SECOND listener (keep it private — bind localhost)
+// serving net/http/pprof under /debug/pprof/ plus a /debug/runtime JSON
+// snapshot; -trace-log appends every tracing span to an NDJSON file.
 //
 // SIGINT/SIGTERM drain gracefully: new work is refused with 503 while
 // in-flight requests and queued jobs finish (bounded by -drain-timeout).
@@ -32,6 +36,7 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/obs"
 	"hmem/internal/service"
 )
 
@@ -48,10 +53,13 @@ func main() {
 		maxBody      = flag.Int64("max-body-bytes", 0, "request body limit (0 = default 1 MiB)")
 		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
 		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal (empty = jobs do not survive restarts)")
+		debugAddr    = flag.String("debug-addr", "", "listen address for pprof + /debug/runtime (empty = disabled; bind localhost, it is unauthenticated)")
+		traceLog     = flag.String("trace-log", "", "append tracing spans as NDJSON to this file (empty = ring buffer only)")
+		traceBuffer  = flag.Int("trace-buffer", 0, "spans kept in memory for GET /v1/jobs/{id}/trace (0 = default 4096)")
 	)
 	flag.Parse()
 
-	svc, err := service.New(service.Config{
+	cfg := service.Config{
 		Defaults: hmem.Options{
 			RecordsPerCore: *records,
 			ScaleDiv:       *scale,
@@ -63,7 +71,17 @@ func main() {
 		QueueDepth:   *queueDepth,
 		JobWorkers:   *jobWorkers,
 		JournalDir:   *journalDir,
-	})
+		TraceBuffer:  *traceBuffer,
+	}
+	if *traceLog != "" {
+		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			log.Fatalf("hmemd: opening trace log: %v", err)
+		}
+		defer f.Close()
+		cfg.SpanWriter = f
+	}
+	svc, err := service.New(cfg)
 	if err != nil {
 		log.Fatalf("hmemd: %v", err)
 	}
@@ -89,6 +107,24 @@ func main() {
 		errCh <- srv.ListenAndServe()
 	}()
 
+	// The debug listener is separate from the API on purpose: pprof must
+	// never be reachable through whatever exposure the API gets, and a
+	// wedged API server must not take the profiler down with it.
+	var dbgSrv *http.Server
+	if *debugAddr != "" {
+		dbgSrv = &http.Server{
+			Addr:              *debugAddr,
+			Handler:           obs.DebugMux(),
+			ReadHeaderTimeout: 10 * time.Second,
+		}
+		go func() {
+			log.Printf("hmemd: debug endpoints (pprof, /debug/runtime) on %s", *debugAddr)
+			if err := dbgSrv.ListenAndServe(); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				log.Printf("hmemd: debug listener: %v", err)
+			}
+		}()
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -106,6 +142,9 @@ func main() {
 	// watchers streaming those draining jobs.
 	svcErr := svc.Shutdown(ctx)
 	httpErr := srv.Shutdown(ctx)
+	if dbgSrv != nil {
+		_ = dbgSrv.Shutdown(ctx)
+	}
 	if svcErr != nil || (httpErr != nil && !errors.Is(httpErr, http.ErrServerClosed)) {
 		fmt.Fprintf(os.Stderr, "hmemd: unclean shutdown: jobs=%v http=%v\n", svcErr, httpErr)
 		os.Exit(1)

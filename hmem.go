@@ -41,6 +41,7 @@ import (
 	"hmem/internal/exec"
 	"hmem/internal/experiments"
 	"hmem/internal/migration"
+	"hmem/internal/obs"
 	"hmem/internal/report"
 	"hmem/internal/sim"
 	"hmem/internal/workload"
@@ -169,6 +170,11 @@ func evaluate(ctx context.Context, r *experiments.Runner, workloadName string, p
 	if err != nil {
 		return Result{}, err
 	}
+	if reg := obs.RegistryFrom(ctx); reg != nil {
+		reg.GaugeVec("hmem_workload_ipc",
+			"Simulated per-core IPC of the latest evaluation.",
+			"workload", "policy").With(workloadName, string(policy)).Set(res.IPC)
+	}
 	return Result{
 		Workload:      workloadName,
 		Policy:        policy,
@@ -252,11 +258,17 @@ func (e *Engine) ExperimentIDs() []string {
 }
 
 // RunExperiment regenerates one paper table/figure by id on the shared
-// runner (the async-job path of the hmemd service).
+// runner (the async-job path of the hmemd service). When ctx carries a
+// tracer the whole driver runs under an "experiment.<id>" span.
 func (e *Engine) RunExperiment(ctx context.Context, id string) (*report.Table, error) {
 	exp, ok := e.r.ByID(id)
 	if !ok {
 		return nil, fmt.Errorf("hmem: unknown experiment %q", id)
+	}
+	if obs.Enabled(ctx) {
+		var sp *obs.Span
+		ctx, sp = obs.Start(ctx, "experiment."+id)
+		defer sp.End()
 	}
 	return exp.Run(ctx)
 }

@@ -1,8 +1,9 @@
 // Package bench parses `go test -bench` output and gates it against a
 // committed baseline. It backs cmd/hmembench, the benchmark-regression
 // harness that locks in the flat hot-path data layout: ns/op may drift
-// within a tolerance, but allocs/op — which is machine-independent — must
-// never regress past the baseline.
+// within a tolerance, and allocs/op is held near-exact — zero-alloc
+// baselines must stay at exactly zero, and non-zero baselines get only
+// the tiny slack runtime scheduling jitter demands (see allocSlack).
 package bench
 
 import (
@@ -114,6 +115,37 @@ func Parse(r io.Reader) (*Run, error) {
 	return run, nil
 }
 
+// MergeBest folds other into r, keeping the per-metric minimum for every
+// benchmark present in both. Single-iteration figure benchmarks are
+// dominated by machine-load noise in any one pass; cmd/hmembench runs that
+// group several times and gates on the noise floor, which is stable where
+// individual passes are not.
+func (r *Run) MergeBest(other *Run) {
+	if r.CPU == "" {
+		r.CPU = other.CPU
+	}
+	for name, o := range other.Benchmarks {
+		cur, ok := r.Benchmarks[name]
+		if !ok {
+			r.Benchmarks[name] = o
+			continue
+		}
+		if o.NsPerOp < cur.NsPerOp {
+			cur.NsPerOp = o.NsPerOp
+		}
+		if o.BytesPerOp < cur.BytesPerOp {
+			cur.BytesPerOp = o.BytesPerOp
+		}
+		if o.AllocsPerOp < cur.AllocsPerOp {
+			cur.AllocsPerOp = o.AllocsPerOp
+		}
+		if o.Iterations > cur.Iterations {
+			cur.Iterations = o.Iterations
+		}
+		r.Benchmarks[name] = cur
+	}
+}
+
 // Regression is one gate violation.
 type Regression struct {
 	Name     string
@@ -128,11 +160,32 @@ func (r Regression) String() string {
 		r.Name, r.Metric, r.Current, r.Limit, r.Baseline)
 }
 
+// allocSlack is the relative slack allocs/op gets. Allocation counts do not
+// vary with machine speed, but they are not perfectly deterministic either:
+// goroutine-heavy macro benchmarks see runtime scheduling jitter (sudogs
+// acquired at blocking selects, defer records) of a few dozen counts out of
+// ~1e6 per op, run to run on identical code. Half a percent absorbs that
+// while still catching any real leak; alloc-free hot-path benchmarks stay
+// exact, because zero times anything is zero.
+const allocSlack = 0.005
+
+// singleIterGraceNs is an absolute ns/op grace for benchmarks measured over
+// a single iteration (the memoized figure suite runs at -benchtime=1x).
+// Scheduler preemption and GC pauses cost tens of microseconds per
+// iteration; over the thousands of iterations of a time-based micro
+// benchmark that noise averages out, but with one iteration it lands on
+// ns/op whole. The grace is negligible against the millisecond-to-second
+// figure benchmarks and never applies to the micro group, whose pure
+// relative gate is the hot-path contract.
+const singleIterGraceNs = 100e3
+
 // Compare gates current results against a baseline. For every benchmark
-// present in both: ns/op must not exceed baseline*(1+tolerance); allocs/op
-// must not exceed the baseline count at all (allocation counts do not vary
-// with machine speed, so they get no slack). Benchmarks present on only
-// one side are returned in missing and do not fail the gate.
+// present in both: ns/op must not exceed baseline*(1+tolerance), plus an
+// absolute grace when both sides measured a single iteration (see
+// singleIterGraceNs); allocs/op must not exceed baseline*(1+allocSlack) —
+// near-exact, and exactly zero for alloc-free baselines. Benchmarks
+// present on only one side are returned in missing and do not fail the
+// gate.
 func Compare(baseline, current map[string]Result, tolerance float64) (regs []Regression, missing []string) {
 	for name, base := range baseline {
 		cur, ok := current[name]
@@ -140,17 +193,21 @@ func Compare(baseline, current map[string]Result, tolerance float64) (regs []Reg
 			missing = append(missing, name+" (not in current run)")
 			continue
 		}
-		if limit := base.NsPerOp * (1 + tolerance); cur.NsPerOp > limit {
+		grace := 0.0
+		if base.Iterations == 1 && cur.Iterations == 1 {
+			grace = singleIterGraceNs
+		}
+		if limit := base.NsPerOp*(1+tolerance) + grace; cur.NsPerOp > limit {
 			regs = append(regs, Regression{
 				Name: name, Metric: "ns/op",
 				Baseline: base.NsPerOp, Current: cur.NsPerOp, Limit: limit,
 			})
 		}
-		if cur.AllocsPerOp > base.AllocsPerOp {
+		if limit := float64(base.AllocsPerOp) * (1 + allocSlack); float64(cur.AllocsPerOp) > limit {
 			regs = append(regs, Regression{
 				Name: name, Metric: "allocs/op",
 				Baseline: float64(base.AllocsPerOp), Current: float64(cur.AllocsPerOp),
-				Limit: float64(base.AllocsPerOp),
+				Limit: limit,
 			})
 		}
 	}

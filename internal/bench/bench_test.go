@@ -64,6 +64,26 @@ func TestParseStripsMaxprocsButKeepsSubBench(t *testing.T) {
 	}
 }
 
+func TestMergeBestKeepsPerMetricMinimum(t *testing.T) {
+	r := &Run{Benchmarks: map[string]Result{
+		"a": {Iterations: 1, NsPerOp: 100, BytesPerOp: 50, AllocsPerOp: 7},
+	}}
+	r.MergeBest(&Run{CPU: "cpu0", Benchmarks: map[string]Result{
+		"a": {Iterations: 2, NsPerOp: 90, BytesPerOp: 60, AllocsPerOp: 9},
+		"b": {NsPerOp: 5},
+	}})
+	want := Result{Iterations: 2, NsPerOp: 90, BytesPerOp: 50, AllocsPerOp: 7}
+	if got := r.Benchmarks["a"]; got != want {
+		t.Fatalf("merged a = %+v, want %+v", got, want)
+	}
+	if _, ok := r.Benchmarks["b"]; !ok {
+		t.Fatal("merge dropped the benchmark only present in the new run")
+	}
+	if r.CPU != "cpu0" {
+		t.Fatalf("cpu = %q, want adopted from the merged run", r.CPU)
+	}
+}
+
 func TestCompareGates(t *testing.T) {
 	base := map[string]Result{
 		"a":    {NsPerOp: 100, AllocsPerOp: 2},
@@ -91,12 +111,53 @@ func TestCompareGates(t *testing.T) {
 	}
 }
 
-func TestCompareAllocsHaveNoSlack(t *testing.T) {
+func TestCompareAllocsNearExact(t *testing.T) {
+	// Zero-alloc baselines are exact: a single new allocation fails, no
+	// matter how generous the ns tolerance is.
 	base := map[string]Result{"a": {NsPerOp: 100, AllocsPerOp: 0}}
 	cur := map[string]Result{"a": {NsPerOp: 100, AllocsPerOp: 1}}
 	regs, _ := Compare(base, cur, 10.0) // huge ns tolerance must not excuse allocs
 	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
 		t.Fatalf("regs = %v, want one allocs/op violation", regs)
+	}
+
+	// Non-zero baselines absorb scheduler jitter (allocSlack) but nothing
+	// more: +0.01% on a million-alloc macro benchmark passes, +1% fails.
+	base = map[string]Result{"macro": {NsPerOp: 100, AllocsPerOp: 1_000_000}}
+	cur = map[string]Result{"macro": {NsPerOp: 100, AllocsPerOp: 1_000_100}}
+	if regs, _ = Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("regs = %v, want jitter-sized alloc delta absorbed", regs)
+	}
+	cur = map[string]Result{"macro": {NsPerOp: 100, AllocsPerOp: 1_010_000}}
+	regs, _ = Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "allocs/op" {
+		t.Fatalf("regs = %v, want a real alloc regression flagged", regs)
+	}
+}
+
+func TestCompareSingleIterationGrace(t *testing.T) {
+	// A 60µs benchmark measured over one iteration carries tens of µs of
+	// scheduler noise: the absolute grace absorbs it.
+	base := map[string]Result{"tiny": {Iterations: 1, NsPerOp: 60_000}}
+	cur := map[string]Result{"tiny": {Iterations: 1, NsPerOp: 140_000}}
+	if regs, _ := Compare(base, cur, 0.25); len(regs) != 0 {
+		t.Fatalf("regs = %v, want single-iteration noise absorbed", regs)
+	}
+	// The same numbers from a many-iteration benchmark are a real (and
+	// enormous) regression: no grace.
+	base = map[string]Result{"micro": {Iterations: 50_000, NsPerOp: 60_000}}
+	cur = map[string]Result{"micro": {Iterations: 50_000, NsPerOp: 140_000}}
+	regs, _ := Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs = %v, want the many-iteration regression flagged", regs)
+	}
+	// And the grace is invisible at figure scale: +50% on a 2s benchmark
+	// still fails.
+	base = map[string]Result{"big": {Iterations: 1, NsPerOp: 2e9}}
+	cur = map[string]Result{"big": {Iterations: 1, NsPerOp: 3e9}}
+	regs, _ = Compare(base, cur, 0.25)
+	if len(regs) != 1 || regs[0].Metric != "ns/op" {
+		t.Fatalf("regs = %v, want the figure-scale regression flagged", regs)
 	}
 }
 

@@ -23,6 +23,8 @@ import (
 	"runtime/debug"
 	"sync"
 	"sync/atomic"
+
+	"hmem/internal/obs"
 )
 
 // Memo is a concurrency-safe, generic singleflight memo cache.
@@ -264,23 +266,87 @@ func (g *Group) Wait() error {
 	return g.err
 }
 
+// fanout observes one Map/ForEach dispatch: each task gets a leaf
+// "exec.task" span (tasks take fn(i int) with no context, so these spans
+// cannot parent work inside the task — they record dispatch and wall time
+// only), and each completion reports fan-out progress to the context's sink,
+// with the phase defaulting to the enclosing span's name.
+type fanout struct {
+	ctx  context.Context
+	n    int
+	done atomic.Int64
+}
+
+// newFanout returns the dispatch observer, or nil when ctx carries neither
+// a tracer nor a progress sink. The nil return is load-bearing: Map and
+// ForEach fall back to the exact uninstrumented task closure, so a bare
+// context pays zero extra allocations — per task and per call — with the
+// observability layer compiled in (the hmembench gate pins allocs/op
+// exactly).
+func newFanout(ctx context.Context, n int) *fanout {
+	if !obs.Enabled(ctx) && !obs.Reporting(ctx) {
+		return nil
+	}
+	return &fanout{ctx: ctx, n: n}
+}
+
+// start opens the task's span (nil when tracing is off; obs.Span is
+// nil-safe).
+func (f *fanout) start(i int) *obs.Span {
+	if !obs.Enabled(f.ctx) {
+		return nil
+	}
+	_, sp := obs.Start(f.ctx, "exec.task", obs.Int("index", int64(i)))
+	return sp
+}
+
+// finish closes the task's span and, on success, reports fan-out progress.
+func (f *fanout) finish(sp *obs.Span, err error) {
+	sp.End()
+	if err != nil {
+		return
+	}
+	done := f.done.Add(1)
+	obs.ReportProgress(f.ctx, obs.Progress{
+		Percent: float64(done) / float64(f.n),
+		Records: done,
+	})
+}
+
 // Map evaluates fn(0..n-1) on at most workers goroutines and returns the
 // results in index order — the fan-out/fan-in used by every figure driver.
 // On error (or ctx cancellation) the first failure is returned and the
-// partial results discarded.
+// partial results discarded. When ctx carries obs facilities, each task is
+// recorded as an "exec.task" span and completions report progress.
 func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) ([]T, error) {
 	out := make([]T, n)
 	g := NewGroup(ctx, workers)
-	for i := 0; i < n; i++ {
-		i := i
-		g.Go(func() error {
-			v, err := fn(i)
-			if err != nil {
-				return err
-			}
-			out[i] = v
-			return nil
-		})
+	if f := newFanout(ctx, n); f != nil {
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() error {
+				sp := f.start(i)
+				v, err := fn(i)
+				f.finish(sp, err)
+				if err != nil {
+					return err
+				}
+				out[i] = v
+				return nil
+			})
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() error {
+				v, err := fn(i)
+				if err != nil {
+					return err
+				}
+				out[i] = v
+				return nil
+			})
+		}
 	}
 	if err := g.Wait(); err != nil {
 		return nil, err
@@ -289,12 +355,24 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 }
 
 // ForEach evaluates fn(0..n-1) on at most workers goroutines and returns
-// the first error.
+// the first error. Observed the same way as Map.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {
 	g := NewGroup(ctx, workers)
-	for i := 0; i < n; i++ {
-		i := i
-		g.Go(func() error { return fn(i) })
+	if f := newFanout(ctx, n); f != nil {
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() error {
+				sp := f.start(i)
+				err := fn(i)
+				f.finish(sp, err)
+				return err
+			})
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			i := i
+			g.Go(func() error { return fn(i) })
+		}
 	}
 	return g.Wait()
 }

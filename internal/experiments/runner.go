@@ -16,6 +16,7 @@ import (
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/faultsim"
+	"hmem/internal/obs"
 	"hmem/internal/sim"
 	"hmem/internal/workload"
 )
@@ -68,8 +69,10 @@ func DefaultOptions() Options {
 // cancelled context stops the caller from starting (or waiting on) work, but
 // a computation that has already started always runs to completion — its
 // result is shared with every other requester of the same key, so it must
-// not record one caller's cancellation. That is also why the memoized
-// closures below resolve their own dependencies with context.Background().
+// not record one caller's cancellation. That is why the memoized closures
+// below resolve their own dependencies with obs.Detach(ctx): a fresh
+// background context that keeps the first requester's observability (tracer,
+// registry, progress sink) and none of its cancellation.
 type Runner struct {
 	opts  Options
 	cfg   sim.Config
@@ -171,7 +174,9 @@ func mapSpecs[T any](ctx context.Context, r *Runner, specs []workload.Spec, fn f
 // uncorrectable FIT per GB. Concurrent callers share the one study.
 func (r *Runner) Fits(ctx context.Context) (faultsim.TierFITs, error) {
 	return r.fits.DoCtx(ctx, struct{}{}, func() (faultsim.TierFITs, error) {
-		return faultsim.DefaultTierFITsWorkers(r.opts.FaultTrials, r.opts.Parallel)
+		// Detach: keep the first requester's observability but not its
+		// cancellation — the result is shared with every other requester.
+		return faultsim.TierFITsCtx(obs.Detach(ctx), r.opts.FaultTrials, r.opts.Parallel)
 	})
 }
 
@@ -194,17 +199,35 @@ func (r *Runner) CacheStats() exec.MemoStats {
 // buildSuite constructs a fresh suite for a spec (each simulation needs
 // fresh generators because streams are consumed).
 func (r *Runner) buildSuite(spec workload.Spec) (*workload.Suite, error) {
+	return r.buildSuiteCtx(context.Background(), spec)
+}
+
+// buildSuiteCtx is buildSuite recorded as a "trace.build" span — the trace
+// decode/generation seam.
+func (r *Runner) buildSuiteCtx(ctx context.Context, spec workload.Spec) (*workload.Suite, error) {
+	// Gated on Enabled so the attribute slice is never built untraced.
+	if obs.Enabled(ctx) {
+		_, sp := obs.Start(ctx, "trace.build",
+			obs.Str("workload", spec.Name), obs.Int("records_per_core", int64(r.opts.RecordsPerCore)))
+		defer sp.End()
+	}
 	return spec.Build(r.opts.RecordsPerCore, r.opts.Seed)
 }
 
 // ProfileOf returns the memoized DDR-only profiling run for a workload.
 func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, error) {
 	return r.profiles.DoCtx(ctx, spec.Name, func() (*Profile, error) {
-		suite, err := r.buildSuite(spec)
+		runCtx := obs.Detach(ctx)
+		if obs.Enabled(runCtx) {
+			var sp *obs.Span
+			runCtx, sp = obs.Start(runCtx, "experiments.profile", obs.Str("workload", spec.Name))
+			defer sp.End()
+		}
+		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.Run(r.cfg, suite.Streams(), nil, false, nil)
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), nil, false, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
 		}
@@ -217,16 +240,23 @@ func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, e
 // placement fixed.
 func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.Policy) (sim.Result, error) {
 	return r.runs.DoCtx(ctx, "static/"+spec.Name+"/"+policy.Name(), func() (sim.Result, error) {
-		prof, err := r.ProfileOf(context.Background(), spec)
+		runCtx := obs.Detach(ctx)
+		if obs.Enabled(runCtx) {
+			var sp *obs.Span
+			runCtx, sp = obs.Start(runCtx, "experiments.static",
+				obs.Str("workload", spec.Name), obs.Str("policy", policy.Name()))
+			defer sp.End()
+		}
+		prof, err := r.ProfileOf(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
 		pages := policy.Select(prof.Stats, int(r.cfg.HBM.Pages()))
-		suite, err := r.buildSuite(spec)
+		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
-		res, err := sim.Run(r.cfg, suite.Streams(), pages, false, nil)
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), pages, false, nil)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, policy.Name(), err)
 		}
@@ -240,16 +270,23 @@ func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.
 // placement"), or the hot∧low-risk set for reliability-aware mechanisms.
 func (r *Runner) RunDynamic(ctx context.Context, spec workload.Spec, mech string, build func() sim.Migrator, warm core.Policy) (sim.Result, error) {
 	return r.runs.DoCtx(ctx, "dynamic/"+spec.Name+"/"+mech, func() (sim.Result, error) {
-		prof, err := r.ProfileOf(context.Background(), spec)
+		runCtx := obs.Detach(ctx)
+		if obs.Enabled(runCtx) {
+			var sp *obs.Span
+			runCtx, sp = obs.Start(runCtx, "experiments.dynamic",
+				obs.Str("workload", spec.Name), obs.Str("mechanism", mech))
+			defer sp.End()
+		}
+		prof, err := r.ProfileOf(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
 		pages := warm.Select(prof.Stats, int(r.cfg.HBM.Pages()))
-		suite, err := r.buildSuite(spec)
+		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err
 		}
-		res, err := sim.Run(r.cfg, suite.Streams(), pages, false, build())
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), pages, false, build())
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, mech, err)
 		}

@@ -7,6 +7,7 @@ import (
 
 	"hmem/internal/ecc"
 	"hmem/internal/exec"
+	"hmem/internal/obs"
 	"hmem/internal/xrand"
 )
 
@@ -75,6 +76,16 @@ type Result struct {
 
 // Run executes the study with the given trials per stratum.
 func (s *Study) Run(trials int) (Result, error) {
+	return s.RunCtx(context.Background(), trials)
+}
+
+// RunCtx is Run with observability: the whole study runs under a
+// "faultsim.study" span (attrs: organization, trials, shard count), each
+// shard is an "exec.task" span via the fan-out, and shard completions report
+// progress. ctx is only consulted once at entry plus per shard dispatch —
+// the Monte-Carlo inner loops never see it — and the result stays a pure
+// function of (Seed, trials) regardless of what ctx carries.
+func (s *Study) RunCtx(ctx context.Context, trials int) (Result, error) {
 	if err := s.Org.Validate(); err != nil {
 		return Result{}, err
 	}
@@ -122,7 +133,15 @@ func (s *Study) Run(trials int) (Result, error) {
 		unc      int
 		outcomes map[Mode]map[ecc.Outcome]int // populated only for k == 1
 	}
-	tallies, err := exec.Map(context.Background(), s.Workers, len(jobs), func(i int) (shardTally, error) {
+	if obs.Enabled(ctx) {
+		var sp *obs.Span
+		ctx, sp = obs.Start(ctx, "faultsim.study",
+			obs.Str("org", s.Org.Name),
+			obs.Int("trials", int64(trials)),
+			obs.Int("shards", int64(len(jobs))))
+		defer sp.End()
+	}
+	tallies, err := exec.Map(ctx, s.Workers, len(jobs), func(i int) (shardTally, error) {
 		j := jobs[i]
 		rng := xrand.New(xrand.Derive(s.Seed, uint64(j.k), uint64(j.shard)))
 		var t shardTally
@@ -322,19 +341,26 @@ func DefaultTierFITs(trials int) (TierFITs, error) {
 // DefaultTierFITsWorkers is DefaultTierFITs with an explicit worker budget
 // (non-positive = one per CPU). The worker count never changes the result.
 func DefaultTierFITsWorkers(trials, workers int) (TierFITs, error) {
+	return TierFITsCtx(context.Background(), trials, workers)
+}
+
+// TierFITsCtx is DefaultTierFITsWorkers with observability threaded through:
+// each tier's study runs under its own "faultsim.study" span and reports
+// shard progress to the context's sink.
+func TierFITsCtx(ctx context.Context, trials, workers int) (TierFITs, error) {
 	if trials <= 0 {
 		trials = 20000
 	}
 	rates := SridharanTransient()
 	ddrStudy := NewStudy(DDR3ChipKill(), rates, 0xD0D0)
 	ddrStudy.Workers = workers
-	ddr, err := ddrStudy.Run(trials)
+	ddr, err := ddrStudy.RunCtx(ctx, trials)
 	if err != nil {
 		return TierFITs{}, err
 	}
 	hbmStudy := NewStudy(HBMSecDed(), rates, 0x4B1D)
 	hbmStudy.Workers = workers
-	hbm, err := hbmStudy.Run(trials)
+	hbm, err := hbmStudy.RunCtx(ctx, trials)
 	if err != nil {
 		return TierFITs{}, err
 	}

@@ -1,0 +1,60 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+	"net/http/pprof"
+	"runtime"
+	"time"
+)
+
+// RuntimeSnapshot is the JSON body served by /debug/runtime: a one-shot
+// picture of the process without attaching a profiler.
+type RuntimeSnapshot struct {
+	GoVersion    string  `json:"go_version"`
+	NumCPU       int     `json:"num_cpu"`
+	GOMAXPROCS   int     `json:"gomaxprocs"`
+	Goroutines   int     `json:"goroutines"`
+	UptimeSec    float64 `json:"uptime_seconds"`
+	HeapAlloc    uint64  `json:"heap_alloc_bytes"`
+	HeapSys      uint64  `json:"heap_sys_bytes"`
+	HeapObjects  uint64  `json:"heap_objects"`
+	TotalAlloc   uint64  `json:"total_alloc_bytes"`
+	NumGC        uint32  `json:"gc_cycles"`
+	GCPauseTotal float64 `json:"gc_pause_total_seconds"`
+}
+
+// DebugMux returns a mux serving net/http/pprof under /debug/pprof/ plus a
+// /debug/runtime JSON snapshot. hmemd mounts it on a separate, opt-in
+// -debug-addr listener so profiling never shares a port with the API.
+func DebugMux() *http.ServeMux {
+	started := time.Now()
+	mux := http.NewServeMux()
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	mux.HandleFunc("/debug/runtime", func(w http.ResponseWriter, r *http.Request) {
+		var ms runtime.MemStats
+		runtime.ReadMemStats(&ms)
+		snap := RuntimeSnapshot{
+			GoVersion:    runtime.Version(),
+			NumCPU:       runtime.NumCPU(),
+			GOMAXPROCS:   runtime.GOMAXPROCS(0),
+			Goroutines:   runtime.NumGoroutine(),
+			UptimeSec:    time.Since(started).Seconds(),
+			HeapAlloc:    ms.HeapAlloc,
+			HeapSys:      ms.HeapSys,
+			HeapObjects:  ms.HeapObjects,
+			TotalAlloc:   ms.TotalAlloc,
+			NumGC:        ms.NumGC,
+			GCPauseTotal: time.Duration(ms.PauseTotalNs).Seconds(),
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+	return mux
+}

@@ -1,0 +1,44 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestDebugMuxRuntimeSnapshot(t *testing.T) {
+	srv := httptest.NewServer(DebugMux())
+	defer srv.Close()
+
+	resp, err := srv.Client().Get(srv.URL + "/debug/runtime")
+	if err != nil {
+		t.Fatalf("GET /debug/runtime: %v", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != 200 {
+		t.Fatalf("status %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content type %q", ct)
+	}
+	var snap RuntimeSnapshot
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	if snap.GoVersion == "" || snap.NumCPU < 1 || snap.Goroutines < 1 {
+		t.Fatalf("implausible snapshot: %+v", snap)
+	}
+	if snap.HeapAlloc == 0 || snap.HeapSys == 0 {
+		t.Fatalf("zero heap stats: %+v", snap)
+	}
+
+	// The pprof index must be mounted.
+	resp2, err := srv.Client().Get(srv.URL + "/debug/pprof/")
+	if err != nil {
+		t.Fatalf("GET /debug/pprof/: %v", err)
+	}
+	resp2.Body.Close()
+	if resp2.StatusCode != 200 {
+		t.Fatalf("pprof index status %d", resp2.StatusCode)
+	}
+}

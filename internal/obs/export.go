@@ -1,0 +1,131 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+	"sync"
+)
+
+// Exporter receives finished spans. Implementations must be safe for
+// concurrent use; a returned error is counted on the tracer's dropped
+// counter, never surfaced to the instrumented code.
+type Exporter interface {
+	Export(SpanData) error
+}
+
+// ExportFunc adapts a function to the Exporter interface.
+type ExportFunc func(SpanData) error
+
+// Export implements Exporter.
+func (f ExportFunc) Export(sd SpanData) error { return f(sd) }
+
+// Multi fans a span out to several exporters. Every exporter is attempted;
+// the first error is returned (and therefore counted as one drop).
+type Multi []Exporter
+
+// Export implements Exporter.
+func (m Multi) Export(sd SpanData) error {
+	var first error
+	for _, e := range m {
+		if err := e.Export(sd); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// Ring is a fixed-capacity in-memory span buffer: the newest spans win, the
+// oldest are overwritten. hmemd keeps one ring for all jobs and answers
+// GET /v1/jobs/{id}/trace by filtering on trace id.
+type Ring struct {
+	mu    sync.Mutex
+	buf   []SpanData
+	next  int
+	count int
+	total uint64
+}
+
+// NewRing returns a ring holding up to capacity spans (min 1).
+func NewRing(capacity int) *Ring {
+	if capacity < 1 {
+		capacity = 1
+	}
+	return &Ring{buf: make([]SpanData, capacity)}
+}
+
+// Export implements Exporter; it never fails.
+func (r *Ring) Export(sd SpanData) error {
+	r.mu.Lock()
+	r.buf[r.next] = sd
+	r.next = (r.next + 1) % len(r.buf)
+	if r.count < len(r.buf) {
+		r.count++
+	}
+	r.total++
+	r.mu.Unlock()
+	return nil
+}
+
+// Snapshot returns the buffered spans oldest-first, filtered to traceID
+// ("" returns every span). The result is a copy.
+func (r *Ring) Snapshot(traceID string) []SpanData {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make([]SpanData, 0, r.count)
+	start := r.next - r.count
+	if start < 0 {
+		start += len(r.buf)
+	}
+	for i := 0; i < r.count; i++ {
+		sd := r.buf[(start+i)%len(r.buf)]
+		if traceID == "" || sd.Trace == traceID {
+			out = append(out, sd)
+		}
+	}
+	return out
+}
+
+// Len reports how many spans are currently buffered.
+func (r *Ring) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.count
+}
+
+// Total reports how many spans have ever been exported (including ones the
+// ring has since overwritten).
+func (r *Ring) Total() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.total
+}
+
+// NDJSON writes one JSON object per finished span to w — the file format
+// cmd/experiments -trace and hmemd -trace-log emit. Writes are serialized;
+// a write error is returned to the tracer (which counts the span dropped)
+// and the exporter keeps accepting subsequent spans, so a transiently
+// failing disk loses spans, not the run.
+type NDJSON struct {
+	mu sync.Mutex
+	w  io.Writer
+}
+
+// NewNDJSON returns an NDJSON exporter over w.
+func NewNDJSON(w io.Writer) *NDJSON {
+	return &NDJSON{w: w}
+}
+
+// Export implements Exporter. Each span is marshalled and written as one
+// line; a json.Encoder would latch its first write error forever, which
+// would turn one bad write into dropping every span after it.
+func (n *NDJSON) Export(sd SpanData) error {
+	b, err := json.Marshal(sd)
+	if err != nil {
+		return err
+	}
+	b = append(b, '\n')
+	n.mu.Lock()
+	defer n.mu.Unlock()
+	_, err = n.w.Write(b)
+	return err
+}

@@ -1,0 +1,52 @@
+package obs
+
+import "context"
+
+// Progress is one job-progress report: which phase the run is in, how far
+// along it is (0..1), and how many records (tasks, trials, spans of work)
+// have completed. hmemd surfaces the latest report as the job's `progress`
+// field and in watch-stream events.
+type Progress struct {
+	Phase   string  `json:"phase"`
+	Percent float64 `json:"percent"`
+	Records int64   `json:"records,omitempty"`
+}
+
+// ProgressFunc receives progress reports. Implementations must be cheap and
+// safe for concurrent use — fan-out seams call it from worker goroutines.
+type ProgressFunc func(Progress)
+
+// WithProgress returns a context carrying fn as the progress sink. A nil fn
+// returns ctx unchanged.
+func WithProgress(ctx context.Context, fn ProgressFunc) context.Context {
+	if fn == nil {
+		return ctx
+	}
+	return context.WithValue(ctx, progressKey, fn)
+}
+
+// progressFrom returns the context's progress sink, or nil.
+func progressFrom(ctx context.Context) ProgressFunc {
+	fn, _ := ctx.Value(progressKey).(ProgressFunc)
+	return fn
+}
+
+// Reporting reports whether ctx carries a progress sink. Fan-out seams use
+// it (with Enabled) to skip building observation state entirely when the
+// context is bare, keeping the disabled path allocation-identical to
+// uninstrumented code.
+func Reporting(ctx context.Context) bool { return progressFrom(ctx) != nil }
+
+// ReportProgress delivers p to the context's progress sink; a no-op when no
+// sink is installed. When p.Phase is empty the innermost span name is used,
+// so instrumented seams report whatever phase encloses them.
+func ReportProgress(ctx context.Context, p Progress) {
+	fn := progressFrom(ctx)
+	if fn == nil {
+		return
+	}
+	if p.Phase == "" {
+		p.Phase = SpanName(ctx)
+	}
+	fn(p)
+}

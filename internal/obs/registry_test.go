@@ -1,0 +1,187 @@
+package obs
+
+import (
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var b strings.Builder
+	if err := r.RenderText(&b); err != nil {
+		t.Fatalf("RenderText: %v", err)
+	}
+	return b.String()
+}
+
+func TestRegistryRenderDeterministic(t *testing.T) {
+	r := NewRegistry()
+	// Register out of name order on purpose; rendering must sort.
+	r.Gauge("zzz_gauge", "a gauge").Set(2.5)
+	c := r.CounterVec("aaa_total", "a counter", "route", "code")
+	c.With("/v1/b", "200").Add(3)
+	c.With("/v1/a", "500").Inc()
+	c.With("/v1/a", "200").Add(7)
+	h := r.Histogram("mid_seconds", "a histogram", []float64{0.1, 1})
+	h.Observe(0.05)
+	h.Observe(0.5)
+	h.Observe(5)
+
+	want := strings.Join([]string{
+		`# HELP aaa_total a counter`,
+		`# TYPE aaa_total counter`,
+		`aaa_total{route="/v1/a",code="200"} 7`,
+		`aaa_total{route="/v1/a",code="500"} 1`,
+		`aaa_total{route="/v1/b",code="200"} 3`,
+		`# HELP mid_seconds a histogram`,
+		`# TYPE mid_seconds histogram`,
+		`mid_seconds_bucket{le="0.1"} 1`,
+		`mid_seconds_bucket{le="1"} 2`,
+		`mid_seconds_bucket{le="+Inf"} 3`,
+		`mid_seconds_sum 5.55`,
+		`mid_seconds_count 3`,
+		`# HELP zzz_gauge a gauge`,
+		`# TYPE zzz_gauge gauge`,
+		`zzz_gauge 2.5`,
+		``,
+	}, "\n")
+	got := render(t, r)
+	if got != want {
+		t.Errorf("render mismatch:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+	if got2 := render(t, r); got2 != got {
+		t.Errorf("render not stable across calls:\n%s\nvs\n%s", got, got2)
+	}
+}
+
+func TestRegistryIdempotentRegistration(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("x_total", "help")
+	b := r.Counter("x_total", "help")
+	if a != b {
+		t.Fatalf("re-registration returned a different handle")
+	}
+	a.Inc()
+	if b.Value() != 1 {
+		t.Fatalf("handles not shared: got %d", b.Value())
+	}
+
+	g1 := r.GaugeVec("g", "help", "l").With("v")
+	g2 := r.GaugeVec("g", "help", "l").With("v")
+	g1.Set(4)
+	if g2.Value() != 4 {
+		t.Fatalf("vec handles not shared: got %v", g2.Value())
+	}
+}
+
+func TestRegistryConflictPanics(t *testing.T) {
+	cases := []struct {
+		name string
+		fn   func(r *Registry)
+	}{
+		{"type mismatch", func(r *Registry) {
+			r.Counter("m", "h")
+			r.Gauge("m", "h")
+		}},
+		{"label count mismatch", func(r *Registry) {
+			r.CounterVec("m", "h", "a")
+			r.CounterVec("m", "h", "a", "b")
+		}},
+		{"label name mismatch", func(r *Registry) {
+			r.CounterVec("m", "h", "a")
+			r.CounterVec("m", "h", "b")
+		}},
+		{"value count mismatch", func(r *Registry) {
+			r.CounterVec("m", "h", "a").With("x", "y")
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("expected panic")
+				}
+			}()
+			tc.fn(NewRegistry())
+		})
+	}
+}
+
+func TestGaugeAddConcurrent(t *testing.T) {
+	r := NewRegistry()
+	g := r.Gauge("g", "h")
+	var wg sync.WaitGroup
+	for i := 0; i < 8; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < 1000; j++ {
+				g.Add(1)
+			}
+		}()
+	}
+	wg.Wait()
+	if g.Value() != 8000 {
+		t.Fatalf("lost updates: got %v want 8000", g.Value())
+	}
+}
+
+func TestCounterSetMirrors(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("mirrored_total", "h")
+	c.Set(42)
+	if c.Value() != 42 {
+		t.Fatalf("got %d", c.Value())
+	}
+}
+
+// TestRegistryConcurrentObserveAndRender is the race-detected satellite:
+// handles of all three kinds mutate concurrently with repeated renders.
+func TestRegistryConcurrentObserveAndRender(t *testing.T) {
+	r := NewRegistry()
+	var workers sync.WaitGroup
+	stop := make(chan struct{})
+	for i := 0; i < 4; i++ {
+		workers.Add(1)
+		go func(id int) {
+			defer workers.Done()
+			c := r.CounterVec("req_total", "h", "worker")
+			g := r.Gauge("depth", "h")
+			h := r.HistogramVec("lat_seconds", "h", []float64{0.01, 0.1, 1}, "worker")
+			label := string(rune('a' + id))
+			for j := 0; j < 2000; j++ {
+				c.With(label).Inc()
+				g.Add(1)
+				h.With(label).Observe(float64(j%100) / 100)
+			}
+		}(i)
+	}
+	renderDone := make(chan struct{})
+	go func() {
+		defer close(renderDone)
+		for {
+			select {
+			case <-stop:
+				return
+			default:
+			}
+			var b strings.Builder
+			if err := r.RenderText(&b); err != nil {
+				t.Errorf("RenderText: %v", err)
+				return
+			}
+		}
+	}()
+	workers.Wait()
+	close(stop)
+	<-renderDone
+
+	page := render(t, r)
+	if !strings.Contains(page, `req_total{worker="a"} 2000`) {
+		t.Errorf("missing final counter value in:\n%s", page)
+	}
+	if !strings.Contains(page, `lat_seconds_count{worker="d"} 2000`) {
+		t.Errorf("missing final histogram count in:\n%s", page)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/obs"
 	"hmem/internal/report"
 )
 
@@ -232,8 +233,22 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	return out, nil
 }
 
+// JobTrace fetches the job's tracing spans still held in the daemon's ring
+// buffer. Spans for an old job may have been overwritten; that returns an
+// empty slice, not an error.
+func (c *Client) JobTrace(ctx context.Context, id string) ([]obs.SpanData, error) {
+	var out struct {
+		Spans []obs.SpanData `json:"spans"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/jobs/"+id+"/trace", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Spans, nil
+}
+
 // WaitJob streams the job's NDJSON progress events, invoking onEvent per
-// transition (nil is fine), until the job reaches a terminal state; it then
+// transition or progress heartbeat (nil is fine), until the job reaches a
+// terminal state; it then
 // fetches and returns the final status. Safe to call again after a dropped
 // connection — the stream replays all events from the start.
 func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(JobEvent)) (JobStatus, error) {

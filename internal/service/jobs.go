@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"hmem/internal/exec"
+	"hmem/internal/obs"
 	"hmem/internal/report"
 )
 
@@ -49,24 +50,30 @@ func (r JobRequest) fingerprint() string {
 	return fmt.Sprintf("%s|%s|%d", r.Experiment, opts, r.TimeoutMS)
 }
 
-// JobStatus is the wire form of a job.
+// JobStatus is the wire form of a job. Progress is only present while the
+// job is running; it is in-memory only (never journaled), so a daemon
+// restart resets it along with the run it described.
 type JobStatus struct {
 	ID         string        `json:"id"`
 	Experiment string        `json:"experiment"`
 	State      string        `json:"state"`
 	Error      string        `json:"error,omitempty"`
 	Result     *report.Table `json:"result,omitempty"`
+	Progress   *obs.Progress `json:"progress,omitempty"`
 	CreatedAt  time.Time     `json:"created_at"`
 	StartedAt  *time.Time    `json:"started_at,omitempty"`
 	FinishedAt *time.Time    `json:"finished_at,omitempty"`
 }
 
-// JobEvent is one line of the NDJSON progress stream: a state transition.
+// JobEvent is one line of the NDJSON progress stream: a state transition, or
+// — when Progress is set — a progress heartbeat within the running state
+// (heartbeats reuse the seq of the transition they elaborate).
 type JobEvent struct {
-	Seq   int    `json:"seq"`
-	JobID string `json:"job_id"`
-	State string `json:"state"`
-	Error string `json:"error,omitempty"`
+	Seq      int           `json:"seq"`
+	JobID    string        `json:"job_id"`
+	State    string        `json:"state"`
+	Error    string        `json:"error,omitempty"`
+	Progress *obs.Progress `json:"progress,omitempty"`
 }
 
 // job is the server-side record. All fields are guarded by the store mutex;
@@ -82,6 +89,7 @@ type job struct {
 	state      string
 	err        string
 	result     *report.Table
+	progress   *obs.Progress
 	createdAt  time.Time
 	startedAt  *time.Time
 	finishedAt *time.Time
@@ -97,6 +105,7 @@ func (j *job) status() JobStatus {
 		State:      j.state,
 		Error:      j.err,
 		Result:     j.result,
+		Progress:   j.progress,
 		CreatedAt:  j.createdAt,
 		StartedAt:  j.startedAt,
 		FinishedAt: j.finishedAt,
@@ -220,12 +229,16 @@ func (st *jobStore) list() []JobStatus {
 }
 
 // transition records a state change, appends the event, and wakes watchers.
+// Progress describes the run segment in flight, so every transition clears
+// it: a fresh running state starts from nothing, and a terminal state's
+// story is its result, not a stale percentage.
 func (st *jobStore) transition(j *job, state, errMsg string, result *report.Table) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	now := time.Now().UTC()
 	j.state = state
 	j.err = errMsg
+	j.progress = nil
 	if result != nil {
 		j.result = result
 	}
@@ -243,9 +256,26 @@ func (st *jobStore) transition(j *job, state, errMsg string, result *report.Tabl
 	close(old)
 }
 
-// snapshotEvents returns the events at or after fromSeq plus the channel
-// that closes on the next transition.
-func (st *jobStore) snapshotEvents(j *job, fromSeq int) ([]JobEvent, string, chan struct{}) {
+// setProgress publishes a progress report for a running job and wakes
+// watchers. The pointer is replaced, never mutated, so snapshots taken under
+// the lock stay immutable afterwards. Reports for a job that already left
+// the running state (a straggling worker callback) are dropped.
+func (st *jobStore) setProgress(j *job, p obs.Progress) {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if j.state != JobRunning {
+		return
+	}
+	j.progress = &p
+	old := j.notify
+	j.notify = make(chan struct{})
+	close(old)
+}
+
+// snapshotEvents returns the events at or after fromSeq, the current state
+// and progress, plus the channel that closes on the next transition or
+// progress report.
+func (st *jobStore) snapshotEvents(j *job, fromSeq int) ([]JobEvent, string, *obs.Progress, chan struct{}) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
 	var out []JobEvent
@@ -254,7 +284,24 @@ func (st *jobStore) snapshotEvents(j *job, fromSeq int) ([]JobEvent, string, cha
 			out = append(out, ev)
 		}
 	}
-	return out, j.state, j.notify
+	return out, j.state, j.progress, j.notify
+}
+
+// oldestQueuedAge reports how long the longest-waiting queued job has been
+// waiting (0 when nothing is queued) — the /metrics staleness signal.
+func (st *jobStore) oldestQueuedAge() time.Duration {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	var oldest time.Time
+	for _, j := range st.order {
+		if j.state == JobQueued && (oldest.IsZero() || j.createdAt.Before(oldest)) {
+			oldest = j.createdAt
+		}
+	}
+	if oldest.IsZero() {
+		return 0
+	}
+	return time.Since(oldest)
 }
 
 // countByState tallies jobs per state (for /metrics).
@@ -358,9 +405,10 @@ func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.jobs.statusOf(j))
 }
 
-// watchJob streams the job's state transitions as NDJSON until the job
-// reaches a terminal state or the client disconnects. The final status
-// (with the result table) is one plain GET away once the stream ends.
+// watchJob streams the job's state transitions — interleaved with progress
+// heartbeats while it runs — as NDJSON until the job reaches a terminal
+// state or the client disconnects. The final status (with the result table)
+// is one plain GET away once the stream ends.
 func (s *Service) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
 	w.Header().Set("Content-Type", "application/x-ndjson")
 	w.WriteHeader(http.StatusOK)
@@ -368,13 +416,23 @@ func (s *Service) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
 	enc := json.NewEncoder(w)
 
 	nextSeq := 1
+	var lastProgress *obs.Progress
 	for {
-		events, state, notify := s.jobs.snapshotEvents(j, nextSeq)
+		events, state, progress, notify := s.jobs.snapshotEvents(j, nextSeq)
 		for _, ev := range events {
 			if err := enc.Encode(ev); err != nil {
 				return
 			}
 			nextSeq = ev.Seq + 1
+		}
+		// setProgress replaces the pointer on every report, so pointer
+		// identity is exactly "something new since the last loop".
+		if progress != nil && progress != lastProgress {
+			lastProgress = progress
+			ev := JobEvent{Seq: nextSeq - 1, JobID: j.id, State: state, Progress: progress}
+			if err := enc.Encode(ev); err != nil {
+				return
+			}
 		}
 		if flusher != nil {
 			flusher.Flush()
@@ -388,6 +446,23 @@ func (s *Service) watchJob(w http.ResponseWriter, r *http.Request, j *job) {
 			return
 		}
 	}
+}
+
+// handleJobTrace serves the job's spans still held in the daemon's ring
+// buffer (per-job tracers use the job id as trace id, so the snapshot is an
+// exact filter). An old job whose spans were overwritten returns an empty
+// list, not an error.
+func (s *Service) handleJobTrace(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.jobs.get(r.PathValue("id"))
+	if !ok {
+		writeError(w, http.StatusNotFound, fmt.Errorf("no such job %q", r.PathValue("id")))
+		return
+	}
+	spans := s.ring.Snapshot(j.id)
+	if spans == nil {
+		spans = []obs.SpanData{}
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"trace": j.id, "spans": spans})
 }
 
 // setJobState applies a state transition and journals it.
@@ -433,6 +508,17 @@ func (s *Service) runOneJob(j *job) {
 		ctx, cancel = context.WithTimeout(ctx, time.Duration(j.timeoutMS)*time.Millisecond)
 		defer cancel()
 	}
+	// Each job gets its own tracer (trace id = job id) over the shared
+	// exporter, so GET /v1/jobs/{id}/trace can filter the ring precisely.
+	// Span ends feed the per-phase histogram; progress callbacks feed the
+	// job's live progress field.
+	tracer := obs.NewTracer(j.id, s.spanExp)
+	tracer.OnEnd(func(sd obs.SpanData) {
+		s.met.jobPhase.With(sd.Name).Observe(float64(sd.DurationNS) / 1e9)
+	})
+	ctx = obs.WithTracer(ctx, tracer)
+	ctx = obs.WithRegistry(ctx, s.registry)
+	ctx = obs.WithProgress(ctx, func(p obs.Progress) { s.jobs.setProgress(j, p) })
 	var table *report.Table
 	run := func() error {
 		var runErr error
@@ -443,6 +529,7 @@ func (s *Service) runOneJob(j *job) {
 		run = s.cfg.TaskWrap(run)
 	}
 	err = exec.Protect(run)
+	s.met.spansDropped.Add(tracer.Dropped())
 	var pe *exec.PanicError
 	switch {
 	case errors.As(err, &pe):

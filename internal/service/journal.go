@@ -284,6 +284,19 @@ func (jl *journal) append(rec journalRecord) {
 	}
 }
 
+// size reports the journal file's current size in bytes. Safe on nil; a
+// stat failure reads as 0 (the gauge is advisory).
+func (jl *journal) size() int64 {
+	if jl == nil || jl.f == nil {
+		return 0
+	}
+	fi, err := jl.f.Stat()
+	if err != nil {
+		return 0
+	}
+	return fi.Size()
+}
+
 // appendErrors reports how many appends have been dropped. Safe on nil.
 func (jl *journal) appendErrors() uint64 {
 	if jl == nil {

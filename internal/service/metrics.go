@@ -1,133 +1,129 @@
 package service
 
 import (
-	"fmt"
 	"net/http"
-	"strings"
-	"sync"
+	"strconv"
 	"time"
+
+	"hmem/internal/obs"
 )
 
-// metrics is a hand-rolled Prometheus-text registry: request counts and a
-// latency histogram per (route, status), rendered deterministically. The
-// stdlib-only rule keeps the real client library out; the exposition format
-// is simple enough to emit by hand.
-type metrics struct {
-	mu        sync.Mutex
-	requests  map[string]uint64        // "route|code" -> count
-	latencies map[string]*latencyHisto // route -> histogram
-}
-
-// latencyBounds are the histogram's upper bounds in seconds. Simulations
-// take seconds-to-minutes, list endpoints microseconds, so the buckets span
-// both regimes.
+// latencyBounds are the request-latency histogram's upper bounds in seconds.
+// Simulations take seconds-to-minutes, list endpoints microseconds, so the
+// buckets span both regimes. Job phases live in the same range, so the phase
+// histogram shares them.
 var latencyBounds = []float64{0.001, 0.01, 0.1, 1, 10, 60, 300}
 
-type latencyHisto struct {
-	buckets []uint64 // one per bound, plus +Inf
-	sum     float64
-	count   uint64
+// serviceMetrics is every /metrics family the daemon exports, registered
+// once at startup on the shared obs.Registry so the page is complete (all
+// names, types, and label-less series present at zero) from the very first
+// scrape — the property the golden exposition test freezes.
+//
+// Families fall in two groups: live handles the serving path updates
+// directly (requests, latency, job phases, dropped spans), and mirrors of
+// counters owned elsewhere (memo caches, job store, journal) that
+// handleMetrics copies in just before rendering via Counter.Set.
+type serviceMetrics struct {
+	requests *obs.CounterVec
+	latency  *obs.HistogramVec
+
+	jobPhase     *obs.HistogramVec
+	spansDropped *obs.Counter
+
+	resultHits, resultMisses *obs.Counter
+	engineHits, engineMisses *obs.Counter
+
+	queueDepth     *obs.Gauge
+	queueOldestAge *obs.Gauge
+	jobsByState    *obs.GaugeVec
+	jobPanics      *obs.Counter
+	jobRetries     *obs.Counter
+
+	journalReplayed   *obs.Gauge
+	journalCorrupt    *obs.Gauge
+	journalAppendErrs *obs.Counter
+	journalSize       *obs.Gauge
 }
 
-func (m *metrics) observe(route string, code int, d time.Duration) {
-	m.mu.Lock()
-	defer m.mu.Unlock()
-	if m.requests == nil {
-		m.requests = map[string]uint64{}
-		m.latencies = map[string]*latencyHisto{}
+func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
+	return &serviceMetrics{
+		requests: reg.CounterVec("hmemd_requests_total",
+			"HTTP requests served, by route and status code.", "route", "code"),
+		latency: reg.HistogramVec("hmemd_request_duration_seconds",
+			"HTTP request latency.", latencyBounds, "route"),
+		jobPhase: reg.HistogramVec("hmemd_job_phase_seconds",
+			"Wall time of job execution phases, from tracing spans.", latencyBounds, "phase"),
+		spansDropped: reg.Counter("hmemd_spans_dropped_total",
+			"Tracing spans the exporter failed to accept (dropped, never failing the job)."),
+		resultHits: reg.Counter("hmemd_result_cache_hits_total",
+			"Evaluate requests served from the result cache (finished or in-flight)."),
+		resultMisses: reg.Counter("hmemd_result_cache_misses_total",
+			"Evaluate requests that started a simulation."),
+		engineHits: reg.Counter("hmemd_engine_memo_hits_total",
+			"Engine-level memo hits (profiles, policy runs, fault studies) across all engines."),
+		engineMisses: reg.Counter("hmemd_engine_memo_misses_total",
+			"Engine-level memo misses across all engines."),
+		queueDepth: reg.Gauge("hmemd_job_queue_depth",
+			"Jobs waiting in the queue."),
+		queueOldestAge: reg.Gauge("hmemd_job_queue_oldest_age_seconds",
+			"Age of the oldest still-queued job (0 when the queue is empty)."),
+		jobsByState: reg.GaugeVec("hmemd_jobs",
+			"Jobs by state.", "state"),
+		jobPanics: reg.Counter("hmemd_job_panics_total",
+			"Jobs whose experiment driver panicked (isolated to the job; the daemon stayed up)."),
+		jobRetries: reg.Counter("hmemd_job_retries_total",
+			"Interrupted jobs re-enqueued by journal replay at startup."),
+		journalReplayed: reg.Gauge("hmemd_journal_replayed_jobs",
+			"Jobs restored from the journal at startup."),
+		journalCorrupt: reg.Gauge("hmemd_journal_corrupt_lines",
+			"Unparsable journal lines skipped by the startup replay (1 is a normal torn tail; more means lossy recovery)."),
+		journalAppendErrs: reg.Counter("hmemd_journal_append_errors_total",
+			"Failed journal write attempts (each append retries once before dropping the record)."),
+		journalSize: reg.Gauge("hmemd_journal_size_bytes",
+			"Current size of the job journal file."),
 	}
-	m.requests[fmt.Sprintf("%s|%d", route, code)]++
-	h := m.latencies[route]
-	if h == nil {
-		h = &latencyHisto{buckets: make([]uint64, len(latencyBounds)+1)}
-		m.latencies[route] = h
-	}
-	secs := d.Seconds()
-	h.sum += secs
-	h.count++
-	idx := len(latencyBounds)
-	for i, bound := range latencyBounds {
-		if secs <= bound {
-			idx = i
-			break
-		}
-	}
-	h.buckets[idx]++
 }
 
-// handleMetrics renders the exposition page. Map iteration is randomized, so
-// every family sorts its series — scrapes are byte-stable for a fixed state.
-func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
-	var b strings.Builder
+// observe records one served request.
+func (m *serviceMetrics) observe(route string, code int, d time.Duration) {
+	m.requests.With(route, strconv.Itoa(code)).Inc()
+	m.latency.With(route).Observe(d.Seconds())
+}
 
-	s.metrics.mu.Lock()
-	b.WriteString("# HELP hmemd_requests_total HTTP requests served, by route and status code.\n")
-	b.WriteString("# TYPE hmemd_requests_total counter\n")
-	for _, key := range sortedKeys(s.metrics.requests) {
-		route, code, _ := strings.Cut(key, "|")
-		fmt.Fprintf(&b, "hmemd_requests_total{route=%q,code=%q} %d\n",
-			route, code, s.metrics.requests[key])
-	}
-	b.WriteString("# HELP hmemd_request_duration_seconds HTTP request latency.\n")
-	b.WriteString("# TYPE hmemd_request_duration_seconds histogram\n")
-	for _, route := range sortedKeys(s.metrics.latencies) {
-		h := s.metrics.latencies[route]
-		cum := uint64(0)
-		for i, bound := range latencyBounds {
-			cum += h.buckets[i]
-			fmt.Fprintf(&b, "hmemd_request_duration_seconds_bucket{route=%q,le=\"%g\"} %d\n",
-				route, bound, cum)
-		}
-		cum += h.buckets[len(latencyBounds)]
-		fmt.Fprintf(&b, "hmemd_request_duration_seconds_bucket{route=%q,le=\"+Inf\"} %d\n", route, cum)
-		fmt.Fprintf(&b, "hmemd_request_duration_seconds_sum{route=%q} %g\n", route, h.sum)
-		fmt.Fprintf(&b, "hmemd_request_duration_seconds_count{route=%q} %d\n", route, h.count)
-	}
-	s.metrics.mu.Unlock()
+// jobStates are rendered even at zero so dashboards never see a vanishing
+// series.
+var jobStates = []string{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled}
 
+// syncMetrics copies externally-owned counters into their registry mirrors.
+// Called just before rendering; every source is monotonic or a point-in-time
+// gauge, so the copy is safe to repeat.
+func (s *Service) syncMetrics() {
+	m := s.met
 	rc := s.results.Stats()
-	b.WriteString("# HELP hmemd_result_cache_hits_total Evaluate requests served from the result cache (finished or in-flight).\n")
-	b.WriteString("# TYPE hmemd_result_cache_hits_total counter\n")
-	fmt.Fprintf(&b, "hmemd_result_cache_hits_total %d\n", rc.Hits)
-	b.WriteString("# HELP hmemd_result_cache_misses_total Evaluate requests that started a simulation.\n")
-	b.WriteString("# TYPE hmemd_result_cache_misses_total counter\n")
-	fmt.Fprintf(&b, "hmemd_result_cache_misses_total %d\n", rc.Misses)
-
+	m.resultHits.Set(rc.Hits)
+	m.resultMisses.Set(rc.Misses)
 	es := s.engineStats()
-	b.WriteString("# HELP hmemd_engine_memo_hits_total Engine-level memo hits (profiles, policy runs, fault studies) across all engines.\n")
-	b.WriteString("# TYPE hmemd_engine_memo_hits_total counter\n")
-	fmt.Fprintf(&b, "hmemd_engine_memo_hits_total %d\n", es.Hits)
-	b.WriteString("# HELP hmemd_engine_memo_misses_total Engine-level memo misses across all engines.\n")
-	b.WriteString("# TYPE hmemd_engine_memo_misses_total counter\n")
-	fmt.Fprintf(&b, "hmemd_engine_memo_misses_total %d\n", es.Misses)
-
-	b.WriteString("# HELP hmemd_job_queue_depth Jobs waiting in the queue.\n")
-	b.WriteString("# TYPE hmemd_job_queue_depth gauge\n")
-	fmt.Fprintf(&b, "hmemd_job_queue_depth %d\n", len(s.queue))
-
+	m.engineHits.Set(es.Hits)
+	m.engineMisses.Set(es.Misses)
+	m.queueDepth.Set(float64(len(s.queue)))
+	m.queueOldestAge.Set(s.jobs.oldestQueuedAge().Seconds())
 	counts := s.jobs.countByState()
-	b.WriteString("# HELP hmemd_jobs Jobs by state.\n")
-	b.WriteString("# TYPE hmemd_jobs gauge\n")
-	for _, state := range []string{JobQueued, JobRunning, JobDone, JobFailed, JobCancelled} {
-		fmt.Fprintf(&b, "hmemd_jobs{state=%q} %d\n", state, counts[state])
+	for _, state := range jobStates {
+		m.jobsByState.With(state).Set(float64(counts[state]))
 	}
+	m.jobPanics.Set(s.jobPanics.Load())
+	m.jobRetries.Set(s.jobRetries.Load())
+	m.journalReplayed.Set(float64(s.recovery.Restored))
+	m.journalCorrupt.Set(float64(s.recovery.CorruptLines))
+	m.journalAppendErrs.Set(s.journal.appendErrors())
+	m.journalSize.Set(float64(s.journal.size()))
+}
 
-	b.WriteString("# HELP hmemd_job_panics_total Jobs whose experiment driver panicked (isolated to the job; the daemon stayed up).\n")
-	b.WriteString("# TYPE hmemd_job_panics_total counter\n")
-	fmt.Fprintf(&b, "hmemd_job_panics_total %d\n", s.jobPanics.Load())
-	b.WriteString("# HELP hmemd_job_retries_total Interrupted jobs re-enqueued by journal replay at startup.\n")
-	b.WriteString("# TYPE hmemd_job_retries_total counter\n")
-	fmt.Fprintf(&b, "hmemd_job_retries_total %d\n", s.jobRetries.Load())
-	b.WriteString("# HELP hmemd_journal_replayed_jobs Jobs restored from the journal at startup.\n")
-	b.WriteString("# TYPE hmemd_journal_replayed_jobs gauge\n")
-	fmt.Fprintf(&b, "hmemd_journal_replayed_jobs %d\n", s.recovery.Restored)
-	b.WriteString("# HELP hmemd_journal_corrupt_lines Unparsable journal lines skipped by the startup replay (1 is a normal torn tail; more means lossy recovery).\n")
-	b.WriteString("# TYPE hmemd_journal_corrupt_lines gauge\n")
-	fmt.Fprintf(&b, "hmemd_journal_corrupt_lines %d\n", s.recovery.CorruptLines)
-	b.WriteString("# HELP hmemd_journal_append_errors_total Failed journal write attempts (each append retries once before dropping the record).\n")
-	b.WriteString("# TYPE hmemd_journal_append_errors_total counter\n")
-	fmt.Fprintf(&b, "hmemd_journal_append_errors_total %d\n", s.journal.appendErrors())
-
+// handleMetrics renders the exposition page from the registry. Rendering is
+// deterministic (families by name, series by label values) so scrapes are
+// byte-stable for a fixed state.
+func (s *Service) handleMetrics(w http.ResponseWriter, _ *http.Request) {
+	s.syncMetrics()
 	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
-	_, _ = w.Write([]byte(b.String()))
+	_ = s.registry.RenderText(w)
 }

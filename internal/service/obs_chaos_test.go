@@ -1,0 +1,279 @@
+package service
+
+import (
+	"context"
+	"io"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"hmem/internal/chaos"
+	"hmem/internal/obs"
+)
+
+// TestSpanWriterFaultDegradesToDroppedCounter: a failing NDJSON span sink —
+// a full disk under -trace-log — must cost spans, never jobs. The fault is
+// injected into the span writer via the chaos injector; the job still
+// completes, the loss is counted on /metrics, and later spans (and the
+// in-memory ring) are unaffected.
+func TestSpanWriterFaultDegradesToDroppedCounter(t *testing.T) {
+	inj, err := chaos.New(chaos.Plan{Write: []chaos.WriteFault{
+		{AtWrite: 0, Mode: chaos.ModeError},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.SpanWriter = inj.Writer(io.Discard)
+	svc, c := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	// hwcost emits exactly one span; its export hits the poisoned write 0.
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "hwcost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, c, st.ID); got.State != JobDone || got.Result == nil {
+		t.Fatalf("job with failing span sink = %s (%s), want done with result", got.State, got.Error)
+	}
+	page := metricsPage(t, c.BaseURL)
+	if !strings.Contains(page, "hmemd_spans_dropped_total 1") {
+		t.Fatalf("metrics missing dropped span:\n%s", page)
+	}
+	if got := inj.Stats().Write; got != 1 {
+		t.Fatalf("injected write faults = %d, want 1", got)
+	}
+	// The multi-exporter attempts every sink: the ring kept the span the
+	// writer lost, so the trace endpoint still serves it.
+	spans, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(spans) != 1 || spans[0].Name != "experiment.hwcost" {
+		t.Fatalf("ring spans after writer fault = %+v, want the hwcost span", spans)
+	}
+
+	// A second job writes past the injected fault: no further drops.
+	st2, err := c.SubmitJob(ctx, JobRequest{Experiment: "table1"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := waitTerminal(t, c, st2.ID); got.State != JobDone {
+		t.Fatalf("follow-up job = %s (%s), want done", got.State, got.Error)
+	}
+	page = metricsPage(t, c.BaseURL)
+	if !strings.Contains(page, "hmemd_spans_dropped_total 1") {
+		t.Fatalf("dropped counter moved without a fault:\n%s", page)
+	}
+	_ = svc
+}
+
+// migrationJobConfig is a config whose jobs run real simulations with many
+// migration epochs quickly: one low-intensity workload, a small trace, and
+// a migration interval far below the default so epoch boundaries are dense.
+func migrationJobConfig() Config {
+	cfg := tinyConfig()
+	cfg.Defaults.Workloads = []string{"astar"}
+	cfg.Defaults.FCIntervalCycles = 20000
+	cfg.Defaults.MEAIntervalCycles = 5000
+	return cfg
+}
+
+// TestJobProgressAndTrace is the observability acceptance test: a submitted
+// migration job exposes live progress while running — in GET /v1/jobs/{id}
+// and in the watch stream — and GET /v1/jobs/{id}/trace afterwards returns
+// the run's spans, including at least one sim.epoch span per simulated
+// epoch boundary.
+func TestJobProgressAndTrace(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	cfg := migrationJobConfig()
+	// The tiny job finishes in tens of milliseconds — far too fast for a
+	// polling GET to reliably land inside the running window. TaskWrap (the
+	// same seam the chaos suite uses) holds the job open after its driver
+	// returns: state is still "running" and the last progress report is
+	// still live, so the mid-run assertions below are deterministic.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	cfg.TaskWrap = func(run func() error) func() error {
+		return func() error {
+			err := run()
+			close(held)
+			<-release
+			return err
+		}
+	}
+	_, c := newTestServer(t, cfg)
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "figure12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Watch in the background, recording every progress heartbeat.
+	type watchOut struct {
+		final      JobStatus
+		err        error
+		heartbeats []obs.Progress
+	}
+	watchCh := make(chan watchOut, 1)
+	go func() {
+		var out watchOut
+		out.final, out.err = c.WaitJob(ctx, st.ID, func(ev JobEvent) {
+			if ev.Progress != nil {
+				out.heartbeats = append(out.heartbeats, *ev.Progress)
+			}
+		})
+		watchCh <- out
+	}()
+
+	// With the job held mid-run, the plain GET must expose live progress.
+	<-held
+	got, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobRunning || got.Progress == nil {
+		t.Fatalf("held job = %s progress=%+v (%s), want running with progress", got.State, got.Progress, got.Error)
+	}
+	if got.Progress.Phase == "" {
+		t.Fatalf("live progress has no phase: %+v", got.Progress)
+	}
+	close(release)
+
+	out := <-watchCh
+	if out.err != nil {
+		t.Fatal(out.err)
+	}
+	if out.final.State != JobDone {
+		t.Fatalf("job = %s (%s), want done", out.final.State, out.final.Error)
+	}
+	if out.final.Progress != nil {
+		t.Fatalf("terminal status still carries progress: %+v", out.final.Progress)
+	}
+	if len(out.heartbeats) == 0 {
+		t.Fatal("watch stream delivered no progress heartbeats")
+	}
+	for _, p := range out.heartbeats {
+		if p.Percent < 0 || p.Percent > 1 {
+			t.Fatalf("heartbeat percent %v out of range", p.Percent)
+		}
+	}
+
+	spans, err := c.JobTrace(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := map[string]int{}
+	for _, sp := range spans {
+		counts[sp.Name]++
+	}
+	if counts["experiment.figure12"] != 1 {
+		t.Fatalf("span census %v: want exactly one experiment.figure12 root", counts)
+	}
+	if counts["sim.run"] == 0 || counts["exec.task"] == 0 || counts["faultsim.study"] == 0 {
+		t.Fatalf("span census %v: missing engine spans", counts)
+	}
+	// The migration run crosses many interval boundaries at this interval;
+	// each one must have closed an epoch span.
+	if counts["sim.epoch"] < 2 {
+		t.Fatalf("span census %v: want >=2 sim.epoch spans from the migration run", counts)
+	}
+}
+
+// TestRestartResetsProgress: progress is deliberately in-memory only. A
+// daemon killed mid-job replays the journal, re-enqueues the job, and the
+// restored job reports no progress until its re-run starts reporting anew.
+func TestRestartResetsProgress(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs simulations")
+	}
+	dir := t.TempDir()
+	cfg := migrationJobConfig()
+	cfg.JournalDir = dir
+	// Hold the job open mid-run (same seam as TestJobProgressAndTrace) so
+	// the journal snapshot below is taken while the job is reliably still
+	// running — not after a fast run has already journalled its result.
+	held := make(chan struct{})
+	release := make(chan struct{})
+	cfg.TaskWrap = func(run func() error) func() error {
+		return func() error {
+			err := run()
+			close(held)
+			<-release
+			return err
+		}
+	}
+	svc, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer func() {
+		// The abandoned daemon drains on its own time after the test body.
+		ts.Close()
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+		defer cancel()
+		_ = svc.Shutdown(shutdownCtx)
+	}()
+	c := &Client{BaseURL: ts.URL}
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "figure12"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	<-held
+	got, err := c.Job(ctx, st.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.State != JobRunning || got.Progress == nil {
+		t.Fatalf("held job = %s progress=%+v, want running with progress", got.State, got.Progress)
+	}
+
+	// Crash image: copy the journal as it stands mid-run (the live daemon
+	// keeps its own file; the copy is the state a kill would leave behind)
+	// and start a fresh daemon on it.
+	data, err := os.ReadFile(filepath.Join(dir, journalFileName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	close(release)
+	dir2 := t.TempDir()
+	if err := os.WriteFile(filepath.Join(dir2, journalFileName), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	cfg2 := migrationJobConfig()
+	cfg2.JournalDir = dir2
+	cfg2.JobWorkers = -1 // inspect the replayed state before anything re-runs
+	svc2, err := New(cfg2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc2.Shutdown(shutdownCtx)
+	}()
+
+	if rec := svc2.Recovery(); rec.Requeued != 1 {
+		t.Fatalf("recovery = %+v, want the interrupted job requeued", rec)
+	}
+	j, ok := svc2.jobs.get(st.ID)
+	if !ok {
+		t.Fatalf("job %s missing after replay", st.ID)
+	}
+	restored := svc2.jobs.statusOf(j)
+	if restored.State != JobQueued {
+		t.Fatalf("replayed job state = %s, want queued", restored.State)
+	}
+	if restored.Progress != nil {
+		t.Fatalf("replayed job still carries pre-crash progress: %+v", restored.Progress)
+	}
+}

@@ -27,7 +27,6 @@ import (
 	"fmt"
 	"io"
 	"net/http"
-	"sort"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -35,6 +34,7 @@ import (
 
 	"hmem"
 	"hmem/internal/exec"
+	"hmem/internal/obs"
 )
 
 // Config tunes a Service. The zero value is usable: default options, 1 MiB
@@ -65,11 +65,20 @@ type Config struct {
 	// WrapJournalWriter, when set, decorates the journal's append writer
 	// (fault-injection seam for disk-failure tests).
 	WrapJournalWriter func(io.Writer) io.Writer
+	// TraceBuffer is the capacity of the in-memory span ring buffer behind
+	// GET /v1/jobs/{id}/trace (<=0 = 4096 spans). One ring serves every job;
+	// spans carry the job id as their trace id.
+	TraceBuffer int
+	// SpanWriter, when set, additionally streams every finished span as one
+	// NDJSON line (hmemd's -trace-log flag). Write failures degrade to the
+	// dropped-spans counter; they never fail the traced job.
+	SpanWriter io.Writer
 }
 
 const (
 	defaultMaxBodyBytes = 1 << 20
 	defaultQueueDepth   = 16
+	defaultTraceBuffer  = 4096
 )
 
 // Service is the hmemd HTTP handler plus its job queue and caches. Create
@@ -112,7 +121,16 @@ type Service struct {
 	jobPanics  atomic.Uint64
 	jobRetries atomic.Uint64
 
-	metrics metrics
+	// registry backs /metrics; met holds the daemon's registered families.
+	// Engine-level series (hmem_*) land in the same registry because job and
+	// evaluate contexts carry it.
+	registry *obs.Registry
+	met      *serviceMetrics
+
+	// ring buffers every job's spans (trace id = job id); spanExp is the
+	// exporter job tracers write to (the ring, plus Config.SpanWriter).
+	ring    *obs.Ring
+	spanExp obs.Exporter
 }
 
 // New builds a Service and starts its job workers.
@@ -127,12 +145,23 @@ func New(cfg Config) (*Service, error) {
 	if workers == 0 {
 		workers = 1
 	}
+	if cfg.TraceBuffer <= 0 {
+		cfg.TraceBuffer = defaultTraceBuffer
+	}
 	baseCtx, cancel := context.WithCancel(context.Background())
+	reg := obs.NewRegistry()
 	s := &Service{
 		cfg:        cfg,
 		engines:    map[string]*hmem.Engine{},
 		baseCtx:    baseCtx,
 		cancelBase: cancel,
+		registry:   reg,
+		met:        newServiceMetrics(reg),
+		ring:       obs.NewRing(cfg.TraceBuffer),
+	}
+	s.spanExp = obs.Exporter(s.ring)
+	if cfg.SpanWriter != nil {
+		s.spanExp = obs.Multi{s.ring, obs.NewNDJSON(cfg.SpanWriter)}
 	}
 	// Validate the configured defaults once, up front: a bad default option
 	// set should fail service start, not every request.
@@ -149,6 +178,11 @@ func New(cfg Config) (*Service, error) {
 	// be worse than not starting.
 	var requeue []*job
 	if cfg.JournalDir != "" {
+		// The replay runs under a "startup"-trace span so operators tailing
+		// the span log (-trace-log) see recovery cost and outcome like any
+		// other phase; attrs carry what compaction and replay found.
+		tr := obs.NewTracer("startup", s.spanExp)
+		_, sp := obs.Start(obs.WithTracer(context.Background(), tr), "journal.replay")
 		jl, recs, jstats, err := openJournal(cfg.JournalDir, cfg.WrapJournalWriter)
 		if err != nil {
 			cancel()
@@ -158,6 +192,13 @@ func New(cfg Config) (*Service, error) {
 		s.recovery.CorruptLines = jstats.corruptLines
 		s.recovery.CompactedRecords = jstats.compacted
 		requeue = s.replayJournal(recs)
+		sp.SetAttrs(
+			obs.Int("restored", int64(s.recovery.Restored)),
+			obs.Int("requeued", int64(s.recovery.Requeued)),
+			obs.Int("corrupt_lines", int64(s.recovery.CorruptLines)),
+			obs.Int("compacted_records", int64(s.recovery.CompactedRecords)))
+		sp.End()
+		s.met.spansDropped.Add(tr.Dropped())
 	}
 	// The queue must hold every replayed job even when there are more of
 	// them than QueueDepth, or replay would deadlock before workers start.
@@ -232,6 +273,7 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -338,8 +380,9 @@ func (s *Service) evaluateCached(ctx context.Context, e *hmem.Engine, digest, wo
 	key := digest + "|" + workloadName + "|" + string(policy)
 	return s.results.DoCtx(ctx, key, func() (hmem.Result, error) {
 		// Background, not ctx: the result is shared with every requester of
-		// the key, so one caller's cancellation must not be cached.
-		return e.Evaluate(context.Background(), workloadName, policy)
+		// the key, so one caller's cancellation must not be cached. The
+		// registry rides along so engine metrics (hmem_*) land on /metrics.
+		return e.Evaluate(obs.WithRegistry(context.Background(), s.registry), workloadName, policy)
 	})
 }
 
@@ -550,7 +593,7 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 		start := time.Now()
 		rec := &statusRecorder{ResponseWriter: w, code: http.StatusOK}
 		next.ServeHTTP(rec, r)
-		s.metrics.observe(routeLabel(r), rec.code, time.Since(start))
+		s.met.observe(routeLabel(r), rec.code, time.Since(start))
 	})
 }
 
@@ -558,7 +601,11 @@ func (s *Service) instrument(next http.Handler) http.Handler {
 func routeLabel(r *http.Request) string {
 	path := r.URL.Path
 	if strings.HasPrefix(path, "/v1/jobs/") {
-		path = "/v1/jobs/{id}"
+		if strings.HasSuffix(path, "/trace") {
+			path = "/v1/jobs/{id}/trace"
+		} else {
+			path = "/v1/jobs/{id}"
+		}
 	}
 	return r.Method + " " + path
 }
@@ -579,14 +626,4 @@ func (r *statusRecorder) Flush() {
 	if f, ok := r.ResponseWriter.(http.Flusher); ok {
 		f.Flush()
 	}
-}
-
-// sortedKeys returns map keys in stable order (deterministic /metrics).
-func sortedKeys[V any](m map[string]V) []string {
-	keys := make([]string, 0, len(m))
-	for k := range m {
-		keys = append(keys, k)
-	}
-	sort.Strings(keys)
-	return keys
 }

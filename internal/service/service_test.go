@@ -226,18 +226,30 @@ func TestJobLifecycle(t *testing.T) {
 	if !strings.Contains(table.Title, "Figure 5") {
 		t.Fatalf("unexpected table: %q", table.Title)
 	}
-	// The NDJSON stream replays the full queued -> running -> done history.
+	// The NDJSON stream replays the full queued -> running -> done history,
+	// interleaved with progress heartbeats (Progress set) while running.
 	var states []string
+	var transitions []JobEvent
 	for _, ev := range events {
-		states = append(states, ev.State)
+		if ev.Progress == nil {
+			states = append(states, ev.State)
+			transitions = append(transitions, ev)
+			continue
+		}
+		if ev.State != JobRunning {
+			t.Fatalf("progress heartbeat in state %q", ev.State)
+		}
+		if ev.Progress.Percent < 0 || ev.Progress.Percent > 1 {
+			t.Fatalf("progress percent %v out of range", ev.Progress.Percent)
+		}
 	}
 	want := []string{JobQueued, JobRunning, JobDone}
 	if strings.Join(states, ",") != strings.Join(want, ",") {
-		t.Fatalf("event states = %v, want %v", states, want)
+		t.Fatalf("transition states = %v, want %v", states, want)
 	}
-	for i, ev := range events {
+	for i, ev := range transitions {
 		if ev.Seq != i+1 {
-			t.Fatalf("event %d has seq %d", i, ev.Seq)
+			t.Fatalf("transition %d has seq %d", i, ev.Seq)
 		}
 	}
 }

@@ -1,10 +1,12 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"hmem/internal/avf"
 	"hmem/internal/core"
+	"hmem/internal/obs"
 )
 
 // TestPerAccessPathZeroAllocs verifies the tentpole invariant of the flat
@@ -47,6 +49,68 @@ func TestPerAccessPathZeroAllocs(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("per-access path allocated %.1f times per access; want 0", allocs)
+	}
+}
+
+// TestObsDisabledAddsZeroAllocs re-runs the per-access gate with every
+// observability seam RunCtx threads through the loop present in its
+// DISABLED state: the once-per-run Enabled/registry resolution resolved
+// against a bare context, the nil-counter guards, and nil-safe span calls.
+// Tracing compiled in but switched off must cost zero allocations per
+// access — the PR-3 hot-path invariant survives the observability layer.
+func TestObsDisabledAddsZeroAllocs(t *testing.T) {
+	ctx := context.Background()
+	traced := obs.Enabled(ctx)
+	if traced {
+		t.Fatal("bare context reports tracing enabled")
+	}
+	metrics := newSimMetrics(ctx)
+	var epochSpan *obs.Span
+
+	const pages = 256
+	p := NewPlacement(32, 1024)
+	tracker := avf.NewTracker()
+	iv := newIntervalState()
+	var now int64
+	touch := func() {
+		for pg := uint64(0); pg < pages; pg++ {
+			pi := p.Intern(pg)
+			tier, _, _ := p.LookupIndex(pi)
+			now++
+			write := pg%3 == 0
+			tracker.Access(uint32(pi), int(pg%64), now, write, tier)
+			iv.observe(pi, write, tier == avf.TierHBM)
+		}
+	}
+	touch()
+	iv.sample(now, 0)
+	touch()
+
+	pg := uint64(0)
+	allocs := testing.AllocsPerRun(1000, func() {
+		// The disabled observability seams, exactly as RunCtx guards them.
+		if metrics.epochs != nil {
+			metrics.epochs.Inc()
+			metrics.migrated.Add(1)
+		}
+		if traced {
+			epochSpan.End()
+			_, epochSpan = obs.Start(ctx, "sim.epoch")
+		}
+		epochSpan.End() // nil-safe no-op outside the guard too
+
+		pi := p.Intern(pg)
+		tier, _, _ := p.LookupIndex(pi)
+		now++
+		tracker.Access(uint32(pi), int(pg%64), now, pg%3 == 0, tier)
+		iv.observe(pi, pg%3 == 0, tier == avf.TierHBM)
+		pg = (pg + 1) % pages
+	})
+	if allocs != 0 {
+		t.Fatalf("per-access path with disabled tracing allocated %.1f times per access; want 0", allocs)
+	}
+	if metrics.runs != nil {
+		metrics.runs.Inc()
 	}
 }
 

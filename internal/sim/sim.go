@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"io"
@@ -8,6 +9,7 @@ import (
 	"hmem/internal/avf"
 	"hmem/internal/core"
 	"hmem/internal/memsim"
+	"hmem/internal/obs"
 	"hmem/internal/trace"
 )
 
@@ -195,11 +197,62 @@ func (c *coreState) getRequest(line uint64, write bool, arrival int64) *memsim.R
 // initialHBM pages are preplaced in HBM (pin pins them against migration);
 // mig may be nil for static placements.
 func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig Migrator) (Result, error) {
+	return RunCtx(context.Background(), cfg, streams, initialHBM, pin, mig)
+}
+
+// simMetrics holds the registry handles a run touches, hoisted out of the
+// loop so the per-access path never consults the context. The zero value
+// (no registry in ctx) makes every record call a cheap nil check.
+type simMetrics struct {
+	runs, epochs, migrated *obs.Counter
+}
+
+func newSimMetrics(ctx context.Context) simMetrics {
+	reg := obs.RegistryFrom(ctx)
+	if reg == nil {
+		return simMetrics{}
+	}
+	return simMetrics{
+		runs:     reg.Counter("hmem_sim_runs_total", "Completed simulator runs."),
+		epochs:   reg.Counter("hmem_sim_epochs_total", "Migration-interval boundaries crossed."),
+		migrated: reg.Counter("hmem_sim_pages_migrated_total", "Pages moved between tiers by migration decisions."),
+	}
+}
+
+// RunCtx is Run with observability: the run is wrapped in a "sim.run" span,
+// every migration-interval boundary closes a "sim.epoch" span carrying the
+// boundary cycle, pages moved, and distinct pages touched, and a registry in
+// ctx accumulates run/epoch/migration counters. The per-access hot loop is
+// untouched — all context lookups happen once, before the first access — so
+// with no tracer or registry installed RunCtx costs exactly what Run did.
+// ctx is not consulted for cancellation (runs have no preemption points).
+func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig Migrator) (Result, error) {
 	if err := cfg.Validate(); err != nil {
 		return Result{}, err
 	}
 	if len(streams) == 0 {
 		return Result{}, errors.New("sim: no core streams")
+	}
+
+	// All observability state is resolved here, once; the per-access loop
+	// below never consults the context.
+	traced := obs.Enabled(ctx)
+	metrics := newSimMetrics(ctx)
+	var runSpan, epochSpan *obs.Span
+	if traced {
+		policy := "static"
+		if mig != nil {
+			policy = mig.Name()
+		}
+		ctx, runSpan = obs.Start(ctx, "sim.run",
+			obs.Int("cores", int64(len(streams))), obs.Str("policy", policy))
+		// The deferred closure only exists when traced: an unconditional
+		// defer would box runSpan/epochSpan (both reassigned below) and
+		// charge the untraced path heap allocations it must not make.
+		defer func() {
+			epochSpan.End()
+			runSpan.End()
+		}()
 	}
 
 	hbm := memsim.New(cfg.HBM)
@@ -226,6 +279,9 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		}
 		mig.Bind(pt)
 		nextInterval = mig.IntervalCycles()
+		if traced {
+			_, epochSpan = obs.Start(ctx, "sim.epoch")
+		}
 		// Hardware mechanisms (MemPod-style remap tables) migrate without
 		// an OS pause; their traffic still contends in the memory system.
 		if cm, ok := mig.(interface{ MigratesConcurrently() bool }); ok && cm.MigratesConcurrently() {
@@ -251,7 +307,20 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 		if mig != nil && c.time >= nextInterval {
 			in, out := mig.Decide(nextInterval, placement)
 			moved := applyMigration(cores, hbm, ddr, placement, tracker, in, out, concurrent, cfg.MigrationCostDiv, &res)
-			res.Intervals = append(res.Intervals, iv.sample(nextInterval, moved))
+			sample := iv.sample(nextInterval, moved)
+			res.Intervals = append(res.Intervals, sample)
+			if metrics.epochs != nil {
+				metrics.epochs.Inc()
+				metrics.migrated.Add(uint64(moved))
+			}
+			if traced {
+				epochSpan.SetAttrs(
+					obs.Int("end_cycle", nextInterval),
+					obs.Int("moved", int64(moved)),
+					obs.Int("touched", int64(sample.TouchedPages)))
+				epochSpan.End()
+				_, epochSpan = obs.Start(ctx, "sim.epoch")
+			}
 			nextInterval += mig.IntervalCycles()
 			continue
 		}
@@ -366,6 +435,16 @@ func Run(cfg Config, streams []trace.Stream, initialHBM []uint64, pin bool, mig 
 	res.DDRStats = ddr.Stats()
 	if total := res.Reads + res.Writes; total > 0 {
 		res.HBMAccessFraction /= float64(total)
+	}
+	if metrics.runs != nil {
+		metrics.runs.Inc()
+	}
+	if traced {
+		runSpan.SetAttrs(
+			obs.Int("cycles", res.Cycles),
+			obs.Float("ipc", res.IPC),
+			obs.Int("pages_migrated", int64(res.PagesMigrated)),
+			obs.Int("epochs", int64(len(res.Intervals))))
 	}
 	return res, nil
 }
