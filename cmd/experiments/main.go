@@ -24,6 +24,7 @@ import (
 	"strings"
 	"time"
 
+	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/experiments"
 	"hmem/internal/obs"
@@ -39,10 +40,29 @@ func main() {
 		scale     = flag.Int("scale", 0, "capacity scale divisor (0 = default 64)")
 		parallel  = flag.Int("parallel", runtime.NumCPU(), "max concurrent simulations (<=0 = NumCPU)")
 		traceOut  = flag.String("trace", "", "write tracing spans as NDJSON to this file ('' = tracing off)")
+		topology  = flag.String("topology", "", "memory topology by name (empty = hbm-ddr default)")
+		topoFile  = flag.String("topology-file", "", "register a custom topology from a JSON file; it becomes the topology unless -topology is set")
 	)
 	flag.Parse()
 
 	opts := experiments.DefaultOptions()
+	if *topoFile != "" {
+		data, err := os.ReadFile(*topoFile)
+		if err != nil {
+			fatal(err)
+		}
+		topo, err := core.ParseTopology(data)
+		if err != nil {
+			fatal(err)
+		}
+		if err := core.RegisterTopology(topo); err != nil {
+			fatal(err)
+		}
+		if *topology == "" {
+			*topology = topo.Name
+		}
+	}
+	opts.Topology = *topology
 	if *records > 0 {
 		opts.RecordsPerCore = *records
 	}

@@ -11,6 +11,7 @@
 // Endpoints:
 //
 //	GET  /v1/workloads    GET  /v1/policies    GET  /v1/experiments
+//	GET  /v1/topologies
 //	POST /v1/evaluate     POST /v1/compare
 //	POST /v1/jobs         GET  /v1/jobs        GET /v1/jobs/{id}[?watch=1]
 //	GET  /healthz         GET  /metrics        GET /v1/jobs/{id}/trace
@@ -56,8 +57,25 @@ func main() {
 		debugAddr    = flag.String("debug-addr", "", "listen address for pprof + /debug/runtime (empty = disabled; bind localhost, it is unauthenticated)")
 		traceLog     = flag.String("trace-log", "", "append tracing spans as NDJSON to this file (empty = ring buffer only)")
 		traceBuffer  = flag.Int("trace-buffer", 0, "spans kept in memory for GET /v1/jobs/{id}/trace (0 = default 4096)")
+		topology     = flag.String("topology", "", "default memory topology by name (empty = hbm-ddr; see GET /v1/topologies)")
+		topologyFile = flag.String("topology-file", "", "register a custom topology from a JSON file; it becomes the default unless -topology is set")
 	)
 	flag.Parse()
+
+	if *topologyFile != "" {
+		data, err := os.ReadFile(*topologyFile)
+		if err != nil {
+			log.Fatalf("hmemd: reading topology file: %v", err)
+		}
+		name, err := hmem.RegisterTopologyJSON(data)
+		if err != nil {
+			log.Fatalf("hmemd: %v", err)
+		}
+		log.Printf("hmemd: registered topology %q from %s", name, *topologyFile)
+		if *topology == "" {
+			*topology = name
+		}
+	}
 
 	cfg := service.Config{
 		Defaults: hmem.Options{
@@ -66,6 +84,7 @@ func main() {
 			Seed:           *seed,
 			FaultTrials:    *faultTrials,
 			Parallel:       *parallel,
+			Topology:       *topology,
 		},
 		MaxBodyBytes: *maxBody,
 		QueueDepth:   *queueDepth,

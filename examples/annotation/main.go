@@ -32,7 +32,7 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		capacity := int(runner.Config().HBM.Pages())
+		capacity := int(runner.Config().FastPages())
 		anns, pins := annotate.Select(prof.Suite.Structures, prof.Stats, capacity)
 
 		fmt.Printf("== %s: %d structures to annotate (%d pages pinned of %d HBM pages) ==\n",

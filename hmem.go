@@ -106,6 +106,11 @@ type Result struct {
 	SERvsDDROnly  float64 `json:"ser_vs_ddr_only"`
 	MeanAVF       float64 `json:"mean_avf"`
 	PagesMigrated uint64  `json:"pages_migrated"`
+	// Endurance reports per-tier wear counters and is present only when the
+	// evaluation's topology declares a write budget on some tier (e.g. the
+	// built-in dram-nvm scenario); the default hbm-ddr topology omits it, so
+	// existing result encodings are unchanged.
+	Endurance []sim.TierEndurance `json:"endurance,omitempty"`
 }
 
 // Evaluate runs one workload under one policy and reports IPC/SER against
@@ -174,6 +179,18 @@ func evaluate(ctx context.Context, r *experiments.Runner, workloadName string, p
 		reg.GaugeVec("hmem_workload_ipc",
 			"Simulated per-core IPC of the latest evaluation.",
 			"workload", "policy").With(workloadName, string(policy)).Set(res.IPC)
+		// Endurance families are registered lazily so default-topology
+		// processes keep their /metrics output unchanged.
+		for _, e := range res.Endurance {
+			reg.GaugeVec("hmem_tier_writes_total",
+				"Writes absorbed by a write-budgeted tier in the latest evaluation.",
+				"workload", "policy", "tier").
+				With(workloadName, string(policy), e.Name).Set(float64(e.TotalWrites))
+			reg.GaugeVec("hmem_tier_exhausted_frames",
+				"Frames past their write budget in the latest evaluation.",
+				"workload", "policy", "tier").
+				With(workloadName, string(policy), e.Name).Set(float64(e.ExhaustedFrames))
+		}
 	}
 	return Result{
 		Workload:      workloadName,
@@ -183,7 +200,72 @@ func evaluate(ctx context.Context, r *experiments.Runner, workloadName string, p
 		SERvsDDROnly:  rel,
 		MeanAVF:       res.MeanAVF(),
 		PagesMigrated: res.PagesMigrated,
+		Endurance:     res.Endurance,
 	}, nil
+}
+
+// TierSummary describes one tier of a topology for discovery endpoints.
+type TierSummary struct {
+	Name        string `json:"name"`
+	Mem         string `json:"mem"`
+	Pages       uint64 `json:"pages"`
+	WriteBudget uint64 `json:"write_budget,omitempty"`
+}
+
+// TopologySummary describes a selectable topology: its tiers in index order,
+// which is the fast (migration-target) tier, and the first-touch allocation
+// order.
+type TopologySummary struct {
+	Name       string        `json:"name"`
+	Tiers      []TierSummary `json:"tiers"`
+	FastTier   int           `json:"fast_tier"`
+	AllocOrder []int         `json:"alloc_order"`
+}
+
+// Topologies lists the selectable topology names: the built-in hbm-ddr and
+// dram-nvm machines first, then any registered custom topologies.
+func Topologies() []string { return core.TopologyNames() }
+
+// DescribeTopologies summarizes every selectable topology at the given
+// capacity scale (0 = the default experiment scale).
+func DescribeTopologies(scaleDiv int) ([]TopologySummary, error) {
+	if scaleDiv <= 0 {
+		scaleDiv = experiments.DefaultOptions().ScaleDiv
+	}
+	var out []TopologySummary
+	for _, name := range core.TopologyNames() {
+		topo, err := core.TopologyByName(name, scaleDiv)
+		if err != nil {
+			return nil, err
+		}
+		s := TopologySummary{Name: topo.Name, FastTier: topo.FastTier,
+			AllocOrder: append([]int(nil), topo.AllocOrder...)}
+		for _, td := range topo.Tiers {
+			s.Tiers = append(s.Tiers, TierSummary{
+				Name:        td.Name,
+				Mem:         td.Mem.Name,
+				Pages:       td.Mem.CapacityBytes / 4096,
+				WriteBudget: td.WriteBudget,
+			})
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+// RegisterTopologyJSON parses, validates, and registers a custom topology so
+// Options.Topology can select it by name. Capacities in the file are taken
+// as-is; Options.ScaleDiv does not rescale custom topologies. Returns the
+// registered name.
+func RegisterTopologyJSON(data []byte) (string, error) {
+	topo, err := core.ParseTopology(data)
+	if err != nil {
+		return "", err
+	}
+	if err := core.RegisterTopology(topo); err != nil {
+		return "", err
+	}
+	return topo.Name, nil
 }
 
 // Compare evaluates several policies on one workload with shared profiling

@@ -18,29 +18,37 @@
 //
 // The tracker is keyed by dense page indices (core.PageTable interning —
 // passed here as raw uint32 to keep this package import-free) and stores
-// per-page state in one flat slice: the per-access path is a single array
-// index, no map operations, and no allocations once the footprint has been
-// seen. Page ids reappear only at Snapshot time, when the caller provides
-// the dense index→id mapping.
+// per-page state in flat slices: the per-access path is array indexing, no
+// map operations, and no allocations once the footprint has been seen. Tiers
+// are dense small integers too — the tracker supports any tier count
+// (NewTrackerN) with per-tier ACE totals in flat [tier][pageIndex] slices,
+// so the N-tier generalization costs the hot path nothing. Page ids reappear
+// only at Snapshot time, when the caller provides the dense index→id
+// mapping.
 package avf
 
 import (
 	"sort"
+	"strconv"
 
 	"hmem/internal/trace"
 )
 
-// Tier identifies one memory tier of the HMA.
+// Tier identifies one memory tier of the HMA by dense index. The index is
+// the position in the run's topology (core.Topology.Tiers); display names
+// come from the topology, with the two paper tiers below as the default.
 type Tier uint8
 
-// The two tiers of the paper's configuration.
+// The two tiers of the paper's default configuration.
 const (
 	TierDDR Tier = iota // off-package, high-reliability (ChipKill)
 	TierHBM             // on-package, high-bandwidth, low-reliability (SEC-DED)
 	numTiers
 )
 
-// String returns the tier's name.
+// String returns the tier's name: the paper's names for the default pair,
+// and a stable "tier<N>" for any other index (topology-aware callers should
+// prefer the topology's display names).
 func (t Tier) String() string {
 	switch t {
 	case TierDDR:
@@ -48,37 +56,51 @@ func (t Tier) String() string {
 	case TierHBM:
 		return "HBM"
 	default:
-		return "Tier(?)"
+		return "tier" + strconv.Itoa(int(t))
 	}
 }
 
 type pageState struct {
 	lastAccess [trace.LinesPerPage]int64
-	// tierBits records, per line, the tier the page was in at the line's
-	// last access (bit set = HBM).
-	tierBits uint64
+	// lineTier records, per line, the tier the page was in at the line's
+	// last access — the tier an interval ending at the next access to that
+	// line is charged to.
+	lineTier [trace.LinesPerPage]uint8
 	// touched marks lines that have been accessed at least once.
 	touched uint64
-	// ace accumulates ACE cycles per tier across all lines of the page.
-	ace [numTiers]int64
 	// reads/writes give per-page access counts for cross-checks.
 	reads, writes uint64
 }
 
 // Tracker accumulates ACE time for every page index it observes. The zero
-// value is not usable; construct with NewTracker. Not safe for concurrent
-// use.
+// value is not usable; construct with NewTracker (two tiers) or NewTrackerN.
+// Not safe for concurrent use.
 type Tracker struct {
-	pages    []pageState // indexed by dense page index
-	observed int         // entries with at least one access
+	pages []pageState // indexed by dense page index
+	// ace accumulates ACE cycles as flat [tier][pageIndex] slices — dense in
+	// the same index space as pages, so charging an interval is two array
+	// indexes regardless of tier count.
+	ace      [][]int64
+	observed int // entries with at least one access
 }
 
-// NewTracker returns an empty tracker.
+// NewTracker returns an empty tracker over the paper's two tiers.
 func NewTracker() *Tracker {
-	return &Tracker{}
+	return NewTrackerN(int(numTiers))
 }
 
-// ensure grows the state slice to cover index i.
+// NewTrackerN returns an empty tracker over tiers memory tiers.
+func NewTrackerN(tiers int) *Tracker {
+	if tiers < 1 || tiers > 256 {
+		panic("avf: tier count out of range")
+	}
+	return &Tracker{ace: make([][]int64, tiers)}
+}
+
+// NumTiers returns the tracker's tier count.
+func (t *Tracker) NumTiers() int { return len(t.ace) }
+
+// ensure grows the state slices to cover index i.
 func (t *Tracker) ensure(i int) {
 	if i < len(t.pages) {
 		return
@@ -93,15 +115,27 @@ func (t *Tracker) ensure(i int) {
 	pages := make([]pageState, n)
 	copy(pages, t.pages)
 	t.pages = pages
+	for tier := range t.ace {
+		ace := make([]int64, n)
+		copy(ace, t.ace[tier])
+		t.ace[tier] = ace
+	}
 }
 
 // Access records an access to line lineInPage (0..63) of the page interned
 // at dense index pi, at cycle `at`, residing in tier. Accesses to a line
-// must be fed in non-decreasing time order; the tracker panics on time
-// travel since that indicates a simulator bug upstream.
+// arrive in nearly non-decreasing time order; a timestamp earlier than the
+// line's last access is treated as concurrent with it (clamped to a
+// zero-length interval), because the simulator's per-core clocks can skew
+// by one record's gap plus stalls between picking a core and recording its
+// access, and the ordering of two cores' accesses within that skew is
+// arbitrary.
 func (t *Tracker) Access(pi uint32, lineInPage int, at int64, write bool, tier Tier) {
 	if lineInPage < 0 || lineInPage >= trace.LinesPerPage {
 		panic("avf: line index out of page")
+	}
+	if int(tier) >= len(t.ace) {
+		panic("avf: tier out of range for tracker")
 	}
 	i := int(pi)
 	if i >= len(t.pages) {
@@ -115,25 +149,17 @@ func (t *Tracker) Access(pi uint32, lineInPage int, at int64, write bool, tier T
 	if ps.touched&bit != 0 {
 		last := ps.lastAccess[lineInPage]
 		if at < last {
-			panic("avf: accesses out of time order")
+			at = last
 		}
 		if !write {
 			// Interval ends in a read: ACE, charged to the tier the page
 			// occupied when the interval started.
-			startTier := TierDDR
-			if ps.tierBits&bit != 0 {
-				startTier = TierHBM
-			}
-			ps.ace[startTier] += at - last
+			t.ace[ps.lineTier[lineInPage]][i] += at - last
 		}
 	}
 	ps.lastAccess[lineInPage] = at
+	ps.lineTier[lineInPage] = uint8(tier)
 	ps.touched |= bit
-	if tier == TierHBM {
-		ps.tierBits |= bit
-	} else {
-		ps.tierBits &^= bit
-	}
 	if write {
 		ps.writes++
 	} else {
@@ -156,41 +182,45 @@ func (t *Tracker) MigratePage(pi uint32, to Tier) {
 	if ps.touched == 0 {
 		return
 	}
-	if to == TierHBM {
-		ps.tierBits = ^uint64(0)
-	} else {
-		ps.tierBits = 0
+	for l := range ps.lineTier {
+		ps.lineTier[l] = uint8(to)
 	}
 }
 
 // PageAVF describes one page's vulnerability over a run of totalCycles.
 type PageAVF struct {
 	Page   uint64
-	AVF    float64           // whole-page AVF in [0,1]
-	ByTier [numTiers]float64 // tier-attributed AVF shares; sum == AVF
+	AVF    float64   // whole-page AVF in [0,1]
+	ByTier []float64 // tier-attributed AVF shares (by tier index); sum == AVF
 	Reads  uint64
 	Writes uint64
 }
 
 // Snapshot returns the per-page AVF over a run that lasted totalCycles,
 // ordered by page id (a deterministic order keeps downstream floating-point
-// aggregation bit-reproducible). ids is the dense index→page-id mapping
-// (core.PageTable.IDs); indices the tracker never saw an access for are
-// skipped. totalCycles must be positive.
+// aggregation bit-reproducible: per-page tier shares accumulate in ascending
+// tier index). ids is the dense index→page-id mapping (core.PageTable.IDs);
+// indices the tracker never saw an access for are skipped. totalCycles must
+// be positive.
 func (t *Tracker) Snapshot(totalCycles int64, ids []uint64) []PageAVF {
 	if totalCycles <= 0 {
 		panic("avf: Snapshot with non-positive duration")
 	}
 	denom := float64(trace.LinesPerPage) * float64(totalCycles)
+	tiers := len(t.ace)
 	out := make([]PageAVF, 0, t.observed)
+	// One backing array for every page's ByTier keeps the snapshot to O(1)
+	// allocations instead of one per page.
+	shares := make([]float64, t.observed*tiers)
 	for i := range t.pages {
 		ps := &t.pages[i]
 		if ps.touched == 0 {
 			continue
 		}
 		p := PageAVF{Page: ids[i], Reads: ps.reads, Writes: ps.writes}
-		for tier := Tier(0); tier < numTiers; tier++ {
-			p.ByTier[tier] = float64(ps.ace[tier]) / denom
+		p.ByTier, shares = shares[:tiers:tiers], shares[tiers:]
+		for tier := 0; tier < tiers; tier++ {
+			p.ByTier[tier] = float64(t.ace[tier][i]) / denom
 			p.AVF += p.ByTier[tier]
 		}
 		out = append(out, p)

@@ -169,15 +169,13 @@ func TestPanicsOnBadInput(t *testing.T) {
 		}()
 		NewTracker().Access(0, 64, 0, false, TierDDR)
 	})
-	t.Run("time travel", func(t *testing.T) {
-		tr := NewTracker()
-		tr.Access(0, 0, 100, true, TierDDR)
+	t.Run("bad tier", func(t *testing.T) {
 		defer func() {
 			if recover() == nil {
 				t.Fatal("expected panic")
 			}
 		}()
-		tr.Access(0, 0, 50, false, TierDDR)
+		NewTracker().Access(0, 0, 0, false, Tier(7))
 	})
 	t.Run("bad snapshot duration", func(t *testing.T) {
 		defer func() {
@@ -263,7 +261,7 @@ func TestTierString(t *testing.T) {
 	if TierDDR.String() != "DDR" || TierHBM.String() != "HBM" {
 		t.Fatal("tier names wrong")
 	}
-	if Tier(9).String() != "Tier(?)" {
+	if Tier(9).String() != "tier9" {
 		t.Fatal("unknown tier name wrong")
 	}
 }
@@ -293,5 +291,21 @@ func TestAccessZeroAllocsWhenWarm(t *testing.T) {
 	})
 	if allocs != 0 {
 		t.Fatalf("Access allocated %.1f times per access; want 0", allocs)
+	}
+}
+
+// TestSkewedAccessClamps pins the multi-core clock-skew contract: an access
+// reported earlier than the line's last access is treated as concurrent with
+// it — no panic, zero ACE charged for the inverted interval, and the line's
+// clock does not move backwards.
+func TestSkewedAccessClamps(t *testing.T) {
+	tr := NewTracker()
+	tr.Access(0, 0, 100, true, TierDDR)
+	tr.Access(0, 0, 90, false, TierDDR) // skewed read: clamped to cycle 100
+	tr.Access(0, 0, 160, false, TierDDR)
+	p := tr.Snapshot(160, identityIDs(1))[0]
+	want := 60.0 / (64.0 * 160) // only [100,160] is ACE
+	if math.Abs(p.AVF-want) > 1e-12 {
+		t.Fatalf("AVF = %v, want %v (skewed access must charge nothing)", p.AVF, want)
 	}
 }

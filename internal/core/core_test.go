@@ -358,9 +358,9 @@ func TestHardwareCostMatchesPaper(t *testing.T) {
 func TestSERModel(t *testing.T) {
 	m := SERModel{Fits: faultsim.TierFITs{DDRPerGB: 1, HBMPerGB: 100}}
 	snap := []avf.PageAVF{
-		{Page: 1, AVF: 0.5, ByTier: [2]float64{0.5, 0}},   // all DDR
-		{Page: 2, AVF: 0.5, ByTier: [2]float64{0, 0.5}},   // all HBM
-		{Page: 3, AVF: 0.4, ByTier: [2]float64{0.2, 0.2}}, // split
+		{Page: 1, AVF: 0.5, ByTier: []float64{0.5, 0}},   // all DDR
+		{Page: 2, AVF: 0.5, ByTier: []float64{0, 0.5}},   // all HBM
+		{Page: 3, AVF: 0.4, ByTier: []float64{0.2, 0.2}}, // split
 	}
 	got := m.SER(snap)
 	want := (1*0.5 + 100*0.5 + 1*0.2 + 100*0.2) * pageGB

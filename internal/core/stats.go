@@ -87,9 +87,22 @@ func MeanAVF(stats []PageStats) float64 {
 // SERModel scores placements: SER = Σ_pages FITunc(tier) × AVF-share(tier)
 // (Equation 2 with the FIT term specialized per tier by the fault study).
 // Absolute units are FIT-per-page-GB; only ratios are meaningful, matching
-// the paper's "relative to DDRx-only" reporting.
+// the paper's "relative to DDRx-only" reporting. The model iterates a
+// page's tier shares in ascending tier index — the same accumulation order
+// for any topology, so scores are bit-reproducible.
 type SERModel struct {
 	Fits faultsim.TierFITs
+	// Fast is the fast tier's index for static scoring (SERStatic); zero
+	// means the default topology's HBM tier (index 1).
+	Fast int
+}
+
+// fastTier returns the fast tier index, defaulting to the two-tier HBM.
+func (m SERModel) fastTier() int {
+	if m.Fast > 0 {
+		return m.Fast
+	}
+	return int(avf.TierHBM)
 }
 
 // pageGB is the capacity of one 4 KiB page in GB.
@@ -99,30 +112,34 @@ const pageGB = 4096.0 / (1 << 30)
 func (m SERModel) SER(snap []avf.PageAVF) float64 {
 	total := 0.0
 	for _, p := range snap {
-		total += m.Fits.DDRPerGB * p.ByTier[avf.TierDDR] * pageGB
-		total += m.Fits.HBMPerGB * p.ByTier[avf.TierHBM] * pageGB
+		for t := range p.ByTier {
+			total += m.Fits.Of(t) * p.ByTier[t] * pageGB
+		}
 	}
 	return total
 }
 
-// SERAllDDR scores the DDR-only baseline for the same snapshot: every
-// page's full AVF charged at the DDR tier's uncorrectable FIT.
+// SERAllDDR scores the slow-tier-only baseline for the same snapshot: every
+// page's full AVF charged at tier 0's uncorrectable FIT (DDR in the default
+// topology).
 func (m SERModel) SERAllDDR(snap []avf.PageAVF) float64 {
 	total := 0.0
 	for _, p := range snap {
-		total += m.Fits.DDRPerGB * p.AVF * pageGB
+		total += m.Fits.Of(0) * p.AVF * pageGB
 	}
 	return total
 }
 
-// SERStatic scores a static placement against profile stats: pages in HBM
-// (per inHBM) are charged at the HBM rate for their whole AVF.
+// SERStatic scores a static placement against profile stats: pages in the
+// fast tier (per inHBM) are charged at the fast tier's rate for their whole
+// AVF, everything else at tier 0's rate.
 func (m SERModel) SERStatic(stats []PageStats, inHBM map[uint64]bool) float64 {
+	base, fastFit := m.Fits.Of(0), m.Fits.Of(m.fastTier())
 	total := 0.0
 	for _, s := range stats {
-		fit := m.Fits.DDRPerGB
+		fit := base
 		if inHBM[s.Page] {
-			fit = m.Fits.HBMPerGB
+			fit = fastFit
 		}
 		total += fit * s.AVF * pageGB
 	}

@@ -1,0 +1,188 @@
+package core
+
+import (
+	"encoding/json"
+	"os"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+func TestDefaultTopologyMatchesHardwiredMachine(t *testing.T) {
+	topo := DefaultTopology(64)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != DefaultTopologyName || len(topo.Tiers) != 2 {
+		t.Fatalf("default topology shape: %+v", topo)
+	}
+	if topo.Tiers[0].Name != "DDR" || topo.Tiers[1].Name != "HBM" {
+		t.Fatalf("tier order: %s, %s (tier indices are load-bearing)", topo.Tiers[0].Name, topo.Tiers[1].Name)
+	}
+	if topo.FastTier != 1 {
+		t.Fatalf("fast tier = %d, want 1 (HBM)", topo.FastTier)
+	}
+	// DDR-only first-touch allocation: the pre-topology behavior.
+	if !reflect.DeepEqual(topo.AllocOrder, []int{0}) {
+		t.Fatalf("alloc order = %v, want [0]", topo.AllocOrder)
+	}
+	if topo.Tiers[0].FaultSeed != 0xD0D0 || topo.Tiers[1].FaultSeed != 0x4B1D {
+		t.Fatal("fault seeds drifted from the paper studies")
+	}
+	if got := topo.FastPages(); got != (1<<30)/64/4096 {
+		t.Fatalf("fast pages = %d", got)
+	}
+	if got := topo.TotalPages(); got != (17<<30)/64/4096 {
+		t.Fatalf("total pages = %d", got)
+	}
+}
+
+func TestDRAMNVMTopology(t *testing.T) {
+	topo := DRAMNVMTopology(64)
+	if err := topo.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Tiers) != 3 || topo.FastTier != 2 {
+		t.Fatalf("dram-nvm shape: %+v", topo)
+	}
+	if topo.Tiers[0].WriteBudget == 0 {
+		t.Fatal("NVM tier has no write budget")
+	}
+	if !reflect.DeepEqual(topo.AllocOrder, []int{1, 0}) {
+		t.Fatalf("alloc order = %v, want DRAM then NVM", topo.AllocOrder)
+	}
+}
+
+func TestTopologyValidateRejects(t *testing.T) {
+	cases := []struct {
+		name   string
+		mutate func(*Topology)
+		want   string
+	}{
+		{"no name", func(tp *Topology) { tp.Name = "" }, "needs a name"},
+		{"one tier", func(tp *Topology) { tp.Tiers = tp.Tiers[:1] }, "at least 2 tiers"},
+		{"unnamed tier", func(tp *Topology) { tp.Tiers[0].Name = "" }, "tier 0 needs a name"},
+		{"duplicate tier", func(tp *Topology) { tp.Tiers[1].Name = tp.Tiers[0].Name }, "duplicate tier name"},
+		{"bad mem", func(tp *Topology) { tp.Tiers[0].Mem.Channels = 0 }, "Channels"},
+		{"negative fit", func(tp *Topology) { tp.Tiers[0].FITPerGB = -1 }, "non-negative"},
+		{"fast tier range", func(tp *Topology) { tp.FastTier = 7 }, "FastTier 7 out of range"},
+		{"empty alloc order", func(tp *Topology) { tp.AllocOrder = nil }, "AllocOrder must not be empty"},
+		{"alloc range", func(tp *Topology) { tp.AllocOrder = []int{5} }, "out of range"},
+		{"alloc repeat", func(tp *Topology) { tp.AllocOrder = []int{0, 0} }, "repeats tier 0"},
+	}
+	for _, tc := range cases {
+		topo := DefaultTopology(64)
+		tc.mutate(topo)
+		err := topo.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: err = %v, want substring %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+func TestTopologyTierName(t *testing.T) {
+	topo := DefaultTopology(64)
+	if topo.TierName(1) != "HBM" {
+		t.Fatalf("TierName(1) = %q", topo.TierName(1))
+	}
+	if topo.TierName(9) != "tier9" || topo.TierName(-1) != "tier-1" {
+		t.Fatalf("fallback names: %q, %q", topo.TierName(9), topo.TierName(-1))
+	}
+}
+
+func TestTopologyRegistry(t *testing.T) {
+	if err := RegisterTopology(DefaultTopology(64)); err == nil {
+		t.Fatal("registered a built-in name")
+	}
+	custom := DRAMNVMTopology(64)
+	custom.Name = "registry-test"
+	if err := RegisterTopology(custom); err != nil {
+		t.Fatal(err)
+	}
+	got, err := TopologyByName("registry-test", 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != custom {
+		t.Fatal("registry returned a different topology")
+	}
+	names := TopologyNames()
+	if names[0] != DefaultTopologyName || names[1] != DRAMNVMTopologyName {
+		t.Fatalf("built-ins not first: %v", names)
+	}
+	found := false
+	for _, n := range names {
+		if n == "registry-test" {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("custom name missing from %v", names)
+	}
+	if _, err := TopologyByName("no-such-topology", 1); err == nil ||
+		!strings.Contains(err.Error(), "valid:") {
+		t.Fatalf("unknown-name error = %v", err)
+	}
+}
+
+// TestTopologyJSONRoundTrip pins the file format: the shipped example file
+// parses, validates, and survives a marshal/unmarshal round trip unchanged.
+func TestTopologyJSONRoundTrip(t *testing.T) {
+	data, err := os.ReadFile("../../examples/topologies/dram-nvm.json")
+	if err != nil {
+		t.Fatal(err)
+	}
+	topo, err := ParseTopology(data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Name != "dram-nvm-example" || len(topo.Tiers) != 3 {
+		t.Fatalf("example file shape: %s with %d tiers", topo.Name, len(topo.Tiers))
+	}
+	out, err := json.Marshal(topo)
+	if err != nil {
+		t.Fatal(err)
+	}
+	again, err := ParseTopology(out)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(topo, again) {
+		t.Fatal("round trip changed the topology")
+	}
+}
+
+// FuzzTopologyJSON checks that any byte string either fails ParseTopology or
+// yields a topology whose marshalled form round-trips to an equal value —
+// the invariant hmemd relies on when accepting topology files.
+func FuzzTopologyJSON(f *testing.F) {
+	if data, err := os.ReadFile("../../examples/topologies/dram-nvm.json"); err == nil {
+		f.Add(data)
+	}
+	for _, topo := range []*Topology{DefaultTopology(64), DRAMNVMTopology(64)} {
+		data, err := json.Marshal(topo)
+		if err != nil {
+			f.Fatal(err)
+		}
+		f.Add(data)
+	}
+	f.Add([]byte(`{"name":"x","tiers":[],"fast_tier":0}`))
+	f.Add([]byte(`{"name":"x","tiers":[{"name":"a"},{"name":"a"}]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		topo, err := ParseTopology(data)
+		if err != nil {
+			return
+		}
+		out, err := json.Marshal(topo)
+		if err != nil {
+			t.Fatalf("valid topology failed to marshal: %v", err)
+		}
+		again, err := ParseTopology(out)
+		if err != nil {
+			t.Fatalf("marshalled topology failed to re-parse: %v", err)
+		}
+		if !reflect.DeepEqual(topo, again) {
+			t.Fatalf("round trip changed topology:\n%+v\n%+v", topo, again)
+		}
+	})
+}

@@ -42,6 +42,7 @@ func (r *Runner) All() []Named {
 		{"hwcost", wrap(r.TableHardwareCost())},
 		{"ablation-cc", r.AblationCC},
 		{"extension-annotated-migration", r.ExtensionAnnotatedMigration},
+		{"extension-tiered-endurance", r.ExtensionTieredEndurance},
 	}
 }
 

@@ -20,7 +20,7 @@ func (r *Runner) annotationRun(ctx context.Context, spec workload.Spec) (sim.Res
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.HBM.Pages()))
+	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.FastPages()))
 
 	res, err := r.runs.DoCtx(ctx, "annotation/"+spec.Name, func() (sim.Result, error) {
 		suite, err := r.buildSuite(spec)

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"context"
 	"errors"
+	"reflect"
 	"strconv"
 	"strings"
 	"testing"
@@ -78,8 +79,8 @@ func TestRunnerDefaults(t *testing.T) {
 
 func TestByID(t *testing.T) {
 	r := mustRunner(t, Options{})
-	if len(r.All()) != 22 {
-		t.Fatalf("experiment count = %d, want 22", len(r.All()))
+	if len(r.All()) != 23 {
+		t.Fatalf("experiment count = %d, want 23", len(r.All()))
 	}
 	if _, ok := r.ByID("figure5"); !ok {
 		t.Fatal("figure5 missing")
@@ -100,7 +101,7 @@ func TestFitsPlausible(t *testing.T) {
 	}
 	// Memoized: second call is identical.
 	again, err := r.Fits(context.Background())
-	if err != nil || again != fits {
+	if err != nil || !reflect.DeepEqual(again, fits) {
 		t.Fatal("Fits not memoized")
 	}
 }

@@ -39,6 +39,12 @@ type Options struct {
 	MEAIntervalCycles int64
 	// Workloads restricts the evaluated set (nil = all 14).
 	Workloads []string
+	// Topology names the tier topology to simulate: "hbm-ddr" (the paper's
+	// default, also the value for ""), "dram-nvm" (the built-in three-tier
+	// scenario), or any topology registered via core.RegisterTopology.
+	// Built-ins honor ScaleDiv; registered topologies carry explicit
+	// capacities.
+	Topology string
 	// Parallel bounds the worker count for every fan-out: figure drivers
 	// sweeping workloads × policies, fault-study shards, and facade
 	// comparisons (non-positive = one worker per CPU). The worker count
@@ -76,6 +82,7 @@ func DefaultOptions() Options {
 type Runner struct {
 	opts  Options
 	cfg   sim.Config
+	topo  *core.Topology
 	specs []workload.Spec
 
 	fits     exec.Memo[struct{}, faultsim.TierFITs]
@@ -116,13 +123,23 @@ func NewRunner(opts Options) (*Runner, error) {
 		opts.MEAIntervalCycles = def.MEAIntervalCycles
 	}
 	opts.Parallel = exec.Workers(opts.Parallel)
+	if opts.Topology == "" {
+		opts.Topology = core.DefaultTopologyName
+	}
+	topo, err := core.TopologyByName(opts.Topology, opts.ScaleDiv)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %w", err)
+	}
 	specs, err := resolveWorkloads(opts.Workloads)
 	if err != nil {
 		return nil, err
 	}
+	cfg := sim.DefaultConfig(opts.ScaleDiv)
+	cfg.Topology = topo
 	return &Runner{
 		opts:  opts,
-		cfg:   sim.DefaultConfig(opts.ScaleDiv),
+		cfg:   cfg,
+		topo:  topo,
 		specs: specs,
 	}, nil
 }
@@ -156,6 +173,9 @@ func (r *Runner) Options() Options { return r.opts }
 // Config returns the scaled machine configuration.
 func (r *Runner) Config() sim.Config { return r.cfg }
 
+// Topology returns the runner's resolved tier topology.
+func (r *Runner) Topology() *core.Topology { return r.topo }
+
 // Workloads returns the evaluated workload specs (validated at NewRunner).
 func (r *Runner) Workloads() []workload.Spec {
 	return append([]workload.Spec(nil), r.specs...)
@@ -170,23 +190,45 @@ func mapSpecs[T any](ctx context.Context, r *Runner, specs []workload.Spec, fn f
 	})
 }
 
-// Fits runs (once) the FaultSim studies and returns both tiers'
-// uncorrectable FIT per GB. Concurrent callers share the one study.
+// Fits runs (once) the per-tier FaultSim studies and returns every tier's
+// uncorrectable FIT per GB, in topology tier order. Tiers carrying a fixed
+// FITPerGB skip their study. Concurrent callers share the one computation.
 func (r *Runner) Fits(ctx context.Context) (faultsim.TierFITs, error) {
 	return r.fits.DoCtx(ctx, struct{}{}, func() (faultsim.TierFITs, error) {
 		// Detach: keep the first requester's observability but not its
 		// cancellation — the result is shared with every other requester.
-		return faultsim.TierFITsCtx(obs.Detach(ctx), r.opts.FaultTrials, r.opts.Parallel)
+		runCtx := obs.Detach(ctx)
+		rates := faultsim.SridharanTransient()
+		per := make([]float64, len(r.topo.Tiers))
+		for i, td := range r.topo.Tiers {
+			if td.FITPerGB > 0 {
+				per[i] = td.FITPerGB
+				continue
+			}
+			study := faultsim.NewStudy(td.Org, rates, td.FaultSeed)
+			study.Workers = r.opts.Parallel
+			res, err := study.RunCtx(runCtx, r.opts.FaultTrials)
+			if err != nil {
+				return faultsim.TierFITs{}, err
+			}
+			per[i] = res.UncFITPerGB
+		}
+		return faultsim.TierFITs{
+			DDRPerGB: per[0],
+			HBMPerGB: per[r.topo.FastTier],
+			PerGB:    per,
+		}, nil
 	})
 }
 
-// SERModel returns the SER scorer backed by the fault study.
+// SERModel returns the SER scorer backed by the fault studies, with the
+// topology's fast tier installed for static scoring.
 func (r *Runner) SERModel(ctx context.Context) (core.SERModel, error) {
 	fits, err := r.Fits(ctx)
 	if err != nil {
 		return core.SERModel{}, err
 	}
-	return core.SERModel{Fits: fits}, nil
+	return core.SERModel{Fits: fits, Fast: r.topo.FastTier}, nil
 }
 
 // CacheStats aggregates the hit/miss counters of the runner's three memo
@@ -251,7 +293,7 @@ func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.
 		if err != nil {
 			return sim.Result{}, err
 		}
-		pages := policy.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+		pages := policy.Select(prof.Stats, int(r.cfg.FastPages()))
 		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err
@@ -281,7 +323,7 @@ func (r *Runner) RunDynamic(ctx context.Context, spec workload.Spec, mech string
 		if err != nil {
 			return sim.Result{}, err
 		}
-		pages := warm.Select(prof.Stats, int(r.cfg.HBM.Pages()))
+		pages := warm.Select(prof.Stats, int(r.cfg.FastPages()))
 		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return sim.Result{}, err

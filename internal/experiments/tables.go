@@ -6,6 +6,7 @@ import (
 	"fmt"
 
 	"hmem/internal/core"
+	"hmem/internal/ecc"
 	"hmem/internal/memsim"
 	"hmem/internal/report"
 	"hmem/internal/sim"
@@ -28,9 +29,34 @@ func (r *Runner) Table1() *report.Table {
 		t.AddRow(label, "bus bytes/beat", report.Int(c.BusBytesPerBeat))
 		t.AddRow(label, "peak bandwidth", report.F(c.PeakBandwidth(), 1)+" B/cycle")
 	}
-	add("HBM (SEC-DED)", r.cfg.HBM)
-	add("DDR3 (ChipKill)", r.cfg.DDR)
+	// Tier rows come from the topology: the fast tier first, then the rest
+	// in descending index — HBM then DDR3 for the paper's default machine.
+	add(tierLabel(r.topo.Tiers[r.topo.FastTier]), r.topo.Tiers[r.topo.FastTier].Mem)
+	for i := len(r.topo.Tiers) - 1; i >= 0; i-- {
+		if i == r.topo.FastTier {
+			continue
+		}
+		add(tierLabel(r.topo.Tiers[i]), r.topo.Tiers[i].Mem)
+	}
 	return t
+}
+
+// tierLabel renders a tier's table heading: the memsim config name plus the
+// ECC scheme protecting it ("HBM (SEC-DED)", "DDR3 (ChipKill)").
+func tierLabel(td core.TierDesc) string {
+	scheme := ""
+	switch td.Org.Scheme {
+	case ecc.SECDED:
+		scheme = "SEC-DED"
+	case ecc.ChipKillSSC:
+		scheme = "ChipKill"
+	default:
+		scheme = "no ECC"
+	}
+	if td.FITPerGB > 0 {
+		scheme = fmt.Sprintf("%.3g FIT/GB", td.FITPerGB)
+	}
+	return td.Mem.Name + " (" + scheme + ")"
 }
 
 // Table2 renders the Table 2 mix compositions.
@@ -181,8 +207,8 @@ func (r *Runner) TableHardwareCost() *report.Table {
 		report.Int(core.FCAdditionalCostBytes(fullTotal)), "extra vs perf-only tracking (4.25 MB)")
 	t.AddRow("Cross Counters", "paper scale (1 GB HBM)",
 		report.Int(core.CCCostBytes(fullHBM)), "512 KB risk + 100 KB MEA + 64 KB remap = 676 KB")
-	scaledTotal := int(r.cfg.HBM.Pages() + r.cfg.DDR.Pages())
-	scaledHBM := int(r.cfg.HBM.Pages())
+	scaledTotal := int(r.topo.TotalPages())
+	scaledHBM := int(r.topo.FastPages())
 	t.AddRow("Full Counters", "experiment scale",
 		report.Int(core.FCCostBytes(scaledTotal)), "")
 	t.AddRow("Cross Counters", "experiment scale",

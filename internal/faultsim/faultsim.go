@@ -155,6 +155,23 @@ func HBMSecDed() Organization {
 	}
 }
 
+// NVMDimm returns a PCM-class non-volatile organization for N-tier
+// topologies: SEC-DED words inside one chip (like the die-stacked case) but
+// with a reduced raw transient rate — non-volatile cells do not lose state
+// to particle strikes, so the residual transient faults live in the CMOS
+// periphery and sense circuits.
+func NVMDimm() Organization {
+	return Organization{
+		Name:   "NVM-SECDED",
+		Chips:  9, // 8 data + 1 check, inline SEC-DED
+		Scheme: ecc.SECDED,
+		Geom:   Geometry{Banks: 8, Rows: 65536, Cols: 2048, GBPerChip: 2.0},
+		// Storage-class cells are immune to the strike-induced bit flips
+		// behind the field-study rates; peripheral logic remains exposed.
+		RawFITMultiplier: 0.1,
+	}
+}
+
 // Validate reports configuration errors.
 func (o Organization) Validate() error {
 	switch {

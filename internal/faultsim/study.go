@@ -315,11 +315,34 @@ func logFactorial(k int) float64 {
 	return s
 }
 
-// TierFITs bundles the per-GB uncorrectable FIT of both tiers — the numbers
-// the SER model consumes.
+// TierFITs bundles the per-GB uncorrectable FIT of every tier — the numbers
+// the SER model consumes. The two-tier fields remain the primary interface
+// for the paper's default machine; PerGB carries the full per-tier vector
+// for N-tier topologies (index = tier id).
 type TierFITs struct {
 	DDRPerGB float64
 	HBMPerGB float64
+	// PerGB, when non-nil, holds the uncorrectable FIT per GB of every tier
+	// by dense tier index. Nil means the legacy two-tier pair above (tier 0
+	// = DDR, tier 1 = HBM).
+	PerGB []float64
+}
+
+// Of returns tier's uncorrectable FIT per GB, falling back to the two-tier
+// pair when no per-tier vector is present. Unknown tiers rate zero.
+func (t TierFITs) Of(tier int) float64 {
+	if tier >= 0 && tier < len(t.PerGB) {
+		return t.PerGB[tier]
+	}
+	if t.PerGB == nil {
+		switch tier {
+		case 0:
+			return t.DDRPerGB
+		case 1:
+			return t.HBMPerGB
+		}
+	}
+	return 0
 }
 
 // Ratio returns HBM/DDR per-GB uncorrectable FIT.

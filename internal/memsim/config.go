@@ -129,6 +129,36 @@ func DDR3(capacity uint64) Config {
 	}
 }
 
+// NVM returns a PCM-class non-volatile tier for N-tier topologies: a
+// DDR3-like channel interface with a much slower cell array — roughly 3x the
+// DRAM row-activation latency on reads, an order of magnitude longer write
+// recovery, and no refresh (non-volatile cells hold state without it). The
+// numbers follow the latency ratios commonly reported for first-generation
+// PCM parts; only the ratios matter at the simulator's level of detail.
+func NVM(capacity uint64) Config {
+	return Config{
+		Name:            "NVM",
+		CapacityBytes:   capacity,
+		Channels:        2,
+		RanksPerChannel: 1,
+		BanksPerRank:    8,
+		RowBytes:        4 * 1024,
+		BusBytesPerBeat: 8,
+		Timing: Timing{
+			TCK: 4,
+			TCL: 11, TCWL: 8,
+			// Array reads pay ~3x the DRAM ACT latency; writes (SET/RESET)
+			// dominate the cell's program time via TWR.
+			TRCD: 36, TRP: 11, TRAS: 53, TWR: 120,
+			TBL:  4,
+			TCCD: 4, TRRD: 5, TWTR: 30, TRTP: 6,
+			// Non-volatile: no refresh.
+			TREFI: 0, TRFC: 0,
+		},
+		QueueDepth: 32,
+	}
+}
+
 // HBM returns the Table 1 on-package configuration: HBM at a 500 MHz command
 // clock (DDR 1.0 GHz), 8 channels, 128-bit bus, 1 rank/channel, 8 banks/rank,
 // SEC-DED-class reliability. capacity overrides the 1 GiB paper capacity.

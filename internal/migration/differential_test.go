@@ -438,6 +438,85 @@ func diffRun(t *testing.T, recs [][]trace.Record, mig *decisionRecorder) sim.Res
 // TestDifferentialFlatVsMapBacked runs each mechanism on identical random
 // traces through the flat production path and the map-backed reference and
 // requires byte-identical decisions and final metrics.
+// diffRunTopo is diffRun over a three-tier topology: a small DRAM middle
+// tier that forces first touches to spill into the NVM capacity tier, with
+// the same 64-page fast HBM tier as the two-tier harness.
+func diffRunTopo(t *testing.T, recs [][]trace.Record, mig *decisionRecorder) sim.Result {
+	t.Helper()
+	cfg := sim.Config{
+		Topology: &core.Topology{
+			Name: "diff-3tier",
+			Tiers: []core.TierDesc{
+				{Name: "NVM", Mem: memsim.NVM(16 << 20), FITPerGB: 900, WriteBudget: 64},
+				{Name: "DRAM", Mem: memsim.DDR3(1 << 20), FITPerGB: 66},
+				{Name: "HBM", Mem: memsim.HBM(256 << 10), FITPerGB: 350},
+			},
+			FastTier:   2,
+			AllocOrder: []int{1, 0},
+		},
+		IssueWidth:     4,
+		MaxOutstanding: 8,
+	}
+	streams := make([]trace.Stream, len(recs))
+	for i, r := range recs {
+		streams[i] = trace.NewSliceStream(r)
+	}
+	res, err := sim.Run(cfg, streams, []uint64{0, 1, 2, 3}, true, mig)
+	if err != nil {
+		t.Fatalf("sim.Run: %v", err)
+	}
+	return res
+}
+
+// TestDifferentialThreeTier runs the same flat-vs-reference comparison over
+// the three-tier spill topology: the mechanisms only see fast-tier residency,
+// so their decisions must be identical to the map-backed reference there too.
+func TestDifferentialThreeTier(t *testing.T) {
+	cases := []struct {
+		name string
+		mkN  func() sim.Migrator
+		mkR  func() sim.Migrator
+	}{
+		{"full-counter", func() sim.Migrator { return NewFullCounter(20000) },
+			func() sim.Migrator { return &refFC{interval: 20000, counters: newRefCounters(8)} }},
+		{"cross-counter", func() sim.Migrator { return NewCrossCounter(5000, 4, 8) },
+			func() sim.Migrator { return newRefCC(5000, 4, 8) }},
+	}
+	for _, tc := range cases {
+		tc := tc
+		t.Run(tc.name, func(t *testing.T) {
+			recs := diffTrace(7, 2, 6000)
+			newRec := &decisionRecorder{m: tc.mkN()}
+			refRec := &decisionRecorder{m: tc.mkR()}
+			got := diffRunTopo(t, recs, newRec)
+			want := diffRunTopo(t, recs, refRec)
+
+			if len(newRec.decisions) != len(refRec.decisions) {
+				t.Fatalf("%d decisions vs reference %d", len(newRec.decisions), len(refRec.decisions))
+			}
+			for i := range newRec.decisions {
+				n, r := newRec.decisions[i], refRec.decisions[i]
+				if !reflect.DeepEqual(n.in, r.in) || !reflect.DeepEqual(n.out, r.out) {
+					t.Fatalf("decision %d diverges:\n flat in=%v out=%v\n  ref in=%v out=%v",
+						i, n.in, n.out, r.in, r.out)
+				}
+			}
+			if got.IPC != want.IPC || got.Cycles != want.Cycles {
+				t.Errorf("IPC/cycles diverge: %v/%d vs %v/%d", got.IPC, got.Cycles, want.IPC, want.Cycles)
+			}
+			if !reflect.DeepEqual(got.Snapshot, want.Snapshot) {
+				t.Errorf("AVF snapshots diverge (%d vs %d pages)", len(got.Snapshot), len(want.Snapshot))
+			}
+			if !reflect.DeepEqual(got.Endurance, want.Endurance) {
+				t.Errorf("endurance diverges: %+v vs %+v", got.Endurance, want.Endurance)
+			}
+			if len(got.Endurance) != 1 || got.Endurance[0].TotalWrites == 0 {
+				t.Errorf("three-tier run recorded no NVM wear: %+v", got.Endurance)
+			}
+		})
+	}
+}
+
 func TestDifferentialFlatVsMapBacked(t *testing.T) {
 	cases := []struct {
 		name string

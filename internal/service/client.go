@@ -187,6 +187,17 @@ func (c *Client) Experiments(ctx context.Context) ([]string, error) {
 	return out.Experiments, nil
 }
 
+// Topologies lists the memory topologies the server can simulate.
+func (c *Client) Topologies(ctx context.Context) ([]hmem.TopologySummary, error) {
+	var out struct {
+		Topologies []hmem.TopologySummary `json:"topologies"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/topologies", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Topologies, nil
+}
+
 // Evaluate runs one workload × policy on the server. Idempotent (the server
 // caches by request shape), so it retries on transient failures.
 func (c *Client) Evaluate(ctx context.Context, req EvaluateRequest) (hmem.Result, error) {

@@ -268,6 +268,7 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	mux.HandleFunc("GET /v1/policies", s.handlePolicies)
 	mux.HandleFunc("GET /v1/experiments", s.handleExperiments)
+	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
@@ -304,6 +305,9 @@ type OptionsPatch struct {
 	RecordsPerCore int    `json:"records_per_core,omitempty"`
 	Seed           uint64 `json:"seed,omitempty"`
 	FaultTrials    int    `json:"fault_trials,omitempty"`
+	// Topology selects the memory topology by name; GET /v1/topologies
+	// lists the choices. Empty keeps the server default (hbm-ddr).
+	Topology string `json:"topology,omitempty"`
 }
 
 func (p *OptionsPatch) apply(o hmem.Options) hmem.Options {
@@ -321,6 +325,9 @@ func (p *OptionsPatch) apply(o hmem.Options) hmem.Options {
 	}
 	if p.FaultTrials > 0 {
 		o.FaultTrials = p.FaultTrials
+	}
+	if p.Topology != "" {
+		o.Topology = p.Topology
 	}
 	return o
 }
@@ -439,6 +446,18 @@ func (s *Service) handleWorkloads(w http.ResponseWriter, _ *http.Request) {
 
 func (s *Service) handlePolicies(w http.ResponseWriter, _ *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"policies": hmem.Policies()})
+}
+
+// handleTopologies lists the selectable memory topologies (built-in plus any
+// registered from files at startup), with tier summaries at the server's
+// default capacity scale.
+func (s *Service) handleTopologies(w http.ResponseWriter, _ *http.Request) {
+	topos, err := hmem.DescribeTopologies(s.cfg.Defaults.ScaleDiv)
+	if err != nil {
+		writeError(w, http.StatusInternalServerError, err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]any{"topologies": topos})
 }
 
 func (s *Service) handleExperiments(w http.ResponseWriter, r *http.Request) {

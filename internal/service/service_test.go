@@ -8,6 +8,7 @@ import (
 	"io"
 	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"strings"
 	"sync"
 	"testing"
@@ -64,8 +65,8 @@ func TestListEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(experiments) != 22 {
-		t.Fatalf("experiments = %d, want 22", len(experiments))
+	if len(experiments) != 23 {
+		t.Fatalf("experiments = %d, want 23", len(experiments))
 	}
 	if err := c.Healthz(ctx); err != nil {
 		t.Fatal(err)
@@ -146,7 +147,7 @@ func TestConcurrentIdenticalEvaluatesShareOneSimulation(t *testing.T) {
 			t.Fatalf("request %d: %v", i, err)
 		}
 	}
-	if results[0] != results[1] {
+	if !reflect.DeepEqual(results[0], results[1]) {
 		t.Fatalf("concurrent identical requests disagree: %+v vs %+v", results[0], results[1])
 	}
 	stats := svc.ResultCacheStats()
@@ -431,5 +432,74 @@ func TestClientRetriesIdempotentCalls(t *testing.T) {
 	}
 	if calls != 1 {
 		t.Fatalf("400 retried: %d calls", calls)
+	}
+}
+
+// TestTopologiesEndpointAndThreeTierEvaluate covers the topology surface:
+// GET /v1/topologies lists both built-ins with their tier summaries, and an
+// evaluate with the dram-nvm topology returns a result carrying NVM
+// endurance counters while the default topology result omits them.
+func TestTopologiesEndpointAndThreeTierEvaluate(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs a simulation")
+	}
+	_, c := newTestServer(t, tinyConfig())
+	ctx := context.Background()
+
+	topos, err := c.Topologies(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	byName := map[string]hmem.TopologySummary{}
+	for _, tp := range topos {
+		byName[tp.Name] = tp
+	}
+	def, ok := byName["hbm-ddr"]
+	if !ok || len(def.Tiers) != 2 || def.FastTier != 1 {
+		t.Fatalf("hbm-ddr summary = %+v", def)
+	}
+	dn, ok := byName["dram-nvm"]
+	if !ok || len(dn.Tiers) != 3 || dn.FastTier != 2 {
+		t.Fatalf("dram-nvm summary = %+v", dn)
+	}
+	if dn.Tiers[0].WriteBudget == 0 {
+		t.Fatalf("dram-nvm NVM tier has no write budget: %+v", dn.Tiers[0])
+	}
+
+	res, err := c.Evaluate(ctx, EvaluateRequest{
+		Workload: "astar", Policy: hmem.PolicyCCMigration,
+		Options: &OptionsPatch{Topology: "dram-nvm"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Endurance) != 1 || res.Endurance[0].Name != "NVM" {
+		t.Fatalf("three-tier result endurance = %+v, want one NVM entry", res.Endurance)
+	}
+
+	// The default topology's wire format is unchanged: no endurance key.
+	plain, err := c.Evaluate(ctx, EvaluateRequest{Workload: "astar", Policy: hmem.PolicyDDROnly})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if plain.Endurance != nil {
+		t.Fatalf("default result carries endurance: %+v", plain.Endurance)
+	}
+	data, err := json.Marshal(plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(string(data), "endurance") {
+		t.Fatalf("default result encoding grew an endurance field: %s", data)
+	}
+
+	// Unknown topology names are a client error, not a server fault.
+	_, err = c.Evaluate(ctx, EvaluateRequest{
+		Workload: "astar", Policy: hmem.PolicyDDROnly,
+		Options: &OptionsPatch{Topology: "no-such"},
+	})
+	var apiErr *APIError
+	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusBadRequest {
+		t.Fatalf("unknown topology err = %v, want 400", err)
 	}
 }

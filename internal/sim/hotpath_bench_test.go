@@ -50,3 +50,38 @@ func BenchmarkPerAccessPath(b *testing.B) {
 		iv.observe(pi, write, tier == avf.TierHBM)
 	}
 }
+
+// BenchmarkPerAccessPathThreeTier is the same chain over a three-tier
+// topology with endurance accounting live: spilled placement, N-tier AVF
+// attribution, and the RecordWrite wear path. Gated alongside the two-tier
+// bench to keep the topology generalization honest.
+func BenchmarkPerAccessPathThreeTier(b *testing.B) {
+	p := NewTopologyPlacement(threeTierTopo(16384, 4096, 1024))
+	tracker := avf.NewTrackerN(p.NumTiers())
+	iv := newIntervalState()
+	fast := avf.Tier(p.FastTier())
+	const pages = 8192
+	var now int64
+	for pg := uint64(0); pg < pages; pg++ {
+		pi := p.Intern(pg)
+		tier, frame, _ := p.LookupIndex(pi)
+		now++
+		p.RecordWrite(tier, frame)
+		tracker.Access(uint32(pi), int(pg%64), now, false, tier)
+		iv.observe(pi, false, tier == fast)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		pg := uint64(i % pages)
+		pi := p.Intern(pg)
+		tier, frame, _ := p.LookupIndex(pi)
+		now++
+		write := i%3 == 0
+		if write {
+			p.RecordWrite(tier, frame)
+		}
+		tracker.Access(uint32(pi), int(pg%64), now, write, tier)
+		iv.observe(pi, write, tier == fast)
+	}
+}

@@ -1,5 +1,5 @@
 // Package sim is the full-system simulator: 16 trace-driven cores with an
-// analytic out-of-order model, the two-tier memory system from memsim, AVF
+// analytic out-of-order model, the tiered memory system from memsim, AVF
 // tracking, activity counters, and interval-driven migration hooks. It is
 // the stand-in for the paper's extended Ramulator (§3.1).
 package sim
@@ -16,48 +16,101 @@ import (
 // Per-page state flags in Placement.flags.
 const (
 	pagePlaced uint8 = 1 << iota // a frame has been assigned
-	pageHBM                      // resident in HBM (valid iff pagePlaced)
 	pagePinned                   // never migrates (annotation)
 )
 
-// Placement is the system page table: it maps global page ids to tier-local
-// frames, allocates frames on first touch (DDR by default), and performs
-// migrations. Pinned pages (program annotations, §7) never migrate.
+// Placement is the system page table over an N-tier topology: it maps global
+// page ids to (tier, frame), allocates frames on first touch following the
+// topology's allocation order (spilling to the next tier when one runs out
+// of frames), and performs migrations into and out of the fast tier. Pinned
+// pages (program annotations, §7) never migrate.
 //
 // Placement owns the run's core.PageTable: page ids are interned to dense
 // indices on first sight and all per-page state (tier, frame, pin) lives in
 // flat slices indexed by them, so the per-access LookupIndex path performs
 // no map operations and no allocations in steady state. The id-keyed
 // methods (Preplace, Migrate, InHBM, HBMPages, ...) remain the public
-// interval/driver API.
+// interval/driver API; the HBM-named methods answer for the fast tier.
+//
+// Tiers with a write budget get per-frame wear counters (RecordWrite); the
+// default topology has none, so the write path pays one boolean check.
 type Placement struct {
-	pt          *core.PageTable
-	hbmCapacity uint64
-	ddrCapacity uint64
-	flags       []uint8  // indexed by PageIndex
-	frame       []uint64 // indexed by PageIndex, valid iff pagePlaced
-	hbmFree     []uint64
-	ddrFree     []uint64
-	hbmResident int
-	migrations  uint64
+	pt *core.PageTable
+
+	// Static tier shape (from the topology).
+	names      []string
+	capacity   []uint64 // pages per tier
+	allocOrder []int
+	fast       int
+
+	// Per-page state, indexed by PageIndex.
+	flags []uint8
+	tier  []uint8  // valid iff pagePlaced
+	frame []uint64 // valid iff pagePlaced
+
+	// Per-tier state.
+	free     [][]uint64 // free frames, descending so frame 0 is used first
+	resident []int
+
+	// Endurance accounting: wear[t] is per-frame write counts, non-nil only
+	// for tiers with a budget; hasWear gates the whole path off for
+	// topologies without endurance-limited tiers.
+	hasWear bool
+	budget  []uint64
+	wear    [][]uint32
+
+	migrations uint64
 }
 
-// NewPlacement builds a page table over the two tiers' capacities in pages.
+// NewPlacement builds a page table over the paper's two tiers (tier 0 DDR,
+// tier 1 HBM) with the given capacities in pages — the pre-topology
+// constructor, kept as the two-tier fast path for direct sim users.
 func NewPlacement(hbmPages, ddrPages uint64) *Placement {
+	return newPlacement(
+		[]string{"DDR", "HBM"},
+		[]uint64{ddrPages, hbmPages},
+		[]uint64{0, 0},
+		[]int{0}, 1)
+}
+
+// NewTopologyPlacement builds a page table over a validated topology.
+func NewTopologyPlacement(topo *core.Topology) *Placement {
+	names := make([]string, len(topo.Tiers))
+	capacity := make([]uint64, len(topo.Tiers))
+	budget := make([]uint64, len(topo.Tiers))
+	for i, td := range topo.Tiers {
+		names[i] = td.Name
+		capacity[i] = td.Mem.Pages()
+		budget[i] = td.WriteBudget
+	}
+	order := append([]int(nil), topo.AllocOrder...)
+	return newPlacement(names, capacity, budget, order, topo.FastTier)
+}
+
+func newPlacement(names []string, capacity, budget []uint64, allocOrder []int, fast int) *Placement {
 	p := &Placement{
-		pt:          core.NewPageTable(),
-		hbmCapacity: hbmPages,
-		ddrCapacity: ddrPages,
+		pt:         core.NewPageTable(),
+		names:      names,
+		capacity:   capacity,
+		allocOrder: allocOrder,
+		fast:       fast,
+		free:       make([][]uint64, len(capacity)),
+		resident:   make([]int, len(capacity)),
+		budget:     budget,
+		wear:       make([][]uint32, len(capacity)),
 	}
-	// Free lists hand out frames in descending order so frame 0 is used
-	// first (pop from the tail).
-	p.hbmFree = make([]uint64, hbmPages)
-	for i := range p.hbmFree {
-		p.hbmFree[i] = hbmPages - 1 - uint64(i)
-	}
-	p.ddrFree = make([]uint64, ddrPages)
-	for i := range p.ddrFree {
-		p.ddrFree[i] = ddrPages - 1 - uint64(i)
+	for t, pages := range capacity {
+		// Free lists hand out frames in descending order so frame 0 is used
+		// first (pop from the tail).
+		fl := make([]uint64, pages)
+		for i := range fl {
+			fl[i] = pages - 1 - uint64(i)
+		}
+		p.free[t] = fl
+		if budget[t] > 0 {
+			p.wear[t] = make([]uint32, pages)
+			p.hasWear = true
+		}
 	}
 	return p
 }
@@ -66,6 +119,32 @@ func NewPlacement(hbmPages, ddrPages uint64) *Placement {
 // the AVF tracker, the interval tracker, and the migrator so every structure
 // indexes the same dense space.
 func (p *Placement) PageTable() *core.PageTable { return p.pt }
+
+// NumTiers returns the topology's tier count.
+func (p *Placement) NumTiers() int { return len(p.capacity) }
+
+// FastTier returns the fast (migration-target) tier index.
+func (p *Placement) FastTier() int { return p.fast }
+
+// AllocTiers returns the first-touch allocation order.
+func (p *Placement) AllocTiers() []int { return p.allocOrder }
+
+// TierName returns tier t's display name, with a stable "tier<N>" fallback.
+func (p *Placement) TierName(t int) string {
+	if t >= 0 && t < len(p.names) {
+		return p.names[t]
+	}
+	return fmt.Sprintf("tier%d", t)
+}
+
+// CapacityOf returns tier t's size in pages.
+func (p *Placement) CapacityOf(t int) uint64 { return p.capacity[t] }
+
+// FreeOf returns the number of unallocated frames in tier t.
+func (p *Placement) FreeOf(t int) int { return len(p.free[t]) }
+
+// ResidentOf returns the number of pages resident in tier t.
+func (p *Placement) ResidentOf(t int) int { return p.resident[t] }
 
 // ensure grows the per-index state to cover index i.
 func (p *Placement) ensure(i int) {
@@ -80,17 +159,20 @@ func (p *Placement) ensure(i int) {
 		n = 64
 	}
 	flags := make([]uint8, n)
+	tier := make([]uint8, n)
 	frame := make([]uint64, n)
 	copy(flags, p.flags)
+	copy(tier, p.tier)
 	copy(frame, p.frame)
-	p.flags, p.frame = flags, frame
+	p.flags, p.tier, p.frame = flags, tier, frame
 }
 
-// Preplace installs pages in HBM before the measured region begins — the
-// paper's warm-start ("we assume a good pre-measurement placement"). Pages
-// beyond capacity are rejected with an error. pin marks them immovable
+// Preplace installs pages in the fast tier before the measured region begins
+// — the paper's warm-start ("we assume a good pre-measurement placement").
+// Pages beyond capacity are rejected with an error. pin marks them immovable
 // (annotation-based placement).
 func (p *Placement) Preplace(pages []uint64, pin bool) error {
+	fast := p.fast
 	for _, page := range pages {
 		pi := p.pt.Intern(page)
 		i := int(pi)
@@ -98,17 +180,19 @@ func (p *Placement) Preplace(pages []uint64, pin bool) error {
 		if p.flags[i]&pagePlaced != 0 {
 			return fmt.Errorf("sim: page %d placed twice", page)
 		}
-		if len(p.hbmFree) == 0 {
-			return fmt.Errorf("sim: HBM capacity %d exceeded during preplacement", p.hbmCapacity)
+		fl := p.free[fast]
+		if len(fl) == 0 {
+			return fmt.Errorf("sim: %s capacity %d exceeded during preplacement", p.names[fast], p.capacity[fast])
 		}
-		frame := p.hbmFree[len(p.hbmFree)-1]
-		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
-		p.flags[i] = pagePlaced | pageHBM
+		frame := fl[len(fl)-1]
+		p.free[fast] = fl[:len(fl)-1]
+		p.flags[i] = pagePlaced
 		if pin {
 			p.flags[i] |= pagePinned
 		}
+		p.tier[i] = uint8(fast)
 		p.frame[i] = frame
-		p.hbmResident++
+		p.resident[fast]++
 	}
 	return nil
 }
@@ -121,17 +205,40 @@ func (p *Placement) Intern(page uint64) core.PageIndex {
 	return pi
 }
 
-// ErrDDRExhausted reports that a run's footprint outgrew the DDR tier — a
-// workload/configuration mismatch. It is returned (not panicked) so a
-// misconfigured request fails one evaluation, not the process hosting it.
+// ErrDDRExhausted reports that a run's footprint outgrew the allocation
+// tiers — a workload/configuration mismatch. It is returned (not panicked)
+// so a misconfigured request fails one evaluation, not the process hosting
+// it. Topology-aware callers can errors.As into *ErrTierExhausted for the
+// overflowing tier; errors.Is against this sentinel keeps working.
 var ErrDDRExhausted = errors.New("sim: DDR capacity exhausted")
 
+// ErrTierExhausted reports which tier ran out of frames on a first-touch
+// allocation after the whole allocation order was tried. It matches
+// ErrDDRExhausted under errors.Is — exhaustion of the allocation chain is
+// the same terminal condition the two-tier code signalled with the sentinel.
+type ErrTierExhausted struct {
+	Tier     int    // tier index of the last allocation candidate
+	Name     string // its display name
+	Capacity uint64 // its size in pages
+}
+
+// Error renders the same shape the two-tier sentinel path produced
+// ("sim: DDR capacity exhausted (N pages)" for the default topology).
+func (e *ErrTierExhausted) Error() string {
+	return fmt.Sprintf("sim: %s capacity exhausted (%d pages)", e.Name, e.Capacity)
+}
+
+// Is reports equivalence to the legacy ErrDDRExhausted sentinel.
+func (e *ErrTierExhausted) Is(target error) bool { return target == ErrDDRExhausted }
+
 // LookupIndex returns the tier and frame of the page interned at pi,
-// allocating a DDR frame on first touch. If DDR is out of frames it returns
-// an error wrapping ErrDDRExhausted — a configuration error, since
-// experiments size DDR to hold every footprint. The error path is cold; the
-// steady-state lookup stays allocation-free. The index must come from this
-// placement's Intern (or PageTable).
+// allocating a frame on first touch following the topology's allocation
+// order and spilling to the next tier when one is full. If every allocation
+// tier is out of frames it returns *ErrTierExhausted (matching
+// ErrDDRExhausted under errors.Is) — a configuration error, since
+// experiments size the allocation tiers to hold every footprint. The error
+// path is cold; the steady-state lookup stays allocation-free. The index
+// must come from this placement's Intern (or PageTable).
 func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64, error) {
 	i := int(pi)
 	if i >= len(p.flags) {
@@ -139,34 +246,53 @@ func (p *Placement) LookupIndex(pi core.PageIndex) (avf.Tier, uint64, error) {
 	}
 	f := p.flags[i]
 	if f&pagePlaced != 0 {
-		if f&pageHBM != 0 {
-			return avf.TierHBM, p.frame[i], nil
-		}
-		return avf.TierDDR, p.frame[i], nil
+		return avf.Tier(p.tier[i]), p.frame[i], nil
 	}
-	if len(p.ddrFree) == 0 {
-		return avf.TierDDR, 0, fmt.Errorf("%w (%d pages)", ErrDDRExhausted, p.ddrCapacity)
-	}
-	frame := p.ddrFree[len(p.ddrFree)-1]
-	p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
-	p.flags[i] = f | pagePlaced
-	p.frame[i] = frame
-	return avf.TierDDR, frame, nil
+	return p.allocate(i, f)
 }
 
-// Lookup returns a page's tier and frame by id, allocating a DDR frame on
-// first touch (see LookupIndex).
+// allocate performs the first-touch allocation for LookupIndex. It is kept
+// out of line so the warm lookup above stays small enough to inline.
+func (p *Placement) allocate(i int, f uint8) (avf.Tier, uint64, error) {
+	for _, t := range p.allocOrder {
+		fl := p.free[t]
+		if n := len(fl); n > 0 {
+			frame := fl[n-1]
+			p.free[t] = fl[:n-1]
+			p.flags[i] = f | pagePlaced
+			p.tier[i] = uint8(t)
+			p.frame[i] = frame
+			p.resident[t]++
+			return avf.Tier(t), frame, nil
+		}
+	}
+	last := p.allocOrder[len(p.allocOrder)-1]
+	return avf.Tier(last), 0, &ErrTierExhausted{Tier: last, Name: p.names[last], Capacity: p.capacity[last]}
+}
+
+// Lookup returns a page's tier and frame by id, allocating a frame on first
+// touch (see LookupIndex).
 func (p *Placement) Lookup(page uint64) (avf.Tier, uint64, error) {
 	return p.LookupIndex(p.Intern(page))
 }
 
-// InHBMIndex reports whether the page interned at pi resides in HBM.
-func (p *Placement) InHBMIndex(pi core.PageIndex) bool {
+// TierOfIndex returns the tier of the page interned at pi, if placed.
+func (p *Placement) TierOfIndex(pi core.PageIndex) (avf.Tier, bool) {
 	i := int(pi)
-	return i < len(p.flags) && p.flags[i]&(pagePlaced|pageHBM) == pagePlaced|pageHBM
+	if i >= len(p.flags) || p.flags[i]&pagePlaced == 0 {
+		return 0, false
+	}
+	return avf.Tier(p.tier[i]), true
 }
 
-// InHBM reports whether page currently resides in HBM.
+// InHBMIndex reports whether the page interned at pi resides in the fast
+// tier (HBM in the default topology).
+func (p *Placement) InHBMIndex(pi core.PageIndex) bool {
+	i := int(pi)
+	return i < len(p.flags) && p.flags[i]&pagePlaced != 0 && int(p.tier[i]) == p.fast
+}
+
+// InHBM reports whether page currently resides in the fast tier.
 func (p *Placement) InHBM(page uint64) bool {
 	pi, ok := p.pt.Find(page)
 	return ok && p.InHBMIndex(pi)
@@ -182,15 +308,15 @@ func (p *Placement) Pinned(page uint64) bool {
 	return i < len(p.flags) && p.flags[i]&pagePinned != 0
 }
 
-// HBMPages returns the HBM-resident pages in ascending order.
-func (p *Placement) HBMPages() []uint64 {
-	out := make([]uint64, 0, p.hbmResident)
+// TierPages returns tier t's resident pages in ascending page-id order.
+func (p *Placement) TierPages(t int) []uint64 {
+	out := make([]uint64, 0, p.resident[t])
 	ids := p.pt.IDs()
 	for i, f := range p.flags {
 		if i >= len(ids) {
 			break
 		}
-		if f&(pagePlaced|pageHBM) == pagePlaced|pageHBM {
+		if f&pagePlaced != 0 && int(p.tier[i]) == t {
 			out = append(out, ids[i])
 		}
 	}
@@ -198,23 +324,83 @@ func (p *Placement) HBMPages() []uint64 {
 	return out
 }
 
-// HBMFreePages returns the number of unallocated HBM frames.
-func (p *Placement) HBMFreePages() int { return len(p.hbmFree) }
+// HBMPages returns the fast tier's resident pages in ascending order.
+func (p *Placement) HBMPages() []uint64 { return p.TierPages(p.fast) }
 
-// HBMCapacity returns the HBM tier size in pages.
-func (p *Placement) HBMCapacity() uint64 { return p.hbmCapacity }
+// HBMFreePages returns the number of unallocated fast-tier frames.
+func (p *Placement) HBMFreePages() int { return len(p.free[p.fast]) }
+
+// HBMCapacity returns the fast tier's size in pages.
+func (p *Placement) HBMCapacity() uint64 { return p.capacity[p.fast] }
 
 // Migrations returns the total pages moved so far.
 func (p *Placement) Migrations() uint64 { return p.migrations }
 
-// Migrate applies a migration decision: out-pages leave HBM for DDR,
-// in-pages enter HBM from DDR. Pinned pages and requests that don't match
-// the page's current tier are skipped. If HBM lacks room for every in-page
-// after the out-pages leave, the surplus in-pages are dropped (the hardware
-// would do the same: swaps are paired). It returns the number of pages
-// actually moved.
+// RecordWrite charges one demand write against tier t's frame for endurance
+// accounting. It is a no-op (one boolean check) for topologies without a
+// write budget anywhere, keeping the default hot path untouched.
+func (p *Placement) RecordWrite(t avf.Tier, frame uint64) {
+	if !p.hasWear {
+		return
+	}
+	p.noteWear(int(t), frame)
+}
+
+func (p *Placement) noteWear(t int, frame uint64) {
+	w := p.wear[t]
+	if w == nil || frame >= uint64(len(w)) {
+		return
+	}
+	w[frame]++
+}
+
+// TierEndurance summarizes one endurance-limited tier's wear at the end of
+// a run. Only tiers with a write budget report.
+type TierEndurance struct {
+	Tier            int    `json:"tier"`
+	Name            string `json:"name"`
+	WriteBudget     uint64 `json:"write_budget"`
+	TotalWrites     uint64 `json:"total_writes"`
+	MaxFrameWrites  uint64 `json:"max_frame_writes"`
+	ExhaustedFrames uint64 `json:"exhausted_frames"` // frames at or past the budget
+}
+
+// Endurance reports per-tier wear for every write-budgeted tier, in tier
+// order. Nil when the topology has no endurance-limited tier.
+func (p *Placement) Endurance() []TierEndurance {
+	if !p.hasWear {
+		return nil
+	}
+	var out []TierEndurance
+	for t, w := range p.wear {
+		if w == nil {
+			continue
+		}
+		e := TierEndurance{Tier: t, Name: p.names[t], WriteBudget: p.budget[t]}
+		for _, n := range w {
+			e.TotalWrites += uint64(n)
+			if uint64(n) > e.MaxFrameWrites {
+				e.MaxFrameWrites = uint64(n)
+			}
+			if uint64(n) >= p.budget[t] {
+				e.ExhaustedFrames++
+			}
+		}
+		out = append(out, e)
+	}
+	return out
+}
+
+// Migrate applies a migration decision: out-pages leave the fast tier for
+// the first allocation tier with room, in-pages enter the fast tier from
+// wherever they reside. Pinned pages and requests that don't match the
+// page's current tier are skipped. If the fast tier lacks room for every
+// in-page after the out-pages leave, the surplus in-pages are dropped (the
+// hardware would do the same: swaps are paired). It returns the number of
+// pages actually moved.
 func (p *Placement) Migrate(in, out []uint64) int {
 	moved := 0
+	fast := p.fast
 	for _, page := range out {
 		pi, ok := p.pt.Find(page)
 		if !ok {
@@ -225,18 +411,30 @@ func (p *Placement) Migrate(in, out []uint64) int {
 			continue
 		}
 		f := p.flags[i]
-		if f&(pagePlaced|pageHBM) != pagePlaced|pageHBM || f&pagePinned != 0 {
+		if f&pagePlaced == 0 || int(p.tier[i]) != fast || f&pagePinned != 0 {
 			continue
 		}
-		if len(p.ddrFree) == 0 {
+		dst := -1
+		for _, t := range p.allocOrder {
+			if t != fast && len(p.free[t]) > 0 {
+				dst = t
+				break
+			}
+		}
+		if dst < 0 {
 			break
 		}
-		p.hbmFree = append(p.hbmFree, p.frame[i])
-		frame := p.ddrFree[len(p.ddrFree)-1]
-		p.ddrFree = p.ddrFree[:len(p.ddrFree)-1]
-		p.flags[i] = f &^ pageHBM
+		p.free[fast] = append(p.free[fast], p.frame[i])
+		fl := p.free[dst]
+		frame := fl[len(fl)-1]
+		p.free[dst] = fl[:len(fl)-1]
+		p.tier[i] = uint8(dst)
 		p.frame[i] = frame
-		p.hbmResident--
+		p.resident[fast]--
+		p.resident[dst]++
+		if p.hasWear {
+			p.noteWear(dst, frame) // the transfer writes the destination frame
+		}
 		moved++
 	}
 	for _, page := range in {
@@ -249,18 +447,24 @@ func (p *Placement) Migrate(in, out []uint64) int {
 			continue
 		}
 		f := p.flags[i]
-		if f&pagePlaced == 0 || f&pageHBM != 0 || f&pagePinned != 0 {
+		if f&pagePlaced == 0 || int(p.tier[i]) == fast || f&pagePinned != 0 {
 			continue
 		}
-		if len(p.hbmFree) == 0 {
+		fl := p.free[fast]
+		if len(fl) == 0 {
 			break
 		}
-		p.ddrFree = append(p.ddrFree, p.frame[i])
-		frame := p.hbmFree[len(p.hbmFree)-1]
-		p.hbmFree = p.hbmFree[:len(p.hbmFree)-1]
-		p.flags[i] = f | pageHBM
+		src := int(p.tier[i])
+		p.free[src] = append(p.free[src], p.frame[i])
+		frame := fl[len(fl)-1]
+		p.free[fast] = fl[:len(fl)-1]
+		p.tier[i] = uint8(fast)
 		p.frame[i] = frame
-		p.hbmResident++
+		p.resident[src]--
+		p.resident[fast]++
+		if p.hasWear {
+			p.noteWear(fast, frame)
+		}
 		moved++
 	}
 	p.migrations += uint64(moved)

@@ -39,7 +39,13 @@ type Migrator interface {
 // Config parameterizes a run.
 type Config struct {
 	// HBM and DDR are the tier configurations (Table 1, possibly scaled).
+	// They are ignored when Topology is set.
 	HBM, DDR memsim.Config
+	// Topology, when non-nil, replaces the HBM/DDR pair with an N-tier
+	// machine: tier timings, capacities, allocation order, and the fast
+	// (migration-target) tier all come from the topology. Nil keeps the
+	// paper's two-tier default (tier 0 = DDR, tier 1 = HBM).
+	Topology *core.Topology
 	// IssueWidth is the non-memory IPC ceiling (Table 1: 4-wide).
 	IssueWidth int
 	// MaxOutstanding bounds in-flight reads per core, approximating the
@@ -79,11 +85,17 @@ func DefaultConfig(scaleDiv int) Config {
 
 // Validate reports configuration errors.
 func (c Config) Validate() error {
-	if err := c.HBM.Validate(); err != nil {
-		return err
-	}
-	if err := c.DDR.Validate(); err != nil {
-		return err
+	if c.Topology != nil {
+		if err := c.Topology.Validate(); err != nil {
+			return err
+		}
+	} else {
+		if err := c.HBM.Validate(); err != nil {
+			return err
+		}
+		if err := c.DDR.Validate(); err != nil {
+			return err
+		}
 	}
 	if c.IssueWidth <= 0 {
 		return fmt.Errorf("sim: IssueWidth must be positive")
@@ -92,6 +104,28 @@ func (c Config) Validate() error {
 		return fmt.Errorf("sim: MaxOutstanding must be positive")
 	}
 	return nil
+}
+
+// tierConfigs returns the per-tier memsim configurations in tier order plus
+// the fast-tier index — [DDR, HBM] and 1 when no topology is installed.
+func (c Config) tierConfigs() ([]memsim.Config, int) {
+	if c.Topology != nil {
+		out := make([]memsim.Config, len(c.Topology.Tiers))
+		for i, td := range c.Topology.Tiers {
+			out[i] = td.Mem
+		}
+		return out, c.Topology.FastTier
+	}
+	return []memsim.Config{c.DDR, c.HBM}, 1
+}
+
+// FastPages returns the fast (migration-target) tier's capacity in pages —
+// the budget placement policies select against.
+func (c Config) FastPages() uint64 {
+	if c.Topology != nil {
+		return c.Topology.FastPages()
+	}
+	return c.HBM.Pages()
 }
 
 // IntervalSample is one measurement-interval snapshot (taken at migration
@@ -129,12 +163,18 @@ type Result struct {
 	// PagesMigrated counts migrated pages; MigrationPauses the stalls paid.
 	PagesMigrated   uint64
 	MigrationPauses int64
-	// HBMStats and DDRStats expose the memory controllers' counters.
+	// HBMStats and DDRStats expose the fast tier's and tier 0's memory
+	// controller counters (the two tiers of the default topology);
+	// TierStats carries every tier's counters in tier order.
 	HBMStats, DDRStats memsim.Stats
+	TierStats          []memsim.Stats
 	// Reads and Writes count memory requests issued.
 	Reads, Writes uint64
-	// HBMAccessFraction is the share of requests served by HBM.
+	// HBMAccessFraction is the share of requests served by the fast tier.
 	HBMAccessFraction float64
+	// Endurance summarizes per-frame wear for write-budgeted tiers (nil for
+	// topologies without endurance accounting, including the default).
+	Endurance []TierEndurance
 	// CoreIPC is the per-core IPC vector (instructions of core i over the
 	// run's wall-clock).
 	CoreIPC []float64
@@ -255,14 +295,23 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 		}()
 	}
 
-	hbm := memsim.New(cfg.HBM)
-	ddr := memsim.New(cfg.DDR)
-	placement := NewPlacement(cfg.HBM.Pages(), cfg.DDR.Pages())
+	tierCfgs, fast := cfg.tierConfigs()
+	mems := make([]*memsim.Memory, len(tierCfgs))
+	for i, tc := range tierCfgs {
+		mems[i] = memsim.New(tc)
+	}
+	fastTier := avf.Tier(fast)
+	var placement *Placement
+	if cfg.Topology != nil {
+		placement = NewTopologyPlacement(cfg.Topology)
+	} else {
+		placement = NewPlacement(cfg.HBM.Pages(), cfg.DDR.Pages())
+	}
 	if err := placement.Preplace(initialHBM, pin); err != nil {
 		return Result{}, err
 	}
 	pt := placement.PageTable()
-	tracker := avf.NewTracker()
+	tracker := avf.NewTrackerN(len(tierCfgs))
 
 	cores := make([]*coreState, len(streams))
 	for i, s := range streams {
@@ -306,7 +355,7 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 		// has, so the decision uses a consistent global state.
 		if mig != nil && c.time >= nextInterval {
 			in, out := mig.Decide(nextInterval, placement)
-			moved := applyMigration(cores, hbm, ddr, placement, tracker, in, out, concurrent, cfg.MigrationCostDiv, &res)
+			moved := applyMigration(cores, mems, placement, tracker, in, out, concurrent, cfg.MigrationCostDiv, &res)
 			sample := iv.sample(nextInterval, moved)
 			res.Intervals = append(res.Intervals, sample)
 			if metrics.epochs != nil {
@@ -351,19 +400,15 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 
 		tracker.Access(uint32(pi), lineInPage, c.time, write, tier)
 		if mig != nil {
-			mig.OnAccess(pi, write, tier == avf.TierHBM)
-			iv.observe(pi, write, tier == avf.TierHBM)
+			mig.OnAccess(pi, write, tier == fastTier)
+			iv.observe(pi, write, tier == fastTier)
 		}
 
 		req := c.getRequest(frame*trace.LinesPerPage+uint64(lineInPage), write, c.time)
-		var mem *memsim.Memory
-		if tier == avf.TierHBM {
-			mem = hbm
-		} else {
-			mem = ddr
-		}
+		mem := mems[tier]
 		mem.Enqueue(req)
 		if write {
+			placement.RecordWrite(tier, frame)
 			c.writeRing = append(c.writeRing, req)
 			res.Writes++
 			if cfg.WriteBufferCycles > 0 {
@@ -382,19 +427,13 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 				oldTier := c.outTier[0]
 				c.outstanding = c.outstanding[1:]
 				c.outTier = c.outTier[1:]
-				var m *memsim.Memory
-				if oldTier == avf.TierHBM {
-					m = hbm
-				} else {
-					m = ddr
-				}
-				if fin := m.Complete(oldest); fin > c.time {
+				if fin := mems[oldTier].Complete(oldest); fin > c.time {
 					c.time = fin
 				}
 				c.reqFree = append(c.reqFree, oldest)
 			}
 		}
-		if tier == avf.TierHBM {
+		if tier == fastTier {
 			res.HBMAccessFraction++ // accumulate count; normalized below
 		}
 	}
@@ -402,19 +441,14 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 	// Drain: every core waits for its remaining reads.
 	for _, c := range cores {
 		for i, req := range c.outstanding {
-			var m *memsim.Memory
-			if c.outTier[i] == avf.TierHBM {
-				m = hbm
-			} else {
-				m = ddr
-			}
-			if fin := m.Complete(req); fin > c.time {
+			if fin := mems[c.outTier[i]].Complete(req); fin > c.time {
 				c.time = fin
 			}
 		}
 	}
-	hbm.Drain()
-	ddr.Drain()
+	for _, m := range mems {
+		m.Drain()
+	}
 
 	var last int64 = 1
 	for _, c := range cores {
@@ -431,8 +465,13 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 	}
 	res.Snapshot = tracker.Snapshot(last, pt.IDs())
 	res.PagesMigrated = placement.Migrations()
-	res.HBMStats = hbm.Stats()
-	res.DDRStats = ddr.Stats()
+	res.TierStats = make([]memsim.Stats, len(mems))
+	for i, m := range mems {
+		res.TierStats[i] = m.Stats()
+	}
+	res.HBMStats = res.TierStats[fast]
+	res.DDRStats = res.TierStats[0]
+	res.Endurance = placement.Endurance()
 	if total := res.Reads + res.Writes; total > 0 {
 		res.HBMAccessFraction /= float64(total)
 	}
@@ -450,11 +489,13 @@ func RunCtx(ctx context.Context, cfg Config, streams []trace.Stream, initialHBM 
 }
 
 // applyMigration executes a migration decision. OS-assisted mechanisms
-// stall every core for the transfer time of the slower tier (§6.1: "the
-// cost of migrating a page ... is governed by the slowest memory in the
-// system"); concurrent hardware mechanisms skip the stall but still inject
-// the transfer traffic into both memory systems.
-func applyMigration(cores []*coreState, hbm, ddr *memsim.Memory, placement *Placement,
+// stall every core for the transfer time of the slowest participating tier
+// (§6.1: "the cost of migrating a page ... is governed by the slowest
+// memory in the system"); concurrent hardware mechanisms skip the stall but
+// still inject the transfer traffic into the participating memory systems.
+// Participants are the fast tier plus the allocation chain — both tiers of
+// the default topology.
+func applyMigration(cores []*coreState, mems []*memsim.Memory, placement *Placement,
 	tracker *avf.Tracker, in, out []uint64, concurrent bool, costDiv int, res *Result) int {
 	// Migrate filters pinned/mismatched entries and reports actual moves.
 	moved := placement.Migrate(in, out)
@@ -462,25 +503,38 @@ func applyMigration(cores []*coreState, hbm, ddr *memsim.Memory, placement *Plac
 		return 0
 	}
 	pt := placement.PageTable()
+	fastIdx := placement.FastTier()
+	fast := avf.Tier(fastIdx)
 	for _, page := range in {
 		if pi, ok := pt.Find(page); ok && placement.InHBMIndex(pi) {
-			tracker.MigratePage(uint32(pi), avf.TierHBM)
+			tracker.MigratePage(uint32(pi), fast)
 		}
 	}
 	for _, page := range out {
-		if pi, ok := pt.Find(page); ok && !placement.InHBMIndex(pi) {
-			tracker.MigratePage(uint32(pi), avf.TierDDR)
+		if pi, ok := pt.Find(page); ok {
+			if t, placed := placement.TierOfIndex(pi); placed && t != fast {
+				tracker.MigratePage(uint32(pi), t)
+			}
 		}
 	}
-	pause := ddr.BulkTransferCycles(moved)
-	if h := hbm.BulkTransferCycles(moved); h > pause {
-		pause = h
+	pause := mems[fastIdx].BulkTransferCycles(moved)
+	for _, t := range placement.AllocTiers() {
+		if t == fastIdx {
+			continue
+		}
+		if b := mems[t].BulkTransferCycles(moved); b > pause {
+			pause = b
+		}
 	}
 	if costDiv > 1 {
 		pause /= int64(costDiv)
 	}
-	hbm.RecordBulkTransfer(moved, pause)
-	ddr.RecordBulkTransfer(moved, pause)
+	mems[fastIdx].RecordBulkTransfer(moved, pause)
+	for _, t := range placement.AllocTiers() {
+		if t != fastIdx {
+			mems[t].RecordBulkTransfer(moved, pause)
+		}
+	}
 	if concurrent {
 		return moved
 	}
@@ -496,8 +550,9 @@ func applyMigration(cores []*coreState, hbm, ddr *memsim.Memory, placement *Plac
 			c.time = resume
 		}
 	}
-	hbm.AdvanceTo(resume)
-	ddr.AdvanceTo(resume)
+	for _, m := range mems {
+		m.AdvanceTo(resume)
+	}
 	res.MigrationPauses += pause
 	return moved
 }
