@@ -8,6 +8,17 @@
 //	hmemd                                  # listen on :8080, default options
 //	hmemd -addr 127.0.0.1:9090 -records 8000 -workers 2
 //
+// Clustering (-role): a coordinator shards expensive work — experiment
+// grids and fault-study Monte-Carlo strata — across registered workers by
+// consistent hashing, retrying shards from dead or straggling workers
+// elsewhere; results merge deterministically, so cluster output is
+// byte-identical to standalone at any worker count. Workers self-register
+// and heartbeat:
+//
+//	hmemd -role coordinator -addr :8080
+//	hmemd -role worker -addr :8081 -coordinator http://127.0.0.1:8080
+//	hmemd -role worker -addr :8082 -coordinator http://127.0.0.1:8080
+//
 // Endpoints:
 //
 //	GET  /v1/workloads    GET  /v1/policies    GET  /v1/experiments
@@ -15,6 +26,9 @@
 //	POST /v1/evaluate     POST /v1/compare
 //	POST /v1/jobs         GET  /v1/jobs        GET /v1/jobs/{id}[?watch=1]
 //	GET  /healthz         GET  /metrics        GET /v1/jobs/{id}/trace
+//	POST /v1/cluster/register    POST /v1/cluster/deregister
+//	GET  /v1/cluster/workers     POST /v1/cluster/shard
+//	GET  /v1/cluster/cache/{key}
 //
 // -debug-addr starts a SECOND listener (keep it private — bind localhost)
 // serving net/http/pprof under /debug/pprof/ plus a /debug/runtime JSON
@@ -33,10 +47,12 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"hmem"
+	"hmem/internal/cluster"
 	"hmem/internal/obs"
 	"hmem/internal/service"
 )
@@ -52,13 +68,21 @@ func main() {
 		queueDepth   = flag.Int("queue-depth", 0, "async job queue bound (0 = default 16)")
 		jobWorkers   = flag.Int("job-workers", 1, "goroutines draining the job queue")
 		maxBody      = flag.Int64("max-body-bytes", 0, "request body limit (0 = default 1 MiB)")
-		drainTimeout = flag.Duration("drain-timeout", 2*time.Minute, "max time to drain jobs on shutdown")
+		drainTimeout = flag.Duration("drain-timeout", 30*time.Second, "max time to drain jobs on shutdown")
 		journalDir   = flag.String("journal-dir", "", "directory for the durable job journal (empty = jobs do not survive restarts)")
 		debugAddr    = flag.String("debug-addr", "", "listen address for pprof + /debug/runtime (empty = disabled; bind localhost, it is unauthenticated)")
 		traceLog     = flag.String("trace-log", "", "append tracing spans as NDJSON to this file (empty = ring buffer only)")
 		traceBuffer  = flag.Int("trace-buffer", 0, "spans kept in memory for GET /v1/jobs/{id}/trace (0 = default 4096)")
 		topology     = flag.String("topology", "", "default memory topology by name (empty = hbm-ddr; see GET /v1/topologies)")
 		topologyFile = flag.String("topology-file", "", "register a custom topology from a JSON file; it becomes the default unless -topology is set")
+
+		role        = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+		coordinator = flag.String("coordinator", "", "coordinator base URL a worker registers with (required for -role worker)")
+		advertise   = flag.String("advertise", "", "URL the coordinator should reach this worker at (default http://127.0.0.1:<port of -addr>)")
+		workerID    = flag.String("worker-id", "", "stable worker identity in the placement ring (default <hostname>:<port>)")
+		heartbeat   = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = a third of the coordinator's TTL)")
+		clusterTTL  = flag.Duration("cluster-ttl", 0, "coordinator: drop workers silent for this long (0 = 10s)")
+		stealAfter  = flag.Duration("steal-after", 0, "coordinator: duplicate a shard on another worker after this long without an answer (0 = 2m)")
 	)
 	flag.Parse()
 
@@ -91,6 +115,15 @@ func main() {
 		JobWorkers:   *jobWorkers,
 		JournalDir:   *journalDir,
 		TraceBuffer:  *traceBuffer,
+		Role:         *role,
+		Cluster: service.ClusterConfig{
+			TTL:        *clusterTTL,
+			StealAfter: *stealAfter,
+			Logf:       log.Printf,
+		},
+	}
+	if *role == "worker" && *coordinator == "" {
+		log.Fatal("hmemd: -role worker requires -coordinator")
 	}
 	if *traceLog != "" {
 		f, err := os.OpenFile(*traceLog, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
@@ -144,6 +177,30 @@ func main() {
 		}()
 	}
 
+	// A worker announces itself to the coordinator and keeps heartbeating;
+	// registration is idempotent (a heartbeat IS a re-registration), so a
+	// restarted coordinator re-learns its fleet within one interval.
+	var stopHeartbeat context.CancelFunc
+	var heartbeatDone chan struct{}
+	if *role == "worker" {
+		id := *workerID
+		if id == "" {
+			host, _ := os.Hostname()
+			if host == "" {
+				host = "worker"
+			}
+			id = host + *addr
+		}
+		selfURL := *advertise
+		if selfURL == "" {
+			selfURL = "http://127.0.0.1" + ensurePort(*addr)
+		}
+		hbCtx, cancel := context.WithCancel(context.Background())
+		stopHeartbeat = cancel
+		heartbeatDone = make(chan struct{})
+		go heartbeatLoop(hbCtx, heartbeatDone, svc, &service.Client{BaseURL: *coordinator}, id, selfURL, *heartbeat)
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 
@@ -156,6 +213,12 @@ func main() {
 
 	ctx, cancel := context.WithTimeout(context.Background(), *drainTimeout)
 	defer cancel()
+	if stopHeartbeat != nil {
+		// Leave the ring first so the coordinator stops placing new shards
+		// here while we drain the ones in flight.
+		stopHeartbeat()
+		<-heartbeatDone
+	}
 	// Drain order matters: stop the job queue first (new submissions 503),
 	// then let the HTTP server finish in-flight requests — including
 	// watchers streaming those draining jobs.
@@ -169,4 +232,61 @@ func main() {
 		os.Exit(1)
 	}
 	log.Printf("hmemd: drained cleanly")
+}
+
+// ensurePort turns a listen address like ":8081" into a dialable host:port
+// suffix (addresses already carrying a host pass through).
+func ensurePort(addr string) string {
+	if strings.HasPrefix(addr, ":") {
+		return addr
+	}
+	if i := strings.LastIndex(addr, ":"); i >= 0 {
+		return addr[i:]
+	}
+	return ":" + addr
+}
+
+// heartbeatLoop registers the worker, then re-registers every interval until
+// ctx is cancelled, deregistering on the way out (clean drain; a crash is
+// instead collected by the coordinator's TTL sweep).
+func heartbeatLoop(ctx context.Context, done chan<- struct{}, svc *service.Service, c *service.Client, id, selfURL string, interval time.Duration) {
+	defer close(done)
+	register := func() time.Duration {
+		callCtx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		defer cancel()
+		ttl, err := c.ClusterRegister(callCtx, cluster.RegisterRequest{ID: id, URL: selfURL, Load: svc.ClusterLoad()})
+		if err != nil {
+			if ctx.Err() == nil {
+				log.Printf("hmemd: cluster registration failed (will retry): %v", err)
+			}
+			return 0
+		}
+		return ttl
+	}
+	ttl := register()
+	if ttl > 0 {
+		log.Printf("hmemd: registered with coordinator as %q (ttl %s)", id, ttl)
+	}
+	every := interval
+	if every <= 0 {
+		if ttl <= 0 {
+			ttl = cluster.DefaultTTL
+		}
+		every = ttl / 3
+	}
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			depCtx, cancel := context.WithTimeout(context.Background(), 5*time.Second)
+			defer cancel()
+			if err := c.ClusterDeregister(depCtx, id); err != nil {
+				log.Printf("hmemd: deregistration failed (coordinator TTL will collect us): %v", err)
+			}
+			return
+		case <-t.C:
+			register()
+		}
+	}
 }

@@ -33,7 +33,7 @@ func main() {
 			log.Fatal(err)
 		}
 		capacity := int(runner.Config().FastPages())
-		anns, pins := annotate.Select(prof.Suite.Structures, prof.Stats, capacity)
+		anns, pins := annotate.Select(prof.Structures, prof.Stats, capacity)
 
 		fmt.Printf("== %s: %d structures to annotate (%d pages pinned of %d HBM pages) ==\n",
 			name, annotate.Count(anns), len(pins), capacity)

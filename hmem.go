@@ -40,6 +40,7 @@ import (
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/experiments"
+	"hmem/internal/faultsim"
 	"hmem/internal/migration"
 	"hmem/internal/obs"
 	"hmem/internal/report"
@@ -358,3 +359,24 @@ func (e *Engine) RunExperiment(ctx context.Context, id string) (*report.Table, e
 // CacheStats reports the shared runner's memo hit/miss counters: how much
 // simulation work requests have shared so far.
 func (e *Engine) CacheStats() exec.MemoStats { return e.r.CacheStats() }
+
+// SetDelegate installs a distribution delegate on the shared runner: every
+// memoized building block (profiles, policy runs, fault-study shards) is
+// offered to it before local computation. The hmemd coordinator uses this to
+// fan work out to registered cluster workers; experiments.ErrNotDelegated
+// falls back to local execution, so an engine with an idle delegate behaves
+// exactly like a standalone one.
+func (e *Engine) SetDelegate(d experiments.Delegate) { e.r.SetDelegate(d) }
+
+// ExecuteBlock runs one building block locally by its wire key — the worker
+// side of cluster execution. Results flow through the engine's memo caches,
+// so repeated shards are served without recomputation.
+func (e *Engine) ExecuteBlock(ctx context.Context, key experiments.BlockKey) (*experiments.BlockPayload, error) {
+	return e.r.ExecuteBlock(ctx, key)
+}
+
+// RunStudyShard executes one fault-study Monte-Carlo shard for a topology
+// tier — the worker side of distributed fault studies.
+func (e *Engine) RunStudyShard(tier int, job faultsim.ShardJob) (faultsim.ShardTally, error) {
+	return e.r.RunStudyShard(tier, job)
+}

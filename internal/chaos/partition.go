@@ -1,0 +1,77 @@
+package chaos
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"sync"
+	"sync/atomic"
+)
+
+// Partition is a client-side network partition: requests to blocked hosts
+// fail with a transport error (as a real partition looks to net/http) while
+// everything else passes through. Unlike the Injector's request-indexed
+// faults it is addressed by host and togglable at runtime, which is what
+// cluster chaos tests need — cut a worker off mid-shard, watch the
+// coordinator re-place its work, then heal the link.
+//
+// Wire it in as an http.RoundTripper (e.g. service.ClusterConfig.Transport).
+// Safe for concurrent use.
+type Partition struct {
+	rt http.RoundTripper
+
+	mu      sync.Mutex
+	blocked map[string]struct{}
+
+	dropped atomic.Uint64
+}
+
+// NewPartition wraps rt (nil = http.DefaultTransport) with no hosts blocked.
+func NewPartition(rt http.RoundTripper) *Partition {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &Partition{rt: rt, blocked: make(map[string]struct{})}
+}
+
+// Block cuts connectivity to the given hosts ("host:port" as it appears in
+// request URLs) until Heal.
+func (p *Partition) Block(hosts ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	for _, h := range hosts {
+		p.blocked[h] = struct{}{}
+	}
+}
+
+// Heal restores connectivity to the given hosts (no hosts = heal all).
+func (p *Partition) Heal(hosts ...string) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if len(hosts) == 0 {
+		clear(p.blocked)
+		return
+	}
+	for _, h := range hosts {
+		delete(p.blocked, h)
+	}
+}
+
+// Dropped counts requests refused while their host was blocked.
+func (p *Partition) Dropped() uint64 { return p.dropped.Load() }
+
+// RoundTrip implements http.RoundTripper.
+func (p *Partition) RoundTrip(req *http.Request) (*http.Response, error) {
+	p.mu.Lock()
+	_, cut := p.blocked[req.URL.Host]
+	p.mu.Unlock()
+	if !cut {
+		return p.rt.RoundTrip(req)
+	}
+	p.dropped.Add(1)
+	if req.Body != nil {
+		io.Copy(io.Discard, req.Body)
+		req.Body.Close()
+	}
+	return nil, fmt.Errorf("%w: partitioned from %s", ErrInjected, req.URL.Host)
+}

@@ -1,0 +1,56 @@
+package chaos
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"testing"
+)
+
+func TestPartitionBlocksAndHeals(t *testing.T) {
+	srv := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		io.WriteString(w, "ok")
+	}))
+	defer srv.Close()
+	host := srv.Listener.Addr().String()
+
+	p := NewPartition(nil)
+	client := &http.Client{Transport: p}
+
+	get := func() error {
+		resp, err := client.Get(srv.URL)
+		if err == nil {
+			resp.Body.Close()
+		}
+		return err
+	}
+
+	if err := get(); err != nil {
+		t.Fatalf("unpartitioned request failed: %v", err)
+	}
+	p.Block(host)
+	err := get()
+	if err == nil {
+		t.Fatal("partitioned request succeeded")
+	}
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("partition error should wrap ErrInjected, got %v", err)
+	}
+	p.Block("other:1") // unrelated hosts do not interfere
+	if err := get(); err == nil {
+		t.Fatal("still partitioned, request succeeded")
+	}
+	p.Heal(host)
+	if err := get(); err != nil {
+		t.Fatalf("healed request failed: %v", err)
+	}
+	p.Block(host)
+	p.Heal() // heal-all
+	if err := get(); err != nil {
+		t.Fatalf("heal-all request failed: %v", err)
+	}
+	if got := p.Dropped(); got != 2 {
+		t.Fatalf("Dropped = %d, want 2", got)
+	}
+}

@@ -1,0 +1,96 @@
+package cluster
+
+import (
+	"context"
+	"sync"
+	"sync/atomic"
+)
+
+// Cache is a singleflight cache of shard result payloads. It differs from
+// exec.Memo in one deliberate way: only successes are cached. A shard's
+// value is a pure function of its descriptor, but a *dispatch* can fail for
+// transient reasons (dead worker, partition, drain) — caching that error
+// would poison the key forever, so failures are shared with concurrent
+// waiters and then forgotten, letting the next requester try again.
+type Cache struct {
+	mu       sync.Mutex
+	inflight map[string]*cacheCall
+	done     map[string][]byte
+
+	hits, misses atomic.Uint64
+}
+
+type cacheCall struct {
+	ch  chan struct{}
+	val []byte
+	err error
+}
+
+// Do returns the cached payload for key, computing it with fn on a miss.
+// Requester semantics match exec.Memo: a caller waiting on someone else's
+// in-flight computation stops waiting on ctx cancellation, but the
+// computation itself runs to completion (fn must not observe ctx).
+func (c *Cache) Do(ctx context.Context, key string, fn func() ([]byte, error)) ([]byte, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	if v, ok := c.done[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		return v, nil
+	}
+	if call, ok := c.inflight[key]; ok {
+		c.mu.Unlock()
+		c.hits.Add(1)
+		select {
+		case <-call.ch:
+			return call.val, call.err
+		case <-ctx.Done():
+			return nil, ctx.Err()
+		}
+	}
+	call := &cacheCall{ch: make(chan struct{})}
+	if c.inflight == nil {
+		c.inflight = make(map[string]*cacheCall)
+	}
+	c.inflight[key] = call
+	c.mu.Unlock()
+	c.misses.Add(1)
+
+	call.val, call.err = fn()
+
+	c.mu.Lock()
+	delete(c.inflight, key)
+	if call.err == nil {
+		if c.done == nil {
+			c.done = make(map[string][]byte)
+		}
+		c.done[key] = call.val
+	}
+	c.mu.Unlock()
+	close(call.ch)
+	return call.val, call.err
+}
+
+// Peek returns the completed payload for key without computing anything —
+// the peer-cache lookup path.
+func (c *Cache) Peek(key string) ([]byte, bool) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	v, ok := c.done[key]
+	return v, ok
+}
+
+// Len returns the number of completed entries.
+func (c *Cache) Len() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.done)
+}
+
+// Stats returns the hit/miss counters (a hit includes joining an in-flight
+// computation).
+func (c *Cache) Stats() (hits, misses uint64) {
+	return c.hits.Load(), c.misses.Load()
+}

@@ -1,0 +1,149 @@
+package cluster
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+// TestRingDistributionBalance: for 3-16 workers, hashing a large key
+// population must load every worker within a reasonable factor of fair
+// share — the property that makes consistent hashing usable as a placement
+// policy at the cluster sizes this repo targets.
+func TestRingDistributionBalance(t *testing.T) {
+	const keys = 20000
+	for workers := 3; workers <= 16; workers++ {
+		r := NewRing(0)
+		for i := 0; i < workers; i++ {
+			r.Add(fmt.Sprintf("worker-%d", i))
+		}
+		counts := make(map[string]int)
+		for k := 0; k < keys; k++ {
+			owner, ok := r.Owner(fmt.Sprintf("shard-key-%d", k))
+			if !ok {
+				t.Fatalf("workers=%d: no owner for key %d", workers, k)
+			}
+			counts[owner]++
+		}
+		if len(counts) != workers {
+			t.Errorf("workers=%d: only %d workers ever own a key", workers, len(counts))
+		}
+		fair := float64(keys) / float64(workers)
+		for w, c := range counts {
+			ratio := float64(c) / fair
+			// 128 vnodes bound imbalance well below 2x in practice; the
+			// assertion leaves slack so the test pins the property, not the
+			// hash function's exact spread.
+			if ratio < 0.5 || ratio > 1.75 {
+				t.Errorf("workers=%d: %s owns %d keys (%.2fx fair share)", workers, w, c, ratio)
+			}
+		}
+	}
+}
+
+// TestRingMinimalReshuffleOnJoinLeave (testing/quick): adding one worker to
+// an n-worker ring may only move keys TO the new worker (never shuffle keys
+// between existing ones), and removing it must restore the original
+// placement exactly. The moved fraction must be near 1/(n+1).
+func TestRingMinimalReshuffleOnJoinLeave(t *testing.T) {
+	const keys = 4000
+	prop := func(seed uint16, nWorkers uint8) bool {
+		n := 3 + int(nWorkers)%14 // 3..16
+		r := NewRing(0)
+		for i := 0; i < n; i++ {
+			r.Add(fmt.Sprintf("w%d-%d", seed, i))
+		}
+		before := make([]string, keys)
+		for k := range before {
+			before[k], _ = r.Owner(fmt.Sprintf("key-%d-%d", seed, k))
+		}
+		joined := fmt.Sprintf("w%d-new", seed)
+		r.Add(joined)
+		moved := 0
+		for k := range before {
+			now, _ := r.Owner(fmt.Sprintf("key-%d-%d", seed, k))
+			if now != before[k] {
+				if now != joined {
+					t.Logf("key %d moved between pre-existing workers: %s -> %s", k, before[k], now)
+					return false
+				}
+				moved++
+			}
+		}
+		frac := float64(moved) / float64(keys)
+		want := 1.0 / float64(n+1)
+		if math.Abs(frac-want) > 0.6*want+0.02 {
+			t.Logf("n=%d: moved fraction %.3f, want ~%.3f", n, frac, want)
+			return false
+		}
+		r.Remove(joined)
+		for k := range before {
+			if now, _ := r.Owner(fmt.Sprintf("key-%d-%d", seed, k)); now != before[k] {
+				t.Logf("key %d not restored after leave: %s != %s", k, now, before[k])
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 12}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestRingDeterministicAcrossInsertionOrder: ring placement is a pure
+// function of the member set — the coordinator's placement cannot depend on
+// the order workers happened to register.
+func TestRingDeterministicAcrossInsertionOrder(t *testing.T) {
+	a, b := NewRing(0), NewRing(0)
+	for _, w := range []string{"w1", "w2", "w3", "w4"} {
+		a.Add(w)
+	}
+	for _, w := range []string{"w4", "w2", "w1", "w3"} {
+		b.Add(w)
+	}
+	for k := 0; k < 1000; k++ {
+		key := fmt.Sprintf("key-%d", k)
+		oa, _ := a.Owner(key)
+		ob, _ := b.Owner(key)
+		if oa != ob {
+			t.Fatalf("key %q: owner %s vs %s depending on insertion order", key, oa, ob)
+		}
+	}
+}
+
+// TestRingOwners: the failover walk yields distinct nodes, owner first,
+// capped at membership.
+func TestRingOwners(t *testing.T) {
+	r := NewRing(0)
+	if got := r.Owners("k", 3); got != nil {
+		t.Errorf("empty ring Owners = %v, want nil", got)
+	}
+	r.Add("a")
+	r.Add("b")
+	r.Add("c")
+	owners := r.Owners("some-key", 5)
+	if len(owners) != 3 {
+		t.Fatalf("Owners cap: got %d, want 3", len(owners))
+	}
+	seen := map[string]bool{}
+	for _, o := range owners {
+		if seen[o] {
+			t.Errorf("duplicate owner %s", o)
+		}
+		seen[o] = true
+	}
+	first, ok := r.Owner("some-key")
+	if !ok || first != owners[0] {
+		t.Errorf("Owner = %s/%v, want %s", first, ok, owners[0])
+	}
+	r.Remove("a")
+	r.Remove("b")
+	r.Remove("c")
+	if r.Len() != 0 {
+		t.Errorf("Len after removing all = %d", r.Len())
+	}
+	if _, ok := r.Owner("some-key"); ok {
+		t.Error("Owner on emptied ring should report false")
+	}
+}

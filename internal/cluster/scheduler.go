@@ -1,0 +1,325 @@
+package cluster
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"sync/atomic"
+	"time"
+
+	"hmem/internal/exec"
+	"hmem/internal/obs"
+)
+
+// ErrNoWorkers reports that a shard could not be placed: the registry is
+// empty, or every candidate failed at the transport level. The caller (the
+// service's cluster delegate) falls back to local computation — a coordinator
+// alone is still a correct, if slower, hmemd.
+var ErrNoWorkers = errors.New("cluster: no live workers to place shard on")
+
+// WorkerError is an application-level failure returned by a worker: the
+// shard was delivered and the computation itself failed. Shards are
+// deterministic, so the same failure would reproduce on every node — the
+// scheduler propagates it instead of burning the remaining candidates.
+type WorkerError struct {
+	Status  int
+	Message string
+}
+
+func (e *WorkerError) Error() string {
+	return fmt.Sprintf("cluster: worker HTTP %d: %s", e.Status, e.Message)
+}
+
+// retryableStatus reports worker responses worth trying elsewhere: 429/503
+// are load shedding or drain, not verdicts about the shard.
+func retryableStatus(code int) bool {
+	return code == http.StatusTooManyRequests || code == http.StatusServiceUnavailable
+}
+
+// Scheduler places shards on registered workers and collects their results.
+// Placement is consistent-hash by shard key (repeat shards land on the node
+// whose memo already holds the result); failures retry on the next ring
+// candidate; stragglers are raced against a duplicate dispatch
+// (work-stealing) — all safe because shard results are pure functions of
+// their descriptors. Results are cached success-only, so one transient
+// outage never poisons a key. Safe for concurrent use.
+type Scheduler struct {
+	// Registry supplies live workers and ring placement.
+	Registry *Registry
+	// Client is the HTTP client for worker calls (wrap its Transport with
+	// chaos.RoundTripper or Partition to inject faults). Nil uses a default
+	// client with no overall timeout — per-call contexts bound each request.
+	Client *http.Client
+	// MaxAttempts bounds the distinct workers tried per shard (<=0 means 3),
+	// mirroring the journal's bounded attempt counting so a poison shard
+	// cannot ricochet around the cluster forever.
+	MaxAttempts int
+	// StealAfter launches a duplicate dispatch on the next ring candidate
+	// when the owner has not answered within this duration (0 disables
+	// stealing). First success wins; the loser's result is discarded.
+	StealAfter time.Duration
+	// RequestTimeout bounds one shard POST (<=0 means 10 minutes —
+	// simulations are slow, wedged workers are not).
+	RequestTimeout time.Duration
+	// PeerTimeout bounds one peer-cache GET (<=0 means 2 seconds).
+	PeerTimeout time.Duration
+	// Logf, when set, receives placement decisions worth an operator's
+	// attention (retries, steals, fallbacks).
+	Logf func(format string, args ...any)
+
+	cache Cache
+
+	placed, retries, steals, peerHits atomic.Uint64
+}
+
+func (s *Scheduler) maxAttempts() int {
+	if s.MaxAttempts > 0 {
+		return s.MaxAttempts
+	}
+	return 3
+}
+
+func (s *Scheduler) client() *http.Client {
+	if s.Client != nil {
+		return s.Client
+	}
+	return http.DefaultClient
+}
+
+func (s *Scheduler) requestTimeout() time.Duration {
+	if s.RequestTimeout > 0 {
+		return s.RequestTimeout
+	}
+	return 10 * time.Minute
+}
+
+func (s *Scheduler) peerTimeout() time.Duration {
+	if s.PeerTimeout > 0 {
+		return s.PeerTimeout
+	}
+	return 2 * time.Second
+}
+
+func (s *Scheduler) logf(format string, args ...any) {
+	if s.Logf != nil {
+		s.Logf(format, args...)
+	}
+}
+
+// Peek exposes the scheduler's completed-shard cache, so a coordinator also
+// answers peer-cache lookups.
+func (s *Scheduler) Peek(key string) ([]byte, bool) { return s.cache.Peek(key) }
+
+// Run places one shard and returns its raw result payload. Concurrent calls
+// for the same shard share one dispatch; a completed shard is served from
+// cache without touching the network.
+func (s *Scheduler) Run(ctx context.Context, sh Shard) ([]byte, error) {
+	if err := sh.Validate(); err != nil {
+		return nil, err
+	}
+	key := sh.Key()
+	return s.cache.Do(ctx, key, func() ([]byte, error) {
+		// Detach: the dispatch outcome is shared with every requester of the
+		// key, so it must not record one caller's cancellation. Observability
+		// (spans, progress) rides along.
+		return s.dispatch(obs.Detach(ctx), sh, key)
+	})
+}
+
+// RunAll places shards on at most workers concurrent dispatches and returns
+// payloads in shard order — the deterministic merge the cluster's
+// byte-identity rests on.
+func (s *Scheduler) RunAll(ctx context.Context, workers int, shards []Shard) ([][]byte, error) {
+	return exec.Map(ctx, workers, len(shards), func(i int) ([]byte, error) {
+		return s.Run(ctx, shards[i])
+	})
+}
+
+// dispatch drives one shard to completion: peer-cache scan, then placement
+// on the ring owner with bounded retry-on-another-worker and optional
+// work-stealing.
+func (s *Scheduler) dispatch(ctx context.Context, sh Shard, key string) ([]byte, error) {
+	if obs.Enabled(ctx) {
+		var sp *obs.Span
+		ctx, sp = obs.Start(ctx, "cluster.shard",
+			obs.Str("key", key), obs.Str("shard", sh.String()))
+		defer sp.End()
+	}
+	cands := s.Registry.Owners(key, s.maxAttempts())
+	if len(cands) == 0 {
+		return nil, ErrNoWorkers
+	}
+	if b, ok := s.peerLookup(ctx, key); ok {
+		return b, nil
+	}
+
+	type outcome struct {
+		body []byte
+		err  error
+		from Worker
+	}
+	ch := make(chan outcome, len(cands))
+	launch := func(w Worker) {
+		s.placed.Add(1)
+		go func() {
+			body, err := s.post(ctx, w, sh)
+			ch <- outcome{body: body, err: err, from: w}
+		}()
+	}
+	launch(cands[0])
+	inflight, next := 1, 1
+	var stealT <-chan time.Time
+	if s.StealAfter > 0 && next < len(cands) {
+		stealT = time.After(s.StealAfter)
+	}
+	var lastErr error
+	for inflight > 0 {
+		select {
+		case out := <-ch:
+			inflight--
+			if out.err == nil {
+				return out.body, nil
+			}
+			var werr *WorkerError
+			if errors.As(out.err, &werr) && !retryableStatus(werr.Status) {
+				// Deterministic application failure: same everywhere.
+				return nil, out.err
+			}
+			lastErr = out.err
+			if next < len(cands) {
+				s.retries.Add(1)
+				s.logf("cluster: shard %s failed on %s (%v), retrying on %s",
+					key, out.from.ID, out.err, cands[next].ID)
+				launch(cands[next])
+				inflight++
+				next++
+			}
+		case <-stealT:
+			stealT = nil
+			if next < len(cands) {
+				s.steals.Add(1)
+				s.logf("cluster: shard %s straggling on %s, stealing onto %s",
+					key, cands[0].ID, cands[next].ID)
+				launch(cands[next])
+				inflight++
+				next++
+			}
+		}
+	}
+	return nil, fmt.Errorf("%w (tried %d; last: %v)", ErrNoWorkers, next, lastErr)
+}
+
+// peerLookup scans live workers for an already-memoized result before any
+// recompute: ring candidates first (most likely holders), then the rest in
+// ID order. Misses are cheap 404s; a hit skips a whole simulation.
+func (s *Scheduler) peerLookup(ctx context.Context, key string) ([]byte, bool) {
+	seen := make(map[string]struct{})
+	scan := append(s.Registry.Owners(key, s.maxAttempts()), s.Registry.Snapshot()...)
+	for _, w := range scan {
+		if _, dup := seen[w.ID]; dup {
+			continue
+		}
+		seen[w.ID] = struct{}{}
+		cctx, cancel := context.WithTimeout(ctx, s.peerTimeout())
+		body, err := s.get(cctx, w.URL+"/v1/cluster/cache/"+key)
+		cancel()
+		if err == nil {
+			s.peerHits.Add(1)
+			return body, true
+		}
+	}
+	return nil, false
+}
+
+// post delivers a shard to one worker and returns the raw result payload.
+func (s *Scheduler) post(ctx context.Context, w Worker, sh Shard) ([]byte, error) {
+	buf, err := json.Marshal(sh)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: encoding shard: %w", err)
+	}
+	cctx, cancel := context.WithTimeout(ctx, s.requestTimeout())
+	defer cancel()
+	req, err := http.NewRequestWithContext(cctx, http.MethodPost,
+		strings.TrimRight(w.URL, "/")+"/v1/cluster/shard", bytes.NewReader(buf))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: building shard request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, fmt.Errorf("cluster: posting shard to %s: %w", w.ID, err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+	if err != nil {
+		return nil, fmt.Errorf("cluster: reading shard response from %s: %w", w.ID, err)
+	}
+	if resp.StatusCode != http.StatusOK {
+		msg := strings.TrimSpace(string(body))
+		var eb struct {
+			Error string `json:"error"`
+		}
+		if json.Unmarshal(body, &eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		return nil, &WorkerError{Status: resp.StatusCode, Message: msg}
+	}
+	return body, nil
+}
+
+// get fetches one peer-cache entry; any non-200 is a miss.
+func (s *Scheduler) get(ctx context.Context, url string) ([]byte, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, url, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := s.client().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		io.Copy(io.Discard, io.LimitReader(resp.Body, 4096))
+		return nil, fmt.Errorf("cluster: peer cache HTTP %d", resp.StatusCode)
+	}
+	return io.ReadAll(io.LimitReader(resp.Body, maxShardResponse))
+}
+
+// maxShardResponse bounds one shard payload (a sim.Result with snapshots is
+// O(pages); 64 MB is far above any real payload, low enough to stop a
+// misbehaving peer from exhausting memory).
+const maxShardResponse = 64 << 20
+
+// SchedulerStats is a point-in-time snapshot of placement activity, mirrored
+// onto /metrics by the service.
+type SchedulerStats struct {
+	// Placed counts shard dispatches sent to workers (including retries and
+	// steals).
+	Placed uint64
+	// Retries counts re-placements after a failed dispatch.
+	Retries uint64
+	// Steals counts duplicate dispatches launched for stragglers.
+	Steals uint64
+	// PeerHits counts shards answered from another node's cache.
+	PeerHits uint64
+	// CacheHits/CacheMisses are the coordinator-side shard cache counters.
+	CacheHits, CacheMisses uint64
+}
+
+// Stats returns the placement counters.
+func (s *Scheduler) Stats() SchedulerStats {
+	hits, misses := s.cache.Stats()
+	return SchedulerStats{
+		Placed:      s.placed.Load(),
+		Retries:     s.retries.Load(),
+		Steals:      s.steals.Load(),
+		PeerHits:    s.peerHits.Load(),
+		CacheHits:   hits,
+		CacheMisses: misses,
+	}
+}

@@ -3,6 +3,8 @@ package core
 import (
 	"fmt"
 	"sort"
+	"strconv"
+	"strings"
 )
 
 // Policy is a static (profile-guided) placement: given per-page statistics
@@ -146,4 +148,29 @@ func StaticPolicies() []Policy {
 	return []Policy{
 		DDROnly{}, PerfFocused{}, ReliabilityFocused{}, Balanced{}, WrRatio{}, Wr2Ratio{},
 	}
+}
+
+// PolicyByName resolves a policy Name() back to the policy — the inverse
+// needed to execute a policy run from a wire descriptor on another node.
+// Every named lineup policy resolves; "perf-fraction-F" resolves only when
+// the parsed fraction renders back to the same name (true for the eighths
+// Figure 1 sweeps; a fraction that loses precision at three decimals would
+// silently select a different page set, so it reports false instead).
+func PolicyByName(name string) (Policy, bool) {
+	for _, p := range StaticPolicies() {
+		if p.Name() == name {
+			return p, true
+		}
+	}
+	if rest, ok := strings.CutPrefix(name, "perf-fraction-"); ok {
+		f, err := strconv.ParseFloat(rest, 64)
+		if err != nil {
+			return nil, false
+		}
+		p := PerfFraction{F: f}
+		if p.Name() == name {
+			return p, true
+		}
+	}
+	return nil, false
 }

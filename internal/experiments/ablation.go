@@ -24,30 +24,35 @@ import (
 //
 // Each variant reports IPC and SER relative to the performance-focused
 // migration baseline on a three-workload panel.
+// ccAblationVariants is the Cross Counter variant lineup, keyed by the names
+// used in the "ablation/<name>" memo keys. Package-level (built from options
+// rather than a closed-over runner) so the cluster-shard mechanism resolver
+// can rebuild any variant from its wire name on a worker node.
+var ccAblationVariants = []struct {
+	name  string
+	build func(opts Options) sim.Migrator
+}{
+	{"cc (full)", func(o Options) sim.Migrator {
+		return migration.NewCrossCounter(o.MEAIntervalCycles, int(o.FCIntervalCycles/o.MEAIntervalCycles), 32)
+	}},
+	{"cc -blacklist", func(o Options) sim.Migrator {
+		m := migration.NewCrossCounter(o.MEAIntervalCycles, int(o.FCIntervalCycles/o.MEAIntervalCycles), 32)
+		m.SetBlockEpochs(0)
+		return m
+	}},
+	{"cc -hysteresis", func(o Options) sim.Migrator {
+		m := migration.NewCrossCounter(o.MEAIntervalCycles, int(o.FCIntervalCycles/o.MEAIntervalCycles), 32)
+		m.SetEvictHysteresis(1.0)
+		return m
+	}},
+	{"cc 8-entry MEA", func(o Options) sim.Migrator {
+		return migration.NewCrossCounter(o.MEAIntervalCycles, int(o.FCIntervalCycles/o.MEAIntervalCycles), 8)
+	}},
+}
+
 func (r *Runner) AblationCC(ctx context.Context) (*report.Table, error) {
 	panel := []string{"astar", "mcf", "mix1"}
-	ratio := int(r.opts.FCIntervalCycles / r.opts.MEAIntervalCycles)
-	variants := []struct {
-		name  string
-		build func() sim.Migrator
-	}{
-		{"cc (full)", func() sim.Migrator {
-			return migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
-		}},
-		{"cc -blacklist", func() sim.Migrator {
-			m := migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
-			m.SetBlockEpochs(0)
-			return m
-		}},
-		{"cc -hysteresis", func() sim.Migrator {
-			m := migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 32)
-			m.SetEvictHysteresis(1.0)
-			return m
-		}},
-		{"cc 8-entry MEA", func() sim.Migrator {
-			return migration.NewCrossCounter(r.opts.MEAIntervalCycles, ratio, 8)
-		}},
-	}
+	variants := ccAblationVariants
 
 	t := report.New("Ablation: Cross Counter design choices",
 		"variant", "IPC vs perf-migration", "SER vs perf-migration", "pages migrated (avg)")
@@ -69,7 +74,8 @@ func (r *Runner) AblationCC(ctx context.Context) (*report.Table, error) {
 		if err != nil {
 			return cell{}, err
 		}
-		res, err := r.RunDynamic(ctx, spec, "ablation/"+v.name, v.build, core.Balanced{})
+		res, err := r.RunDynamic(ctx, spec, "ablation/"+v.name,
+			func() sim.Migrator { return v.build(r.opts) }, core.Balanced{})
 		if err != nil {
 			return cell{}, err
 		}

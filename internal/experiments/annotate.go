@@ -5,6 +5,7 @@ import (
 
 	"hmem/internal/annotate"
 	"hmem/internal/core"
+	"hmem/internal/obs"
 	"hmem/internal/report"
 	"hmem/internal/sim"
 	"hmem/internal/stats"
@@ -20,9 +21,16 @@ func (r *Runner) annotationRun(ctx context.Context, spec workload.Spec) (sim.Res
 	if err != nil {
 		return sim.Result{}, nil, err
 	}
-	ann, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.FastPages()))
+	ann, pins := annotate.Select(prof.Structures, prof.Stats, int(r.cfg.FastPages()))
 
 	res, err := r.runs.DoCtx(ctx, "annotation/"+spec.Name, func() (sim.Result, error) {
+		// Delegable: a worker re-derives the same pins from its own
+		// (bit-identical) profile, so only the result crosses the wire.
+		if p, ok, err := r.delegateBlock(obs.Detach(ctx), BlockKey{Kind: BlockAnnotation, Workload: spec.Name}); err != nil {
+			return sim.Result{}, err
+		} else if ok {
+			return p.Result, nil
+		}
 		suite, err := r.buildSuite(spec)
 		if err != nil {
 			return sim.Result{}, err

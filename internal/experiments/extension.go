@@ -110,7 +110,7 @@ func (r *Runner) annotatedMigrationRun(ctx context.Context, spec workload.Spec) 
 		}
 		// Pin annotations into at most half of HBM so the migration mechanism
 		// has frames to work with.
-		_, pins := annotate.Select(prof.Suite.Structures, prof.Stats, int(r.cfg.FastPages())/2)
+		_, pins := annotate.Select(prof.Structures, prof.Stats, int(r.cfg.FastPages())/2)
 		suite, err := r.buildSuite(spec)
 		if err != nil {
 			return sim.Result{}, err

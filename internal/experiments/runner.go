@@ -12,6 +12,7 @@ import (
 	"errors"
 	"fmt"
 	"strings"
+	"sync"
 
 	"hmem/internal/core"
 	"hmem/internal/exec"
@@ -88,14 +89,22 @@ type Runner struct {
 	fits     exec.Memo[struct{}, faultsim.TierFITs]
 	profiles exec.Memo[string, *Profile]
 	runs     exec.Memo[string, sim.Result]
+
+	// delegate, when set, is offered every building block before local
+	// computation (the cluster distribution seam, see blocks.go).
+	delegateMu sync.RWMutex
+	delegate   Delegate
 }
 
 // Profile is a workload's oracle profiling run: the DDR-only simulation
-// that yields per-page hotness and AVF (§4.2) and the DDR-only baselines.
+// that yields per-page hotness and AVF (§4.2) and the DDR-only baselines,
+// plus the workload's structure layout (what annotation selection consumes).
+// Everything here is serializable — a Profile computed on any cluster node
+// is bit-identical to a local one.
 type Profile struct {
-	Suite  *workload.Suite
-	Result sim.Result
-	Stats  []core.PageStats
+	Structures []workload.Structure
+	Result     sim.Result
+	Stats      []core.PageStats
 }
 
 // NewRunner builds a runner; zero-value options fall back to defaults. It
@@ -198,16 +207,17 @@ func (r *Runner) Fits(ctx context.Context) (faultsim.TierFITs, error) {
 		// Detach: keep the first requester's observability but not its
 		// cancellation — the result is shared with every other requester.
 		runCtx := obs.Detach(ctx)
-		rates := faultsim.SridharanTransient()
 		per := make([]float64, len(r.topo.Tiers))
 		for i, td := range r.topo.Tiers {
 			if td.FITPerGB > 0 {
 				per[i] = td.FITPerGB
 				continue
 			}
-			study := faultsim.NewStudy(td.Org, rates, td.FaultSeed)
-			study.Workers = r.opts.Parallel
-			res, err := study.RunCtx(runCtx, r.opts.FaultTrials)
+			study, _, err := r.StudyForTier(i)
+			if err != nil {
+				return faultsim.TierFITs{}, err
+			}
+			res, err := r.runStudy(runCtx, i, study)
 			if err != nil {
 				return faultsim.TierFITs{}, err
 			}
@@ -219,6 +229,25 @@ func (r *Runner) Fits(ctx context.Context) (faultsim.TierFITs, error) {
 			PerGB:    per,
 		}, nil
 	})
+}
+
+// runStudy executes one tier's fault study, preferring the delegate's
+// shard-level distribution: workers compute integer tallies for the 2048-
+// trial Monte-Carlo shards, the coordinator merges them in shard order and
+// finishes the Poisson math locally — byte-identical to a local run at any
+// worker count. ErrNotDelegated (or no delegate) runs the study locally.
+func (r *Runner) runStudy(ctx context.Context, tier int, study *faultsim.Study) (faultsim.Result, error) {
+	if d := r.getDelegate(); d != nil {
+		jobs := study.Shards(r.opts.FaultTrials)
+		tallies, err := d.RunStudyShards(ctx, tier, jobs)
+		switch {
+		case err == nil:
+			return study.Combine(jobs, tallies, r.opts.FaultTrials)
+		case !errors.Is(err, ErrNotDelegated):
+			return faultsim.Result{}, err
+		}
+	}
+	return study.RunCtx(ctx, r.opts.FaultTrials)
 }
 
 // SERModel returns the SER scorer backed by the fault studies, with the
@@ -265,6 +294,11 @@ func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, e
 			runCtx, sp = obs.Start(runCtx, "experiments.profile", obs.Str("workload", spec.Name))
 			defer sp.End()
 		}
+		if p, ok, err := r.delegateBlock(runCtx, BlockKey{Kind: BlockProfile, Workload: spec.Name}); err != nil {
+			return nil, err
+		} else if ok {
+			return &Profile{Structures: p.Structures, Result: p.Result, Stats: p.Result.Stats()}, nil
+		}
 		suite, err := r.buildSuiteCtx(runCtx, spec)
 		if err != nil {
 			return nil, err
@@ -273,7 +307,7 @@ func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, e
 		if err != nil {
 			return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
 		}
-		return &Profile{Suite: suite, Result: res, Stats: res.Stats()}, nil
+		return &Profile{Structures: suite.Structures, Result: res, Stats: res.Stats()}, nil
 	})
 }
 
@@ -288,6 +322,13 @@ func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.
 			runCtx, sp = obs.Start(runCtx, "experiments.static",
 				obs.Str("workload", spec.Name), obs.Str("policy", policy.Name()))
 			defer sp.End()
+		}
+		if delegableStatic(policy) {
+			if p, ok, err := r.delegateBlock(runCtx, BlockKey{Kind: BlockStatic, Workload: spec.Name, Policy: policy.Name()}); err != nil {
+				return sim.Result{}, err
+			} else if ok {
+				return p.Result, nil
+			}
 		}
 		prof, err := r.ProfileOf(runCtx, spec)
 		if err != nil {
@@ -318,6 +359,13 @@ func (r *Runner) RunDynamic(ctx context.Context, spec workload.Spec, mech string
 			runCtx, sp = obs.Start(runCtx, "experiments.dynamic",
 				obs.Str("workload", spec.Name), obs.Str("mechanism", mech))
 			defer sp.End()
+		}
+		if _, _, resolvable := mechanismByName(mech, r.opts); resolvable {
+			if p, ok, err := r.delegateBlock(runCtx, BlockKey{Kind: BlockDynamic, Workload: spec.Name, Policy: mech}); err != nil {
+				return sim.Result{}, err
+			} else if ok {
+				return p.Result, nil
+			}
 		}
 		prof, err := r.ProfileOf(runCtx, spec)
 		if err != nil {

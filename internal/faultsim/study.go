@@ -79,21 +79,92 @@ func (s *Study) Run(trials int) (Result, error) {
 	return s.RunCtx(context.Background(), trials)
 }
 
-// RunCtx is Run with observability: the whole study runs under a
-// "faultsim.study" span (attrs: organization, trials, shard count), each
-// shard is an "exec.task" span via the fan-out, and shard completions report
-// progress. ctx is only consulted once at entry plus per shard dispatch —
-// the Monte-Carlo inner loops never see it — and the result stays a pure
-// function of (Seed, trials) regardless of what ctx carries.
-func (s *Study) RunCtx(ctx context.Context, trials int) (Result, error) {
+// ShardJob names one Monte-Carlo shard: stratum K (accumulated fault count),
+// shard index within the stratum, and N trials. A shard's tally is a pure
+// function of (Study.Seed, K, Shard) — the RNG stream is derived from exactly
+// those — so any node that agrees on the study parameters reproduces it
+// bit-identically. This is the unit of distributed work for cluster runs.
+type ShardJob struct {
+	K     int `json:"k"`
+	Shard int `json:"shard"`
+	N     int `json:"n"`
+}
+
+// ShardTally is one shard's integer tallies: uncorrectable-trial count plus,
+// for single-fault strata, the per-mode decode outcomes. Integer tallies
+// merge exactly (no float order sensitivity), which is what makes sharded
+// cluster execution byte-identical to a local run.
+type ShardTally struct {
+	Unc      int                          `json:"unc"`
+	Outcomes map[Mode]map[ecc.Outcome]int `json:"outcomes,omitempty"`
+}
+
+// Shards decomposes a trial budget into the study's fixed shard plan, in the
+// canonical order tallies must be merged in. The plan depends only on
+// (MaxFaults, trials) — never on the worker count.
+func (s *Study) Shards(trials int) []ShardJob {
+	var jobs []ShardJob
+	for k := 1; k <= s.MaxFaults; k++ {
+		for off, shard := 0, 0; off < trials; off, shard = off+shardTrials, shard+1 {
+			n := shardTrials
+			if trials-off < n {
+				n = trials - off
+			}
+			jobs = append(jobs, ShardJob{K: k, Shard: shard, N: n})
+		}
+	}
+	return jobs
+}
+
+// RunShard executes one shard's Monte-Carlo trials. Safe for concurrent use;
+// the tally is a pure function of (Seed, job).
+func (s *Study) RunShard(j ShardJob) ShardTally {
+	rng := xrand.New(xrand.Derive(s.Seed, uint64(j.K), uint64(j.Shard)))
+	var t ShardTally
+	if j.K == 1 {
+		t.Outcomes = make(map[Mode]map[ecc.Outcome]int)
+		for m := ModeBit; m < ModeRank; m++ {
+			t.Outcomes[m] = make(map[ecc.Outcome]int)
+		}
+	}
+	for n := 0; n < j.N; n++ {
+		faults := s.sampleFaults(rng, j.K)
+		if s.uncorrectable(faults) {
+			t.Unc++
+		}
+		if j.K == 1 {
+			out := singleFaultOutcome(s.Org.Scheme, faults[0].mode)
+			t.Outcomes[faults[0].mode][out]++
+		}
+	}
+	return t
+}
+
+// validate checks the study parameters shared by RunCtx and Combine.
+func (s *Study) validate(trials int) error {
 	if err := s.Org.Validate(); err != nil {
-		return Result{}, err
+		return err
 	}
 	if trials <= 0 {
-		return Result{}, fmt.Errorf("faultsim: trials must be positive, got %d", trials)
+		return fmt.Errorf("faultsim: trials must be positive, got %d", trials)
 	}
 	if s.HorizonHours <= 0 || s.MaxFaults < 1 {
-		return Result{}, fmt.Errorf("faultsim: horizon and MaxFaults must be positive")
+		return fmt.Errorf("faultsim: horizon and MaxFaults must be positive")
+	}
+	return nil
+}
+
+// Combine merges shard tallies (tallies[i] answering jobs[i]) in job order
+// and finishes the stratified estimate: Poisson-weighted combination, tail
+// folding, the rank-mode term, and the horizon-to-FIT conversion. jobs must
+// be exactly Shards(trials); mismatched lengths are an error so a dropped
+// shard can never silently skew the estimate.
+func (s *Study) Combine(jobs []ShardJob, tallies []ShardTally, trials int) (Result, error) {
+	if err := s.validate(trials); err != nil {
+		return Result{}, err
+	}
+	if len(jobs) != len(tallies) {
+		return Result{}, fmt.Errorf("faultsim: %d shard jobs but %d tallies", len(jobs), len(tallies))
 	}
 
 	// Expected fault counts in the horizon.
@@ -111,65 +182,13 @@ func (s *Study) RunCtx(ctx context.Context, trials int) (Result, error) {
 	for m := ModeBit; m < ModeRank; m++ {
 		res.SingleFaultOutcomes[m] = make(map[ecc.Outcome]int)
 	}
-
-	// Per-stratum Monte Carlo, sharded. Each (stratum, shard) pair owns a
-	// fixed slice of the trial budget and an RNG stream derived from it, so
-	// shard tallies can be computed on any number of workers and merged in
-	// shard order with a bit-identical outcome.
-	type shardJob struct {
-		k, shard, n int
-	}
-	var jobs []shardJob
-	for k := 1; k <= s.MaxFaults; k++ {
-		for off, shard := 0, 0; off < trials; off, shard = off+shardTrials, shard+1 {
-			n := shardTrials
-			if trials-off < n {
-				n = trials - off
-			}
-			jobs = append(jobs, shardJob{k: k, shard: shard, n: n})
-		}
-	}
-	type shardTally struct {
-		unc      int
-		outcomes map[Mode]map[ecc.Outcome]int // populated only for k == 1
-	}
-	if obs.Enabled(ctx) {
-		var sp *obs.Span
-		ctx, sp = obs.Start(ctx, "faultsim.study",
-			obs.Str("org", s.Org.Name),
-			obs.Int("trials", int64(trials)),
-			obs.Int("shards", int64(len(jobs))))
-		defer sp.End()
-	}
-	tallies, err := exec.Map(ctx, s.Workers, len(jobs), func(i int) (shardTally, error) {
-		j := jobs[i]
-		rng := xrand.New(xrand.Derive(s.Seed, uint64(j.k), uint64(j.shard)))
-		var t shardTally
-		if j.k == 1 {
-			t.outcomes = make(map[Mode]map[ecc.Outcome]int)
-			for m := ModeBit; m < ModeRank; m++ {
-				t.outcomes[m] = make(map[ecc.Outcome]int)
-			}
-		}
-		for n := 0; n < j.n; n++ {
-			faults := s.sampleFaults(rng, j.k)
-			if s.uncorrectable(faults) {
-				t.unc++
-			}
-			if j.k == 1 {
-				out := singleFaultOutcome(s.Org.Scheme, faults[0].mode)
-				t.outcomes[faults[0].mode][out]++
-			}
-		}
-		return t, nil
-	})
-	if err != nil {
-		return Result{}, err
-	}
 	uncByK := make([]int, s.MaxFaults+1)
 	for i, t := range tallies {
-		uncByK[jobs[i].k] += t.unc
-		for m, outs := range t.outcomes {
+		if jobs[i].K < 1 || jobs[i].K > s.MaxFaults {
+			return Result{}, fmt.Errorf("faultsim: shard stratum %d out of range [1,%d]", jobs[i].K, s.MaxFaults)
+		}
+		uncByK[jobs[i].K] += t.Unc
+		for m, outs := range t.Outcomes {
 			for o, n := range outs {
 				res.SingleFaultOutcomes[m][o] += n
 			}
@@ -201,6 +220,40 @@ func (s *Study) RunCtx(ctx context.Context, trials int) (Result, error) {
 	res.UncFITPerRank = ratePerHour * 1e9
 	res.UncFITPerGB = res.UncFITPerRank / s.Org.DataGB()
 	return res, nil
+}
+
+// RunCtx is Run with observability: the whole study runs under a
+// "faultsim.study" span (attrs: organization, trials, shard count), each
+// shard is an "exec.task" span via the fan-out, and shard completions report
+// progress. ctx is only consulted once at entry plus per shard dispatch —
+// the Monte-Carlo inner loops never see it — and the result stays a pure
+// function of (Seed, trials) regardless of what ctx carries.
+func (s *Study) RunCtx(ctx context.Context, trials int) (Result, error) {
+	if err := s.validate(trials); err != nil {
+		return Result{}, err
+	}
+
+	// Per-stratum Monte Carlo, sharded. Each (stratum, shard) pair owns a
+	// fixed slice of the trial budget and an RNG stream derived from it, so
+	// shard tallies can be computed on any number of workers — or any number
+	// of cluster nodes — and merged in shard order with a bit-identical
+	// outcome.
+	jobs := s.Shards(trials)
+	if obs.Enabled(ctx) {
+		var sp *obs.Span
+		ctx, sp = obs.Start(ctx, "faultsim.study",
+			obs.Str("org", s.Org.Name),
+			obs.Int("trials", int64(trials)),
+			obs.Int("shards", int64(len(jobs))))
+		defer sp.End()
+	}
+	tallies, err := exec.Map(ctx, s.Workers, len(jobs), func(i int) (ShardTally, error) {
+		return s.RunShard(jobs[i]), nil
+	})
+	if err != nil {
+		return Result{}, err
+	}
+	return s.Combine(jobs, tallies, trials)
 }
 
 // sampleFaults draws k faults: chip uniform, mode proportional to FIT,

@@ -14,6 +14,7 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/cluster"
 	"hmem/internal/obs"
 	"hmem/internal/report"
 )
@@ -242,6 +243,53 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 		return JobStatus{}, err
 	}
 	return out, nil
+}
+
+// Jobs lists every job the daemon knows about — queued, running, and
+// terminal (including journal-restored ones), newest first.
+func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+	var out struct {
+		Jobs []JobStatus `json:"jobs"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Jobs, nil
+}
+
+// ClusterRegister joins (or heartbeats) this process as a worker in a
+// coordinator's placement ring. The returned TTL is how long the
+// registration stays live without another heartbeat.
+func (c *Client) ClusterRegister(ctx context.Context, req cluster.RegisterRequest) (ttl time.Duration, err error) {
+	var out struct {
+		TTLSeconds float64 `json:"ttl_seconds"`
+	}
+	// Registration is idempotent by design (a re-send is a heartbeat), so
+	// the retry loop is safe and desirable across coordinator restarts.
+	if err := c.doIdempotent(ctx, http.MethodPost, "/v1/cluster/register", req, &out); err != nil {
+		return 0, err
+	}
+	return time.Duration(out.TTLSeconds * float64(time.Second)), nil
+}
+
+// ClusterDeregister removes a worker from the ring immediately (clean
+// drain; otherwise the TTL sweep collects it).
+func (c *Client) ClusterDeregister(ctx context.Context, id string) error {
+	return c.doIdempotent(ctx, http.MethodPost, "/v1/cluster/deregister",
+		map[string]string{"id": id}, &struct {
+			Removed bool `json:"removed"`
+		}{})
+}
+
+// ClusterWorkers lists the coordinator's live workers.
+func (c *Client) ClusterWorkers(ctx context.Context) ([]cluster.Worker, error) {
+	var out struct {
+		Workers []cluster.Worker `json:"workers"`
+	}
+	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/cluster/workers", nil, &out); err != nil {
+		return nil, err
+	}
+	return out.Workers, nil
 }
 
 // JobTrace fetches the job's tracing spans still held in the daemon's ring

@@ -43,6 +43,17 @@ type serviceMetrics struct {
 	journalCorrupt    *obs.Gauge
 	journalAppendErrs *obs.Counter
 	journalSize       *obs.Gauge
+
+	clusterWorkers        *obs.Gauge
+	clusterExpiries       *obs.Counter
+	clusterShardsPlaced   *obs.Counter
+	clusterShardsExecuted *obs.Counter
+	clusterRetries        *obs.Counter
+	clusterSteals         *obs.Counter
+	clusterPeerHits       *obs.Counter
+	clusterCacheHits      *obs.Counter
+	clusterCacheMisses    *obs.Counter
+	clusterInflight       *obs.Gauge
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
@@ -81,6 +92,28 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Failed journal write attempts (each append retries once before dropping the record)."),
 		journalSize: reg.Gauge("hmemd_journal_size_bytes",
 			"Current size of the job journal file."),
+		// Cluster families are registered on every role (zero when
+		// standalone) so the exposition page keeps one stable shape.
+		clusterWorkers: reg.Gauge("hmemd_cluster_workers",
+			"Live workers in the coordinator's placement ring."),
+		clusterExpiries: reg.Counter("hmemd_cluster_worker_expiries_total",
+			"Workers dropped from the ring after missing their liveness TTL."),
+		clusterShardsPlaced: reg.Counter("hmemd_cluster_shards_placed_total",
+			"Shards this coordinator dispatched to workers (successful placements)."),
+		clusterShardsExecuted: reg.Counter("hmemd_cluster_shards_executed_total",
+			"Shards this worker executed for a coordinator."),
+		clusterRetries: reg.Counter("hmemd_cluster_retries_total",
+			"Shard dispatches retried on another worker after a transient failure."),
+		clusterSteals: reg.Counter("hmemd_cluster_steals_total",
+			"Duplicate dispatches launched against straggling workers (work stealing)."),
+		clusterPeerHits: reg.Counter("hmemd_cluster_peer_hits_total",
+			"Shards answered from a peer's result cache instead of dispatching."),
+		clusterCacheHits: reg.Counter("hmemd_cluster_cache_hits_total",
+			"Shard-cache hits on this node (coordinator dispatch memo plus worker result cache)."),
+		clusterCacheMisses: reg.Counter("hmemd_cluster_cache_misses_total",
+			"Shard-cache misses on this node."),
+		clusterInflight: reg.Gauge("hmemd_cluster_inflight_shards",
+			"Shard executions currently running on this worker."),
 	}
 }
 
@@ -117,6 +150,27 @@ func (s *Service) syncMetrics() {
 	m.journalCorrupt.Set(float64(s.recovery.CorruptLines))
 	m.journalAppendErrs.Set(s.journal.appendErrors())
 	m.journalSize.Set(float64(s.journal.size()))
+	if cs := s.cluster; cs != nil {
+		hits, misses := cs.cache.Stats()
+		if cs.reg != nil {
+			rs := cs.reg.Stats()
+			m.clusterWorkers.Set(float64(rs.Live))
+			m.clusterExpiries.Set(rs.Expiries)
+		}
+		if cs.sched != nil {
+			ss := cs.sched.Stats()
+			m.clusterShardsPlaced.Set(ss.Placed)
+			m.clusterRetries.Set(ss.Retries)
+			m.clusterSteals.Set(ss.Steals)
+			m.clusterPeerHits.Set(ss.PeerHits)
+			hits += ss.CacheHits
+			misses += ss.CacheMisses
+		}
+		m.clusterShardsExecuted.Set(cs.executed.Load())
+		m.clusterCacheHits.Set(hits)
+		m.clusterCacheMisses.Set(misses)
+		m.clusterInflight.Set(float64(cs.inflight.Load()))
+	}
 }
 
 // handleMetrics renders the exposition page from the registry. Rendering is

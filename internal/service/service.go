@@ -73,6 +73,13 @@ type Config struct {
 	// NDJSON line (hmemd's -trace-log flag). Write failures degrade to the
 	// dropped-spans counter; they never fail the traced job.
 	SpanWriter io.Writer
+	// Role selects clustering: RoleStandalone (default, also ""),
+	// RoleCoordinator, or RoleWorker. Standalone behavior is byte-identical
+	// to the pre-cluster daemon.
+	Role string
+	// Cluster tunes the coordinator/worker machinery; ignored when
+	// standalone.
+	Cluster ClusterConfig
 }
 
 const (
@@ -131,6 +138,9 @@ type Service struct {
 	// exporter job tracers write to (the ring, plus Config.SpanWriter).
 	ring    *obs.Ring
 	spanExp obs.Exporter
+
+	// cluster is nil on standalone nodes; see cluster.go.
+	cluster *clusterState
 }
 
 // New builds a Service and starts its job workers.
@@ -163,10 +173,17 @@ func New(cfg Config) (*Service, error) {
 	if cfg.SpanWriter != nil {
 		s.spanExp = obs.Multi{s.ring, obs.NewNDJSON(cfg.SpanWriter)}
 	}
+	// Clustering first: engines created below may need the coordinator's
+	// delegate installed from their very first use.
+	if err := s.initCluster(); err != nil {
+		cancel()
+		return nil, err
+	}
 	// Validate the configured defaults once, up front: a bad default option
 	// set should fail service start, not every request.
 	if _, _, err := s.engineFor(nil); err != nil {
 		cancel()
+		s.stopCluster()
 		return nil, fmt.Errorf("service: invalid default options: %w", err)
 	}
 	s.jobs.init()
@@ -249,6 +266,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 	select {
 	case <-done:
 		s.cancelBase()
+		s.stopCluster()
 		s.journal.close()
 		return nil
 	case <-ctx.Done():
@@ -256,6 +274,7 @@ func (s *Service) Shutdown(ctx context.Context) error {
 		// launching new simulations, then wait for the workers to notice.
 		s.cancelBase()
 		<-done
+		s.stopCluster()
 		s.journal.close()
 		return ctx.Err()
 	}
@@ -275,6 +294,11 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	mux.HandleFunc("GET /v1/jobs/{id}/trace", s.handleJobTrace)
+	mux.HandleFunc("POST /v1/cluster/register", s.handleClusterRegister)
+	mux.HandleFunc("POST /v1/cluster/deregister", s.handleClusterDeregister)
+	mux.HandleFunc("GET /v1/cluster/workers", s.handleClusterWorkers)
+	mux.HandleFunc("POST /v1/cluster/shard", s.handleClusterShard)
+	mux.HandleFunc("GET /v1/cluster/cache/{key}", s.handleClusterCache)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	mux.HandleFunc("GET /metrics", s.handleMetrics)
 	return mux
@@ -356,6 +380,14 @@ func (s *Service) engineFor(patch *OptionsPatch) (*hmem.Engine, string, error) {
 	if patch != nil {
 		opts = patch.apply(opts)
 	}
+	return s.engineForOptions(opts)
+}
+
+// engineForOptions is engineFor on a fully-resolved option set — also the
+// entry workers use to rebuild a shard's engine from its wire options. On
+// coordinators every new engine gets the cluster delegate, so its expensive
+// blocks fan out to workers from the first request.
+func (s *Service) engineForOptions(opts hmem.Options) (*hmem.Engine, string, error) {
 	probe, err := hmem.NewEngine(&opts)
 	if err != nil {
 		return nil, "", err
@@ -365,6 +397,13 @@ func (s *Service) engineFor(patch *OptionsPatch) (*hmem.Engine, string, error) {
 	defer s.enginesMu.Unlock()
 	if e, ok := s.engines[digest]; ok {
 		return e, digest, nil
+	}
+	if s.cluster != nil && s.cluster.sched != nil {
+		d, err := newClusterDelegate(s, probe.Options(), digest)
+		if err != nil {
+			return nil, "", err
+		}
+		probe.SetDelegate(d)
 	}
 	s.engines[digest] = probe
 	return probe, digest, nil
@@ -625,6 +664,9 @@ func routeLabel(r *http.Request) string {
 		} else {
 			path = "/v1/jobs/{id}"
 		}
+	}
+	if strings.HasPrefix(path, "/v1/cluster/cache/") {
+		path = "/v1/cluster/cache/{key}"
 	}
 	return r.Method + " " + path
 }
