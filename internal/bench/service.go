@@ -1,0 +1,165 @@
+package bench
+
+// This file is the service-path half of the package. Where bench.File
+// tracks ns/op of in-process hot paths, ServiceFile tracks what a load run
+// observed through the HTTP surface: latency quantiles, error rates, and
+// throughput per endpoint class. cmd/hmemload emits it; the CI bench gate
+// compares it against a committed BENCH_service.json so the service path
+// gets the same no-silent-regression treatment as the allocator hot path.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"sort"
+)
+
+// ServiceMetric is the measured behavior of one endpoint class over a run.
+// Latencies are milliseconds (quantiles estimated from the load harness's
+// histogram); ErrorRate is errors/requests in [0, 1].
+type ServiceMetric struct {
+	Requests  uint64  `json:"requests"`
+	ErrorRate float64 `json:"error_rate"`
+	P50MS     float64 `json:"p50_ms"`
+	P90MS     float64 `json:"p90_ms"`
+	P99MS     float64 `json:"p99_ms"`
+	P999MS    float64 `json:"p999_ms"`
+}
+
+// ServiceFile is the on-disk JSON schema of a service-path baseline: one
+// load-harness run reduced to gateable numbers.
+type ServiceFile struct {
+	Note        string                   `json:"note,omitempty"`
+	Profile     string                   `json:"profile"`
+	Seed        uint64                   `json:"seed,omitempty"`
+	TargetRPS   float64                  `json:"target_rps,omitempty"`
+	AchievedRPS float64                  `json:"achieved_rps"`
+	Classes     map[string]ServiceMetric `json:"classes"`
+}
+
+// ServiceGate tunes CompareService. Service latencies are far noisier than
+// in-process ns/op — they cross a kernel, a scheduler, and (in CI) a shared
+// runner — so the gate combines a generous relative tolerance with an
+// absolute grace that keeps microsecond-scale baselines from failing on
+// scheduler jitter alone.
+type ServiceGate struct {
+	// LatencyTolerance is the allowed relative growth of each latency
+	// quantile (0.5 = +50%).
+	LatencyTolerance float64
+	// LatencyGraceMS is an absolute allowance added on top of the relative
+	// limit for every quantile.
+	LatencyGraceMS float64
+	// ErrorRateSlack is the allowed absolute increase of the error rate.
+	ErrorRateSlack float64
+	// ThroughputFloor is the fraction of baseline achieved RPS the current
+	// run must reach (0.5 = at least half), gated only when the baseline
+	// recorded a target — a closed-loop baseline's RPS is machine speed,
+	// not a contract.
+	ThroughputFloor float64
+}
+
+// DefaultServiceGate is the CI gate. The tolerances are deliberately wide —
+// the baseline and the CI runner are different machines, so the gate exists
+// to catch order-of-magnitude regressions (a broken result cache, an
+// accidental O(n) listing), not single-digit percent drift: latency may
+// grow 150% plus 50ms of absolute grace, error rate may rise 2 points, and
+// a paced run must deliver at least half the baseline throughput.
+var DefaultServiceGate = ServiceGate{
+	LatencyTolerance: 1.5,
+	LatencyGraceMS:   50,
+	ErrorRateSlack:   0.02,
+	ThroughputFloor:  0.5,
+}
+
+// CompareService gates a current service run against a baseline. Classes
+// present on only one side are returned in missing and do not fail the gate
+// (a new profile adds classes before the baseline is regenerated). Classes
+// with fewer than 10 requests on either side are skipped entirely: their
+// quantiles are single-sample noise.
+func CompareService(baseline, current *ServiceFile, gate ServiceGate) (regs []Regression, missing []string) {
+	quantiles := []struct {
+		name string
+		get  func(ServiceMetric) float64
+	}{
+		{"p50_ms", func(m ServiceMetric) float64 { return m.P50MS }},
+		{"p90_ms", func(m ServiceMetric) float64 { return m.P90MS }},
+		{"p99_ms", func(m ServiceMetric) float64 { return m.P99MS }},
+		{"p999_ms", func(m ServiceMetric) float64 { return m.P999MS }},
+	}
+	for class, base := range baseline.Classes {
+		cur, ok := current.Classes[class]
+		if !ok {
+			missing = append(missing, class+" (not in current run)")
+			continue
+		}
+		if base.Requests < 10 || cur.Requests < 10 {
+			missing = append(missing, fmt.Sprintf("%s (too few requests to gate: %d baseline, %d current)",
+				class, base.Requests, cur.Requests))
+			continue
+		}
+		for _, q := range quantiles {
+			limit := q.get(base)*(1+gate.LatencyTolerance) + gate.LatencyGraceMS
+			if got := q.get(cur); got > limit {
+				regs = append(regs, Regression{
+					Name: class, Metric: q.name,
+					Baseline: q.get(base), Current: got, Limit: limit,
+				})
+			}
+		}
+		if limit := base.ErrorRate + gate.ErrorRateSlack; cur.ErrorRate > limit {
+			regs = append(regs, Regression{
+				Name: class, Metric: "error_rate",
+				Baseline: base.ErrorRate, Current: cur.ErrorRate, Limit: limit,
+			})
+		}
+	}
+	for class := range current.Classes {
+		if _, ok := baseline.Classes[class]; !ok {
+			missing = append(missing, class+" (not in baseline)")
+		}
+	}
+	// Throughput is a run-level property, not per-class; gate it only when
+	// the baseline was paced (TargetRPS set) so the number means "the
+	// service kept up", not "the machine was fast".
+	if baseline.TargetRPS > 0 && gate.ThroughputFloor > 0 {
+		if floor := baseline.AchievedRPS * gate.ThroughputFloor; current.AchievedRPS < floor {
+			regs = append(regs, Regression{
+				Name: "run", Metric: "achieved_rps",
+				Baseline: baseline.AchievedRPS, Current: current.AchievedRPS, Limit: floor,
+			})
+		}
+	}
+	sort.Slice(regs, func(i, j int) bool {
+		if regs[i].Name != regs[j].Name {
+			return regs[i].Name < regs[j].Name
+		}
+		return regs[i].Metric < regs[j].Metric
+	})
+	sort.Strings(missing)
+	return regs, missing
+}
+
+// ReadServiceFile loads a service baseline JSON file.
+func ReadServiceFile(path string) (*ServiceFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("bench: %w", err)
+	}
+	var f ServiceFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	if f.Classes == nil {
+		return nil, fmt.Errorf("bench: %s has no classes section", path)
+	}
+	return &f, nil
+}
+
+// WriteFile stores a service baseline as deterministic, indented JSON.
+func (f *ServiceFile) WriteFile(path string) error {
+	data, err := json.MarshalIndent(f, "", "  ")
+	if err != nil {
+		return fmt.Errorf("bench: encoding %s: %w", path, err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

@@ -1,0 +1,149 @@
+package bench
+
+import (
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func svcMetric(p50, p99 float64, reqs uint64, errRate float64) ServiceMetric {
+	return ServiceMetric{
+		Requests: reqs, ErrorRate: errRate,
+		P50MS: p50, P90MS: p50 * 1.5, P99MS: p99, P999MS: p99 * 1.2,
+	}
+}
+
+// TestCompareServiceClean: a current run inside every limit produces no
+// regressions, and both sides agreeing on classes produces no missing.
+func TestCompareServiceClean(t *testing.T) {
+	base := &ServiceFile{
+		Profile: "mixed", TargetRPS: 100, AchievedRPS: 98,
+		Classes: map[string]ServiceMetric{
+			"evaluate": svcMetric(5, 20, 1000, 0.001),
+			"submit":   svcMetric(2, 10, 500, 0),
+		},
+	}
+	cur := &ServiceFile{
+		Profile: "mixed", TargetRPS: 100, AchievedRPS: 97,
+		Classes: map[string]ServiceMetric{
+			"evaluate": svcMetric(6, 25, 1100, 0.002),
+			"submit":   svcMetric(2, 9, 510, 0),
+		},
+	}
+	regs, missing := CompareService(base, cur, DefaultServiceGate)
+	if len(regs) != 0 {
+		t.Fatalf("clean run flagged: %v", regs)
+	}
+	if len(missing) != 0 {
+		t.Fatalf("missing = %v, want none", missing)
+	}
+}
+
+// TestCompareServiceGates pins each gate axis: latency past tolerance+grace,
+// error rate past slack, and throughput under the floor each produce exactly
+// the expected regression.
+func TestCompareServiceGates(t *testing.T) {
+	gate := ServiceGate{LatencyTolerance: 0.5, LatencyGraceMS: 5, ErrorRateSlack: 0.01, ThroughputFloor: 0.5}
+	base := &ServiceFile{
+		Profile: "mixed", TargetRPS: 100, AchievedRPS: 100,
+		Classes: map[string]ServiceMetric{"evaluate": svcMetric(10, 40, 1000, 0.01)},
+	}
+	cases := []struct {
+		name    string
+		mutate  func(*ServiceFile)
+		metric  string
+		regName string
+	}{
+		{"p99 blown", func(f *ServiceFile) {
+			m := f.Classes["evaluate"]
+			m.P99MS = 40*1.5 + 5 + 1 // one ms past limit
+			f.Classes["evaluate"] = m
+		}, "p99_ms", "evaluate"},
+		{"error rate blown", func(f *ServiceFile) {
+			m := f.Classes["evaluate"]
+			m.ErrorRate = 0.03
+			f.Classes["evaluate"] = m
+		}, "error_rate", "evaluate"},
+		{"throughput collapsed", func(f *ServiceFile) {
+			f.AchievedRPS = 40
+		}, "achieved_rps", "run"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cur := &ServiceFile{
+				Profile: "mixed", TargetRPS: 100, AchievedRPS: 100,
+				Classes: map[string]ServiceMetric{"evaluate": svcMetric(10, 40, 1000, 0.01)},
+			}
+			tc.mutate(cur)
+			regs, _ := CompareService(base, cur, gate)
+			if len(regs) != 1 {
+				t.Fatalf("regs = %v, want exactly one", regs)
+			}
+			if regs[0].Metric != tc.metric || regs[0].Name != tc.regName {
+				t.Fatalf("reg = %v, want %s on %s", regs[0], tc.metric, tc.regName)
+			}
+		})
+	}
+}
+
+// TestCompareServiceSkips: classes absent from one side or with too few
+// requests are reported as missing, never as regressions; an unpaced
+// baseline (TargetRPS 0) never gates throughput.
+func TestCompareServiceSkips(t *testing.T) {
+	base := &ServiceFile{
+		Profile: "mixed", AchievedRPS: 100,
+		Classes: map[string]ServiceMetric{
+			"evaluate": svcMetric(10, 40, 1000, 0),
+			"watch":    svcMetric(10, 40, 3, 0), // too few to gate
+			"gone":     svcMetric(10, 40, 1000, 0),
+		},
+	}
+	cur := &ServiceFile{
+		Profile: "mixed", AchievedRPS: 1, // would fail any floor if gated
+		Classes: map[string]ServiceMetric{
+			"evaluate": svcMetric(10, 40, 1000, 0),
+			"watch":    svcMetric(9999, 9999, 500, 1), // ignored: baseline too thin
+			"new":      svcMetric(10, 40, 1000, 0),
+		},
+	}
+	regs, missing := CompareService(base, cur, DefaultServiceGate)
+	if len(regs) != 0 {
+		t.Fatalf("regs = %v, want none", regs)
+	}
+	joined := strings.Join(missing, "; ")
+	for _, want := range []string{"gone", "new", "watch"} {
+		if !strings.Contains(joined, want) {
+			t.Fatalf("missing %q from skip report %q", want, joined)
+		}
+	}
+}
+
+// TestServiceFileRoundTrip: write then read preserves the file, and a file
+// without a classes section is rejected.
+func TestServiceFileRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "BENCH_service.json")
+	f := &ServiceFile{
+		Note: "test baseline", Profile: "mixed", Seed: 42,
+		TargetRPS: 50, AchievedRPS: 49.5,
+		Classes: map[string]ServiceMetric{"evaluate": svcMetric(5, 20, 100, 0)},
+	}
+	if err := f.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadServiceFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Profile != "mixed" || got.Seed != 42 || got.Classes["evaluate"].Requests != 100 {
+		t.Fatalf("round trip lost data: %+v", got)
+	}
+
+	bad := filepath.Join(dir, "bad.json")
+	if err := (&ServiceFile{Profile: "x"}).WriteFile(bad); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadServiceFile(bad); err == nil {
+		t.Fatal("classes-less file accepted")
+	}
+}

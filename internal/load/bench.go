@@ -1,0 +1,28 @@
+package load
+
+import "hmem/internal/bench"
+
+// ServiceFile reduces a run summary to the bench gate's service-path schema,
+// so a load run doubles as a benchmark sample that CI compares against the
+// committed BENCH_service.json baseline.
+func (s *Summary) ServiceFile(note string) *bench.ServiceFile {
+	f := &bench.ServiceFile{
+		Note:        note,
+		Profile:     s.Profile,
+		Seed:        s.Seed,
+		TargetRPS:   s.TargetRPS,
+		AchievedRPS: s.AchievedRPS,
+		Classes:     map[string]bench.ServiceMetric{},
+	}
+	for class, cs := range s.Classes {
+		f.Classes[class] = bench.ServiceMetric{
+			Requests:  cs.Requests,
+			ErrorRate: cs.ErrorRate,
+			P50MS:     cs.P50MS,
+			P90MS:     cs.P90MS,
+			P99MS:     cs.P99MS,
+			P999MS:    cs.P999MS,
+		}
+	}
+	return f
+}

@@ -1,0 +1,80 @@
+package load
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// ExecutionContext is the resumable state of a multi-segment soak: where the
+// op cursor stands and what has accumulated so far. Saving it after each
+// segment and loading it before the next makes a multi-hour soak
+// interruptible — the resumed run continues the exact op schedule the seed
+// defines, because ops are addressed by index, not by history.
+type ExecutionContext struct {
+	Profile        string                       `json:"profile"`
+	Seed           uint64                       `json:"seed"`
+	NextOp         uint64                       `json:"next_op"`
+	Ops            uint64                       `json:"ops"`
+	ElapsedSeconds float64                      `json:"elapsed_seconds"`
+	Outcomes       map[string]map[string]uint64 `json:"outcomes,omitempty"` // class -> outcome -> n
+	Segments       int                          `json:"segments"`
+	UpdatedAt      time.Time                    `json:"updated_at"`
+}
+
+// LoadContext reads a saved execution context.
+func LoadContext(path string) (*ExecutionContext, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var ec ExecutionContext
+	if err := json.Unmarshal(data, &ec); err != nil {
+		return nil, fmt.Errorf("load: parsing context %s: %w", path, err)
+	}
+	return &ec, nil
+}
+
+// Check verifies a loaded context belongs to this run configuration: resuming
+// with a different profile or seed would splice two unrelated op schedules.
+func (ec *ExecutionContext) Check(profile string, seed uint64) error {
+	if ec.Profile != profile || ec.Seed != seed {
+		return fmt.Errorf("load: context is for profile=%s seed=%d, run is profile=%s seed=%d",
+			ec.Profile, ec.Seed, profile, seed)
+	}
+	return nil
+}
+
+// Absorb folds one segment's summary into the cumulative context.
+func (ec *ExecutionContext) Absorb(sum *Summary) {
+	ec.Profile = sum.Profile
+	ec.Seed = sum.Seed
+	ec.NextOp = sum.NextOp
+	ec.Ops += sum.Ops
+	ec.ElapsedSeconds += sum.ElapsedSeconds
+	ec.Segments++
+	if ec.Outcomes == nil {
+		ec.Outcomes = map[string]map[string]uint64{}
+	}
+	for class, cs := range sum.Classes {
+		m := ec.Outcomes[class]
+		if m == nil {
+			m = map[string]uint64{}
+			ec.Outcomes[class] = m
+		}
+		for outcome, n := range cs.Outcomes {
+			m[outcome] += n
+		}
+	}
+	ec.UpdatedAt = time.Now().UTC()
+}
+
+// Save writes the context as indented JSON.
+func (ec *ExecutionContext) Save(path string) error {
+	data, err := json.MarshalIndent(ec, "", "  ")
+	if err != nil {
+		return fmt.Errorf("load: encoding context: %w", err)
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

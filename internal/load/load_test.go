@@ -1,0 +1,103 @@
+package load
+
+import (
+	"reflect"
+	"testing"
+)
+
+// TestOpAtPure pins the determinism contract: the i-th op is a pure function
+// of (profile, seed, i) — identical across calls, and sensitive to both seed
+// and index.
+func TestOpAtPure(t *testing.T) {
+	p, _ := ProfileByName("mixed")
+	for i := uint64(0); i < 200; i++ {
+		a, b := OpAt(p, 42, i), OpAt(p, 42, i)
+		if !reflect.DeepEqual(a, b) {
+			t.Fatalf("op %d not deterministic: %+v vs %+v", i, a, b)
+		}
+	}
+	differs := false
+	for i := uint64(0); i < 50; i++ {
+		if !reflect.DeepEqual(OpAt(p, 42, i), OpAt(p, 43, i)) {
+			differs = true
+			break
+		}
+	}
+	if !differs {
+		t.Fatal("seeds 42 and 43 script identical runs")
+	}
+}
+
+// TestOpAtCoversMix: every class a profile weights appears within a modest
+// op budget, with plausible parameters.
+func TestOpAtCoversMix(t *testing.T) {
+	p, _ := ProfileByName("mixed")
+	seen := map[string]int{}
+	for i := uint64(0); i < 2000; i++ {
+		op := OpAt(p, 7, i)
+		seen[op.Class]++
+		switch op.Class {
+		case ClassEvaluate:
+			if op.Workload == "" || op.Policy == "" {
+				t.Fatalf("evaluate op %d missing parameters: %+v", i, op)
+			}
+		case ClassCompare:
+			if op.Workload == "" || len(op.Policies) < 2 {
+				t.Fatalf("compare op %d under-parameterized: %+v", i, op)
+			}
+		case ClassSubmit, ClassWatch:
+			if op.Experiment == "" {
+				t.Fatalf("job op %d missing experiment: %+v", i, op)
+			}
+		case ClassList:
+			if op.Limit <= 0 {
+				t.Fatalf("list op %d has no limit: %+v", i, op)
+			}
+		}
+	}
+	for _, class := range []string{ClassEvaluate, ClassCompare, ClassSubmit, ClassWatch, ClassList} {
+		if seen[class] == 0 {
+			t.Fatalf("class %s never drawn in 2000 ops (%v)", class, seen)
+		}
+	}
+}
+
+// TestOpAtCacheHostile: the hostile profile gives every op a unique options
+// seed (no two requests share a cache digest); friendly profiles draw from a
+// small set so the server cache earns hits.
+func TestOpAtCacheHostile(t *testing.T) {
+	hostile, _ := ProfileByName("hostile")
+	seeds := map[uint64]bool{}
+	for i := uint64(0); i < 500; i++ {
+		op := OpAt(hostile, 3, i)
+		if seeds[op.Seed] {
+			t.Fatalf("hostile op %d reuses options seed %d", i, op.Seed)
+		}
+		seeds[op.Seed] = true
+	}
+
+	friendly, _ := ProfileByName("sync")
+	distinct := map[uint64]bool{}
+	for i := uint64(0); i < 500; i++ {
+		distinct[OpAt(friendly, 3, i).Seed] = true
+	}
+	if len(distinct) > cacheFriendlySeeds {
+		t.Fatalf("sync profile drew %d distinct option seeds, want <= %d", len(distinct), cacheFriendlySeeds)
+	}
+}
+
+// TestProfileByName: all built-ins resolve, unknowns don't.
+func TestProfileByName(t *testing.T) {
+	for _, p := range Profiles() {
+		got, ok := ProfileByName(p.Name)
+		if !ok || got.Name != p.Name {
+			t.Fatalf("profile %s did not resolve", p.Name)
+		}
+		if len(got.mix) == 0 {
+			t.Fatalf("profile %s has an empty mix", p.Name)
+		}
+	}
+	if _, ok := ProfileByName("nope"); ok {
+		t.Fatal("unknown profile resolved")
+	}
+}

@@ -1,0 +1,243 @@
+package load
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"reflect"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"hmem"
+	"hmem/internal/chaos"
+	"hmem/internal/service"
+)
+
+// scriptRecorder is a stub hmemd that answers every endpoint trivially and
+// records each request as "METHOD uri body" in arrival order.
+type scriptRecorder struct {
+	mu   sync.Mutex
+	seen []string
+}
+
+func (sr *scriptRecorder) handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		body, _ := io.ReadAll(r.Body)
+		sr.mu.Lock()
+		sr.seen = append(sr.seen, fmt.Sprintf("%s %s %s", r.Method, r.URL.RequestURI(), body))
+		sr.mu.Unlock()
+
+		switch {
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/evaluate":
+			_, _ = w.Write([]byte(`{}`))
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/compare":
+			_, _ = w.Write([]byte(`{"results":[]}`))
+		case r.Method == http.MethodPost && r.URL.Path == "/v1/jobs":
+			w.WriteHeader(http.StatusAccepted)
+			_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", State: service.JobDone})
+		case r.Method == http.MethodGet && strings.HasPrefix(r.URL.Path, "/v1/jobs/"):
+			if r.URL.Query().Get("watch") != "" {
+				_, _ = w.Write([]byte(`{"seq":1,"job_id":"job-1","state":"done"}` + "\n"))
+				return
+			}
+			_ = json.NewEncoder(w).Encode(service.JobStatus{ID: "job-1", State: service.JobDone})
+		case r.Method == http.MethodGet && r.URL.Path == "/v1/jobs":
+			_, _ = w.Write([]byte(`{"jobs":[],"total":0}`))
+		default:
+			http.NotFound(w, r)
+		}
+	})
+}
+
+func (sr *scriptRecorder) requests() []string {
+	sr.mu.Lock()
+	defer sr.mu.Unlock()
+	return append([]string(nil), sr.seen...)
+}
+
+// record runs ops [start, start+n) single-worker closed-loop against a fresh
+// stub and returns the exact request sequence it produced.
+func record(t *testing.T, seed, start, n uint64) []string {
+	t.Helper()
+	sr := &scriptRecorder{}
+	ts := httptest.NewServer(sr.handler())
+	defer ts.Close()
+	p, _ := ProfileByName("mixed")
+	sum, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Profile: p, Seed: seed,
+		Workers: 1, MaxOps: n, StartOp: start,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != n {
+		t.Fatalf("ops = %d, want %d", sum.Ops, n)
+	}
+	if sum.NextOp != start+n {
+		t.Fatalf("next op = %d, want %d", sum.NextOp, start+n)
+	}
+	return sr.requests()
+}
+
+// TestRunSequenceReproducible is the acceptance pin: same seed and profile,
+// same request sequence — method, path, query, and body, byte for byte. A
+// different seed produces a different sequence.
+func TestRunSequenceReproducible(t *testing.T) {
+	a := record(t, 42, 0, 40)
+	b := record(t, 42, 0, 40)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("same seed diverged:\n%v\nvs\n%v", a, b)
+	}
+	if reflect.DeepEqual(a, record(t, 43, 0, 40)) {
+		t.Fatal("different seeds produced identical request sequences")
+	}
+}
+
+// TestRunResumeContinuesSchedule: two segments stitched by StartOp replay
+// exactly the schedule of one uninterrupted run — the save/resume contract
+// behind multi-hour soaks.
+func TestRunResumeContinuesSchedule(t *testing.T) {
+	whole := record(t, 9, 0, 30)
+	segA := record(t, 9, 0, 17)
+	segB := record(t, 9, 17, 13)
+	if got := append(segA, segB...); !reflect.DeepEqual(got, whole) {
+		t.Fatalf("resumed run diverged from uninterrupted run:\n%v\nvs\n%v", got, whole)
+	}
+}
+
+// TestRunAgainstService drives a real in-process hmemd with the mixed
+// profile and expects a clean run: every class exercised by the schedule
+// succeeds and the summary's accounting adds up.
+func TestRunAgainstService(t *testing.T) {
+	svc, err := service.New(service.Config{
+		Defaults: hmem.Options{RecordsPerCore: 600, FaultTrials: 100},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	defer svc.Shutdown(context.Background())
+
+	p, _ := ProfileByName("mixed")
+	sum, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Profile: p, Seed: 5,
+		Workers: 4, MaxOps: 30, Retries: 1, Backoff: 5 * time.Millisecond,
+		RecordsPerCore: 300, FaultTrials: 50,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Ops != 30 {
+		t.Fatalf("ops = %d, want 30", sum.Ops)
+	}
+	if rate := sum.ErrorRate(); rate != 0 {
+		t.Fatalf("error rate %v against a healthy daemon: %+v", rate, sum.Classes)
+	}
+	var total uint64
+	for class, cs := range sum.Classes {
+		total += cs.Requests
+		if cs.Requests > 0 && cs.P50MS <= 0 {
+			t.Fatalf("class %s has requests but zero p50", class)
+		}
+	}
+	if total != 30 {
+		t.Fatalf("class totals = %d, want 30", total)
+	}
+	if sum.AchievedRPS <= 0 {
+		t.Fatalf("achieved RPS = %v", sum.AchievedRPS)
+	}
+}
+
+// TestRunPacedReportsTarget: an open-loop run records its pacing target and
+// lands near it when the server is fast.
+func TestRunPacedReportsTarget(t *testing.T) {
+	sr := &scriptRecorder{}
+	ts := httptest.NewServer(sr.handler())
+	defer ts.Close()
+	p, _ := ProfileByName("sync")
+	sum, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Profile: p, Seed: 1,
+		Workers: 2, TargetRPS: 200, Duration: 500 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.TargetRPS != 200 {
+		t.Fatalf("target = %v", sum.TargetRPS)
+	}
+	// The stub answers in microseconds, so the pacer is the only limiter:
+	// achieved must be well under closed-loop speed and somewhere near the
+	// target (generous bounds — CI machines stall).
+	if sum.AchievedRPS < 50 || sum.AchievedRPS > 400 {
+		t.Fatalf("achieved %v RPS against a 200 RPS target", sum.AchievedRPS)
+	}
+}
+
+// TestRunChaosUnderLoad composes a chaos RoundTripper with the load: the
+// injected 503s land in the shed counters and fail the strict SLO, while the
+// degraded budget the spec carries for chaos runs passes.
+func TestRunChaosUnderLoad(t *testing.T) {
+	sr := &scriptRecorder{}
+	ts := httptest.NewServer(sr.handler())
+	defer ts.Close()
+
+	var faults []chaos.HTTPFault
+	for i := 2; i < 20; i += 3 {
+		faults = append(faults, chaos.HTTPFault{AtRequest: i, Mode: chaos.ModeError})
+	}
+	inj, err := chaos.New(chaos.Plan{HTTP: faults})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	p, _ := ProfileByName("sync")
+	sum, err := Run(context.Background(), Config{
+		BaseURL: ts.URL, Profile: p, Seed: 11,
+		Workers: 1, MaxOps: 20,
+		Transport: inj.RoundTripper(nil),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Shed["503"] == 0 {
+		t.Fatalf("no injected 503 recorded: shed=%v classes=%+v", sum.Shed, sum.Classes)
+	}
+	if sum.ErrorRate() == 0 {
+		t.Fatal("chaos run reported a zero error rate")
+	}
+
+	zero := 0.0
+	spec := &SLO{
+		MaxErrorRate: &zero,
+		Degraded:     &SLO{MaxErrorRate: ptr(0.5)},
+	}
+	if v := spec.Pick(false).Evaluate(sum); len(v) == 0 {
+		t.Fatal("strict SLO passed a faulted run")
+	}
+	if v := spec.Pick(true).Evaluate(sum); len(v) != 0 {
+		t.Fatalf("degraded SLO failed: %v", v)
+	}
+}
+
+// TestRunConfigErrors: unbounded or unparameterized runs are refused up
+// front.
+func TestRunConfigErrors(t *testing.T) {
+	p, _ := ProfileByName("sync")
+	if _, err := Run(context.Background(), Config{Profile: p, MaxOps: 1}); err == nil {
+		t.Fatal("missing BaseURL accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Profile: Profile{Name: "empty"}, MaxOps: 1}); err == nil {
+		t.Fatal("empty mix accepted")
+	}
+	if _, err := Run(context.Background(), Config{BaseURL: "http://x", Profile: p}); err == nil {
+		t.Fatal("unbounded run accepted")
+	}
+}
+
+func ptr(f float64) *float64 { return &f }

@@ -1,0 +1,125 @@
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+)
+
+// ClassSLO is the budget for one endpoint class. Zero latency fields are
+// unset; error-rate uses a pointer so an explicit 0 ("no errors tolerated")
+// is distinguishable from absent.
+type ClassSLO struct {
+	MaxP50MS     float64  `json:"max_p50_ms,omitempty"`
+	MaxP90MS     float64  `json:"max_p90_ms,omitempty"`
+	MaxP99MS     float64  `json:"max_p99_ms,omitempty"`
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MinRequests asserts the mix actually exercised the class (a run that
+	// never touched an endpoint trivially meets its latency budget).
+	MinRequests uint64 `json:"min_requests,omitempty"`
+}
+
+// SLO is a declarative pass/fail spec for a load run. The zero SLO passes
+// everything.
+type SLO struct {
+	Note string `json:"note,omitempty"`
+	// MaxErrorRate bounds the run-wide error fraction (canceled excluded).
+	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MinThroughputRPS bounds achieved operations per second from below.
+	MinThroughputRPS float64 `json:"min_throughput_rps,omitempty"`
+	// Classes holds per-endpoint-class budgets.
+	Classes map[string]ClassSLO `json:"classes,omitempty"`
+	// Degraded, when present, replaces the whole spec under chaos: a run
+	// with fault injection is held to this looser budget instead — chaos
+	// under load must degrade the service, not break it.
+	Degraded *SLO `json:"degraded,omitempty"`
+}
+
+// LoadSLO reads a spec from JSON. Unknown fields are rejected so a typo'd
+// budget fails loudly instead of passing vacuously.
+func LoadSLO(path string) (*SLO, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("load: %w", err)
+	}
+	var s SLO
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("load: parsing SLO %s: %w", path, err)
+	}
+	return &s, nil
+}
+
+// Violation is one SLO breach.
+type Violation struct {
+	Target string  `json:"target"` // "run" or the class name
+	Metric string  `json:"metric"`
+	Got    float64 `json:"got"`
+	Limit  float64 `json:"limit"`
+}
+
+func (v Violation) String() string {
+	return fmt.Sprintf("%s: %s %.6g violates limit %.6g", v.Target, v.Metric, v.Got, v.Limit)
+}
+
+// Evaluate checks a summary against the spec and returns every breach; an
+// empty slice is a pass.
+func (s *SLO) Evaluate(sum *Summary) []Violation {
+	var out []Violation
+	if s.MaxErrorRate != nil {
+		if got := sum.ErrorRate(); got > *s.MaxErrorRate {
+			out = append(out, Violation{Target: "run", Metric: "error_rate", Got: got, Limit: *s.MaxErrorRate})
+		}
+	}
+	if s.MinThroughputRPS > 0 && sum.AchievedRPS < s.MinThroughputRPS {
+		out = append(out, Violation{
+			Target: "run", Metric: "achieved_rps",
+			Got: sum.AchievedRPS, Limit: s.MinThroughputRPS,
+		})
+	}
+	for class, budget := range s.Classes {
+		cs, ok := sum.Classes[class]
+		if !ok {
+			if budget.MinRequests > 0 {
+				out = append(out, Violation{Target: class, Metric: "requests", Got: 0, Limit: float64(budget.MinRequests)})
+			}
+			continue
+		}
+		if budget.MinRequests > 0 && cs.Requests < budget.MinRequests {
+			out = append(out, Violation{
+				Target: class, Metric: "requests",
+				Got: float64(cs.Requests), Limit: float64(budget.MinRequests),
+			})
+		}
+		for _, q := range []struct {
+			name       string
+			got, limit float64
+		}{
+			{"p50_ms", cs.P50MS, budget.MaxP50MS},
+			{"p90_ms", cs.P90MS, budget.MaxP90MS},
+			{"p99_ms", cs.P99MS, budget.MaxP99MS},
+		} {
+			if q.limit > 0 && q.got > q.limit {
+				out = append(out, Violation{Target: class, Metric: q.name, Got: q.got, Limit: q.limit})
+			}
+		}
+		if budget.MaxErrorRate != nil && cs.ErrorRate > *budget.MaxErrorRate {
+			out = append(out, Violation{
+				Target: class, Metric: "error_rate",
+				Got: cs.ErrorRate, Limit: *budget.MaxErrorRate,
+			})
+		}
+	}
+	return out
+}
+
+// Pick returns the budget to enforce: the degraded section when chaos is
+// active and the spec has one, the spec itself otherwise.
+func (s *SLO) Pick(chaosActive bool) *SLO {
+	if chaosActive && s.Degraded != nil {
+		return s.Degraded
+	}
+	return s
+}

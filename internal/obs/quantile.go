@@ -1,0 +1,102 @@
+package obs
+
+// Quantile estimation over a Histogram's cumulative buckets — the export
+// the load harness (internal/load) turns into p50/p90/p99/p999 figures and
+// SLO verdicts. The estimate is the standard Prometheus-style one: find the
+// bucket the q-th observation falls in, then interpolate linearly between
+// the bucket's lower and upper bound. Accuracy is therefore bounded by
+// bucket width, which is why latency-oriented histograms should use
+// log-spaced bounds dense enough around their SLO thresholds.
+
+// HistogramSnapshot is a point-in-time copy of a histogram's state:
+// per-bucket counts (one per bound, plus the +Inf overflow), the running
+// sum, and the total count. It is detached from the live histogram — safe
+// to read at leisure while observations continue.
+type HistogramSnapshot struct {
+	// Bounds are the upper bounds of the finite buckets, ascending.
+	Bounds []float64
+	// Counts holds non-cumulative per-bucket observation counts;
+	// len(Counts) == len(Bounds)+1, the last being the +Inf bucket.
+	Counts []uint64
+	// Sum is the sum of all observed values.
+	Sum float64
+	// Count is the total number of observations.
+	Count uint64
+}
+
+// Snapshot copies the histogram's current state.
+func (h *Histogram) Snapshot() HistogramSnapshot {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return HistogramSnapshot{
+		Bounds: append([]float64(nil), h.bounds...),
+		Counts: append([]uint64(nil), h.buckets...),
+		Sum:    h.sum,
+		Count:  h.count,
+	}
+}
+
+// Sum returns the sum of all observations so far.
+func (h *Histogram) Sum() float64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.sum
+}
+
+// Quantile estimates the q-th quantile (q in [0, 1]) of the observations.
+// It returns 0 when the histogram is empty. Estimates interpolate within
+// the containing bucket; observations landing in the +Inf bucket clamp to
+// the highest finite bound (there is no upper edge to interpolate toward),
+// so a quantile that truly lives past the last bound is underestimated —
+// choose bounds that bracket the latencies you intend to gate on.
+func (h *Histogram) Quantile(q float64) float64 {
+	return h.Snapshot().Quantile(q)
+}
+
+// Quantile estimates the q-th quantile from a snapshot (see
+// Histogram.Quantile for the estimation contract).
+func (s HistogramSnapshot) Quantile(q float64) float64 {
+	if s.Count == 0 || len(s.Counts) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	// rank is the 1-based index of the observation whose value we estimate.
+	rank := uint64(q*float64(s.Count) + 0.5)
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > s.Count {
+		rank = s.Count
+	}
+	var cum uint64
+	for i, c := range s.Counts {
+		if c == 0 {
+			continue
+		}
+		cum += c
+		if cum < rank {
+			continue
+		}
+		if i >= len(s.Bounds) {
+			// +Inf bucket: clamp to the last finite bound.
+			if len(s.Bounds) == 0 {
+				return 0
+			}
+			return s.Bounds[len(s.Bounds)-1]
+		}
+		lower := 0.0
+		if i > 0 {
+			lower = s.Bounds[i-1]
+		}
+		upper := s.Bounds[i]
+		// Position of the rank within this bucket's observations.
+		intoBucket := float64(rank - (cum - c))
+		return lower + (upper-lower)*(intoBucket/float64(c))
+	}
+	return s.Bounds[len(s.Bounds)-1]
+}

@@ -1,0 +1,95 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmpty(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_empty", "t", []float64{1, 2, 4})
+	if got := h.Quantile(0.99); got != 0 {
+		t.Fatalf("empty histogram Quantile = %v, want 0", got)
+	}
+}
+
+// TestQuantileUniform checks interpolation on a uniform fill: 1000
+// observations spread evenly over (0, 10] with bounds every unit must put
+// p50 near 5 and p90 near 9, well within one bucket width.
+func TestQuantileUniform(t *testing.T) {
+	bounds := []float64{1, 2, 3, 4, 5, 6, 7, 8, 9, 10}
+	r := NewRegistry()
+	h := r.Histogram("q_uniform", "t", bounds)
+	for i := 1; i <= 1000; i++ {
+		h.Observe(float64(i) / 100.0)
+	}
+	cases := []struct{ q, want float64 }{
+		{0.5, 5.0}, {0.9, 9.0}, {0.99, 9.9}, {0.1, 1.0},
+	}
+	for _, c := range cases {
+		got := h.Quantile(c.q)
+		if math.Abs(got-c.want) > 1.0 {
+			t.Errorf("Quantile(%v) = %v, want ~%v (±1 bucket)", c.q, got, c.want)
+		}
+	}
+}
+
+// TestQuantileSingleBucket: all mass in one bucket interpolates between the
+// bucket's edges.
+func TestQuantileSingleBucket(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_single", "t", []float64{1, 2, 4})
+	for i := 0; i < 100; i++ {
+		h.Observe(1.5)
+	}
+	got := h.Quantile(0.5)
+	if got < 1 || got > 2 {
+		t.Fatalf("Quantile(0.5) = %v, want within (1, 2]", got)
+	}
+}
+
+// TestQuantileOverflowClamps: observations past the last bound clamp the
+// estimate to the highest finite bound instead of inventing a value.
+func TestQuantileOverflowClamps(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_over", "t", []float64{1, 2})
+	for i := 0; i < 10; i++ {
+		h.Observe(100)
+	}
+	if got := h.Quantile(0.99); got != 2 {
+		t.Fatalf("Quantile(0.99) = %v, want clamp to 2", got)
+	}
+}
+
+// TestQuantileExtremes: q outside [0,1] clamps, q=0 and q=1 return the
+// lowest/highest populated bucket estimates.
+func TestQuantileExtremes(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_ext", "t", []float64{1, 2, 4})
+	h.Observe(0.5)
+	h.Observe(3)
+	lo, hi := h.Quantile(-1), h.Quantile(2)
+	if lo <= 0 || lo > 1 {
+		t.Fatalf("Quantile(-1) = %v, want within (0, 1]", lo)
+	}
+	if hi <= 2 || hi > 4 {
+		t.Fatalf("Quantile(2) = %v, want within (2, 4]", hi)
+	}
+}
+
+func TestSnapshotDetached(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("q_snap", "t", []float64{1, 2})
+	h.Observe(0.5)
+	snap := h.Snapshot()
+	h.Observe(0.5)
+	if snap.Count != 1 {
+		t.Fatalf("snapshot count = %d, want 1 (must not track the live histogram)", snap.Count)
+	}
+	if got := h.Count(); got != 2 {
+		t.Fatalf("live count = %d, want 2", got)
+	}
+	if snap.Sum != 0.5 {
+		t.Fatalf("snapshot sum = %v, want 0.5", snap.Sum)
+	}
+}

@@ -36,6 +36,13 @@ type Client struct {
 	// Backoff is the initial retry delay, doubled per attempt (default
 	// 100ms).
 	Backoff time.Duration
+	// Rand supplies the random bits for retry-backoff jitter: it must return
+	// a uniform value in [0, n). Nil uses math/rand/v2's process-global
+	// source — the right default for a fleet of independent clients, whose
+	// jitter exists to decorrelate them. Set a seeded source (e.g. a locked
+	// xrand stream) to make retry timing a pure function of the seed; the
+	// load harness does this so soak runs replay byte for byte.
+	Rand func(n uint64) uint64
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -50,6 +57,28 @@ func (c *Client) backoff() time.Duration {
 		return c.Backoff
 	}
 	return 100 * time.Millisecond
+}
+
+// randN draws the jitter bits from the configured source (seedable) or the
+// process-global one.
+func (c *Client) randN(n uint64) uint64 {
+	if c.Rand != nil {
+		return c.Rand(n)
+	}
+	return rand.Uint64N(n)
+}
+
+// jitteredWait computes one retry's wait: the current backoff delay jittered
+// uniformly over [delay/2, delay], raised to the server's Retry-After hint
+// when it asks for longer. Split out so the jitter math is testable as a
+// pure function of the Rand source.
+func (c *Client) jitteredWait(delay time.Duration, err error) time.Duration {
+	wait := delay/2 + time.Duration(c.randN(uint64(delay/2)+1))
+	var apiErr *APIError
+	if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
+		wait = apiErr.RetryAfter
+	}
+	return wait
 }
 
 // APIError is a non-2xx response with the server's error message.
@@ -140,11 +169,7 @@ func (c *Client) doIdempotent(ctx context.Context, method, path string, in, out 
 		if err == nil || attempt >= c.Retries || !retryable(err) {
 			return err
 		}
-		wait := delay/2 + rand.N(delay/2+1)
-		var apiErr *APIError
-		if errors.As(err, &apiErr) && apiErr.RetryAfter > wait {
-			wait = apiErr.RetryAfter
-		}
+		wait := c.jitteredWait(delay, err)
 		select {
 		case <-time.After(wait):
 		case <-ctx.Done():
@@ -245,16 +270,24 @@ func (c *Client) Job(ctx context.Context, id string) (JobStatus, error) {
 	return out, nil
 }
 
-// Jobs lists every job the daemon knows about — queued, running, and
-// terminal (including journal-restored ones), newest first.
-func (c *Client) Jobs(ctx context.Context) ([]JobStatus, error) {
+// Jobs lists jobs the daemon knows about — queued, running, and terminal
+// (including journal-restored ones), newest first. limit bounds the page
+// (0 = everything) and offset skips that many newest jobs, so a poller can
+// page through a long-lived daemon's history without O(total-jobs) GETs.
+// total is the job count before paging.
+func (c *Client) Jobs(ctx context.Context, limit, offset int) (jobs []JobStatus, total int, err error) {
 	var out struct {
-		Jobs []JobStatus `json:"jobs"`
+		Jobs  []JobStatus `json:"jobs"`
+		Total int         `json:"total"`
 	}
-	if err := c.doIdempotent(ctx, http.MethodGet, "/v1/jobs", nil, &out); err != nil {
-		return nil, err
+	path := "/v1/jobs"
+	if limit > 0 || offset > 0 {
+		path += fmt.Sprintf("?limit=%d&offset=%d", limit, offset)
 	}
-	return out.Jobs, nil
+	if err := c.doIdempotent(ctx, http.MethodGet, path, nil, &out); err != nil {
+		return nil, 0, err
+	}
+	return out.Jobs, out.Total, nil
 }
 
 // ClusterRegister joins (or heartbeats) this process as a worker in a

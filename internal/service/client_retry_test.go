@@ -9,6 +9,8 @@ import (
 	"sync/atomic"
 	"testing"
 	"time"
+
+	"hmem/internal/xrand"
 )
 
 // flakyServer fails the first n requests with code (plus headers), then
@@ -126,5 +128,65 @@ func TestClientSubmitJobRetriesOnlyWithIdempotencyKey(t *testing.T) {
 	}
 	if st.ID != "job-1" || calls.Load() != 2 {
 		t.Fatalf("keyed submit: id=%s calls=%d, want job-1 after 2 calls", st.ID, calls.Load())
+	}
+}
+
+// TestClientJitterIsSeedable: the backoff jitter is a pure function of the
+// client's Rand source — two clients threaded with identical seeded streams
+// compute identical wait sequences, which is what makes a seeded load run
+// (including its retries) replayable end to end.
+func TestClientJitterIsSeedable(t *testing.T) {
+	waits := func(seed uint64) []time.Duration {
+		rng := xrand.New(seed)
+		c := &Client{
+			Backoff: 100 * time.Millisecond,
+			Rand:    func(n uint64) uint64 { return rng.Uint64n(n) },
+		}
+		var out []time.Duration
+		delay := c.backoff()
+		for i := 0; i < 8; i++ {
+			out = append(out, c.jitteredWait(delay, errors.New("transport")))
+			delay *= 2
+		}
+		return out
+	}
+	a, b := waits(42), waits(42)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("wait %d differs for the same seed: %v vs %v", i, a[i], b[i])
+		}
+	}
+	other := waits(43)
+	same := true
+	for i := range a {
+		if a[i] != other[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Fatal("different seeds produced identical jitter sequences")
+	}
+}
+
+// TestClientJitterBounds: with or without a seeded source, the computed wait
+// stays within [delay/2, delay] — and a Retry-After hint longer than that
+// range wins.
+func TestClientJitterBounds(t *testing.T) {
+	rng := xrand.New(7)
+	for _, c := range []*Client{
+		{Backoff: 80 * time.Millisecond},
+		{Backoff: 80 * time.Millisecond, Rand: func(n uint64) uint64 { return rng.Uint64n(n) }},
+	} {
+		for i := 0; i < 100; i++ {
+			w := c.jitteredWait(c.backoff(), errors.New("transport"))
+			if w < 40*time.Millisecond || w > 80*time.Millisecond {
+				t.Fatalf("wait %v outside [40ms, 80ms]", w)
+			}
+		}
+		w := c.jitteredWait(c.backoff(), &APIError{StatusCode: 503, RetryAfter: time.Second})
+		if w != time.Second {
+			t.Fatalf("Retry-After hint ignored: wait = %v, want 1s", w)
+		}
 	}
 }

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"strconv"
 	"sync"
 	"time"
 
@@ -218,14 +219,29 @@ func (st *jobStore) get(id string) (*job, bool) {
 	return j, ok
 }
 
-func (st *jobStore) list() []JobStatus {
+// list returns a newest-first page of job statuses plus the pre-paging
+// total. limit <= 0 means "everything from offset"; an offset past the end
+// returns an empty page, not an error.
+func (st *jobStore) list(limit, offset int) ([]JobStatus, int) {
 	st.mu.Lock()
 	defer st.mu.Unlock()
-	out := make([]JobStatus, 0, len(st.order))
-	for _, j := range st.order {
-		out = append(out, j.status())
+	total := len(st.order)
+	if offset < 0 {
+		offset = 0
 	}
-	return out
+	n := total - offset
+	if n < 0 {
+		n = 0
+	}
+	if limit > 0 && n > limit {
+		n = limit
+	}
+	out := make([]JobStatus, 0, n)
+	// st.order is oldest-first; walk backwards so page 0 is the newest jobs.
+	for i := total - 1 - offset; i >= 0 && len(out) < n; i-- {
+		out = append(out, st.order[i].status())
+	}
+	return out, total
 }
 
 // transition records a state change, appends the event, and wakes watchers.
@@ -388,8 +404,36 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusAccepted, s.jobs.statusOf(j))
 }
 
-func (s *Service) handleListJobs(w http.ResponseWriter, _ *http.Request) {
-	writeJSON(w, http.StatusOK, map[string]any{"jobs": s.jobs.list()})
+// handleListJobs serves a newest-first page of jobs. Without limit/offset
+// the full history is returned (backward compatible); job-heavy soak runs
+// pass limit so polling the listing stays O(page), not O(jobs ever
+// submitted).
+func (s *Service) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	limit, err := queryInt(r, "limit", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	offset, err := queryInt(r, "offset", 0)
+	if err != nil {
+		writeError(w, http.StatusBadRequest, err)
+		return
+	}
+	jobs, total := s.jobs.list(limit, offset)
+	writeJSON(w, http.StatusOK, map[string]any{"jobs": jobs, "total": total})
+}
+
+// queryInt parses an optional non-negative integer query parameter.
+func queryInt(r *http.Request, name string, def int) (int, error) {
+	v := r.URL.Query().Get(name)
+	if v == "" {
+		return def, nil
+	}
+	n, err := strconv.Atoi(v)
+	if err != nil || n < 0 {
+		return 0, fmt.Errorf("%s must be a non-negative integer, got %q", name, v)
+	}
+	return n, nil
 }
 
 func (s *Service) handleGetJob(w http.ResponseWriter, r *http.Request) {

@@ -2,7 +2,9 @@ package service
 
 import (
 	"context"
+	"net/http"
 	"net/http/httptest"
+	"reflect"
 	"testing"
 	"time"
 )
@@ -14,12 +16,12 @@ func TestJobsList(t *testing.T) {
 	_, c := newTestServer(t, tinyConfig())
 	ctx := context.Background()
 
-	jobs, err := c.Jobs(ctx)
+	jobs, total, err := c.Jobs(ctx, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(jobs) != 0 {
-		t.Fatalf("fresh daemon lists %d jobs, want 0", len(jobs))
+	if len(jobs) != 0 || total != 0 {
+		t.Fatalf("fresh daemon lists %d jobs (total %d), want 0", len(jobs), total)
 	}
 
 	// table1 is pure configuration rendering — cheap enough to run inline.
@@ -38,12 +40,12 @@ func TestJobsList(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	jobs, err = c.Jobs(ctx)
+	jobs, total, err = c.Jobs(ctx, 0, 0)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(jobs) != 2 {
-		t.Fatalf("listed %d jobs, want 2", len(jobs))
+	if len(jobs) != 2 || total != 2 {
+		t.Fatalf("listed %d jobs (total %d), want 2", len(jobs), total)
 	}
 	byID := map[string]JobStatus{}
 	for _, j := range jobs {
@@ -59,6 +61,76 @@ func TestJobsList(t *testing.T) {
 		}
 		if j.Experiment != "table1" {
 			t.Fatalf("job %s experiment = %q", id, j.Experiment)
+		}
+	}
+}
+
+// TestJobsListPagination pins the limit/offset contract: pages are
+// newest-first windows over the full history, total reports the pre-paging
+// count, an offset past the end is an empty page, and garbage parameters
+// are a 400 rather than a silent full listing.
+func TestJobsListPagination(t *testing.T) {
+	svc, c := newTestServer(t, tinyConfig())
+	ctx := context.Background()
+
+	// Five distinct cheap jobs, submitted in order; ids are job-1..job-5.
+	var ids []string
+	for i := 0; i < 5; i++ {
+		st, err := c.SubmitJob(ctx, JobRequest{
+			Experiment: "table1",
+			Options:    &OptionsPatch{Seed: uint64(i + 1)},
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if _, err := c.WaitJob(ctx, st.ID, nil); err != nil {
+			t.Fatal(err)
+		}
+		ids = append(ids, st.ID)
+	}
+
+	cases := []struct {
+		name          string
+		limit, offset int
+		want          []string // expected ids, newest first
+	}{
+		{"everything", 0, 0, []string{ids[4], ids[3], ids[2], ids[1], ids[0]}},
+		{"first page", 2, 0, []string{ids[4], ids[3]}},
+		{"second page", 2, 2, []string{ids[2], ids[1]}},
+		{"tail page", 2, 4, []string{ids[0]}},
+		{"offset past end", 2, 10, nil},
+		{"offset only", 0, 3, []string{ids[1], ids[0]}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			jobs, total, err := c.Jobs(ctx, tc.limit, tc.offset)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if total != 5 {
+				t.Fatalf("total = %d, want 5", total)
+			}
+			var got []string
+			for _, j := range jobs {
+				got = append(got, j.ID)
+			}
+			if !reflect.DeepEqual(got, tc.want) {
+				t.Fatalf("page = %v, want %v", got, tc.want)
+			}
+		})
+	}
+
+	// Garbage parameters 400.
+	ts := httptest.NewServer(svc.Handler())
+	defer ts.Close()
+	for _, q := range []string{"limit=banana", "offset=-1", "limit=-3"} {
+		resp, err := http.Get(ts.URL + "/v1/jobs?" + q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest {
+			t.Fatalf("GET /v1/jobs?%s = %d, want 400", q, resp.StatusCode)
 		}
 	}
 }

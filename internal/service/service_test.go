@@ -289,12 +289,13 @@ func TestQueueFull(t *testing.T) {
 	if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
 		t.Fatalf("err = %v, want 429", err)
 	}
-	jobs := svc.jobs.list()
+	jobs, _ := svc.jobs.list(0, 0)
 	if len(jobs) != 3 {
 		t.Fatalf("jobs = %d", len(jobs))
 	}
-	if jobs[2].State != JobCancelled {
-		t.Fatalf("overflow job state = %s, want cancelled", jobs[2].State)
+	// list is newest-first, so the overflow job (submitted last) leads.
+	if jobs[0].State != JobCancelled {
+		t.Fatalf("overflow job state = %s, want cancelled", jobs[0].State)
 	}
 }
 

@@ -1,0 +1,105 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+)
+
+// shedConfig builds the per-role config for the shed tests: one queue slot
+// and no drain workers, so the second submission overflows deterministically.
+func shedConfig(role string) Config {
+	var cfg Config
+	if role == RoleCoordinator {
+		cfg = clusterTestConfig(RoleCoordinator)
+	} else {
+		cfg = tinyConfig()
+	}
+	cfg.QueueDepth = 1
+	cfg.JobWorkers = -1
+	return cfg
+}
+
+// requestCount reads hmemd_requests_total{route,code} from /metrics.
+func requestCount(t *testing.T, baseURL, route string, code int) int {
+	t.Helper()
+	resp, err := http.Get(baseURL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, err := io.ReadAll(resp.Body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := fmt.Sprintf(`hmemd_requests_total{route=%q,code=%q}`, route, fmt.Sprint(code))
+	for _, line := range strings.Split(string(body), "\n") {
+		if strings.HasPrefix(line, want) {
+			var n int
+			if _, err := fmt.Sscanf(strings.TrimPrefix(line, want), "%d", &n); err != nil {
+				t.Fatalf("unparsable metric line %q", line)
+			}
+			return n
+		}
+	}
+	return 0
+}
+
+// TestShedPaths pins the load-shedding contract at both roles: a queue-full
+// submission is a 429 and a draining daemon's submission is a 503, each
+// carrying a Retry-After hint and each landing in the right
+// hmemd_requests_total{route,code} family — the numbers the load harness's
+// shed taxonomy keys off.
+func TestShedPaths(t *testing.T) {
+	for _, role := range []string{RoleStandalone, RoleCoordinator} {
+		t.Run(role+"/queue-full-429", func(t *testing.T) {
+			_, c := newTestServer(t, shedConfig(role))
+			ctx := context.Background()
+
+			if _, err := c.SubmitJob(ctx, JobRequest{Experiment: "table1"}); err != nil {
+				t.Fatalf("first submit: %v", err)
+			}
+			_, err := c.SubmitJob(ctx, JobRequest{Experiment: "table1"})
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusTooManyRequests {
+				t.Fatalf("overflow submit err = %v, want 429", err)
+			}
+			if apiErr.RetryAfter != time.Second {
+				t.Fatalf("429 Retry-After = %v, want 1s", apiErr.RetryAfter)
+			}
+			if n := requestCount(t, c.BaseURL, "POST /v1/jobs", http.StatusTooManyRequests); n != 1 {
+				t.Fatalf("requests_total{POST /v1/jobs,429} = %d, want 1", n)
+			}
+			if n := requestCount(t, c.BaseURL, "POST /v1/jobs", http.StatusAccepted); n != 1 {
+				t.Fatalf("requests_total{POST /v1/jobs,202} = %d, want 1", n)
+			}
+		})
+
+		t.Run(role+"/draining-503", func(t *testing.T) {
+			svc, c := newTestServer(t, shedConfig(role))
+			// Shutdown returns with the httptest server still serving, and
+			// `closing` stays true forever after — exactly the drain window a
+			// client can race into.
+			if err := svc.Shutdown(context.Background()); err != nil {
+				t.Fatalf("shutdown: %v", err)
+			}
+
+			_, err := c.SubmitJob(context.Background(), JobRequest{Experiment: "table1"})
+			var apiErr *APIError
+			if !errors.As(err, &apiErr) || apiErr.StatusCode != http.StatusServiceUnavailable {
+				t.Fatalf("draining submit err = %v, want 503", err)
+			}
+			if apiErr.RetryAfter != time.Second {
+				t.Fatalf("503 Retry-After = %v, want 1s", apiErr.RetryAfter)
+			}
+			if n := requestCount(t, c.BaseURL, "POST /v1/jobs", http.StatusServiceUnavailable); n != 1 {
+				t.Fatalf("requests_total{POST /v1/jobs,503} = %d, want 1", n)
+			}
+		})
+	}
+}
