@@ -40,6 +40,7 @@ package main
 
 import (
 	"context"
+	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
@@ -52,6 +53,7 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/chaos"
 	"hmem/internal/cluster"
 	"hmem/internal/obs"
 	"hmem/internal/service"
@@ -76,13 +78,18 @@ func main() {
 		topology     = flag.String("topology", "", "default memory topology by name (empty = hbm-ddr; see GET /v1/topologies)")
 		topologyFile = flag.String("topology-file", "", "register a custom topology from a JSON file; it becomes the default unless -topology is set")
 
-		role        = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
-		coordinator = flag.String("coordinator", "", "coordinator base URL a worker registers with (required for -role worker)")
-		advertise   = flag.String("advertise", "", "URL the coordinator should reach this worker at (default http://127.0.0.1:<port of -addr>)")
-		workerID    = flag.String("worker-id", "", "stable worker identity in the placement ring (default <hostname>:<port>)")
-		heartbeat   = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = a third of the coordinator's TTL)")
-		clusterTTL  = flag.Duration("cluster-ttl", 0, "coordinator: drop workers silent for this long (0 = 10s)")
-		stealAfter  = flag.Duration("steal-after", 0, "coordinator: duplicate a shard on another worker after this long without an answer (0 = 2m)")
+		role         = flag.String("role", "standalone", "cluster role: standalone, coordinator, or worker")
+		coordinator  = flag.String("coordinator", "", "coordinator base URL a worker registers with (required for -role worker)")
+		advertise    = flag.String("advertise", "", "URL the coordinator should reach this worker at (default http://127.0.0.1:<port of -addr>)")
+		workerID     = flag.String("worker-id", "", "stable worker identity in the placement ring (default <hostname>:<port>)")
+		heartbeat    = flag.Duration("heartbeat", 0, "worker heartbeat interval (0 = a third of the coordinator's TTL)")
+		clusterTTL   = flag.Duration("cluster-ttl", 0, "coordinator: drop workers silent for this long (0 = 10s)")
+		stealAfter   = flag.Duration("steal-after", 0, "coordinator: duplicate a shard on another worker after this long without an answer (0 = 2m)")
+		shardTimeout = flag.Duration("shard-timeout", 0, "coordinator: bound one shard dispatch (0 = 10m); timeouts count against the worker's circuit breaker")
+		peerTimeout  = flag.Duration("peer-timeout", 0, "coordinator: bound one peer-cache probe (0 = 2s); keep small when a worker may be slow")
+		hedgeQ       = flag.Float64("hedge-quantile", 0, "coordinator: derive the straggler-hedge delay from this shard-latency quantile in (0,1) (0 = fixed -steal-after delay)")
+		admitBudget  = flag.Float64("admission-budget", 0, "in-flight cost ceiling in default-evaluation units before shedding (0 = 4 x GOMAXPROCS, min 32)")
+		chaosHTTP    = flag.String("chaos-http", "", "JSON chaos plan whose HTTP faults wrap this server's handler (testing only)")
 	)
 	flag.Parse()
 
@@ -116,10 +123,14 @@ func main() {
 		JournalDir:   *journalDir,
 		TraceBuffer:  *traceBuffer,
 		Role:         *role,
+		Admission:    service.AdmissionConfig{Budget: *admitBudget},
 		Cluster: service.ClusterConfig{
-			TTL:        *clusterTTL,
-			StealAfter: *stealAfter,
-			Logf:       log.Printf,
+			TTL:            *clusterTTL,
+			StealAfter:     *stealAfter,
+			RequestTimeout: *shardTimeout,
+			PeerTimeout:    *peerTimeout,
+			HedgeQuantile:  *hedgeQ,
+			Logf:           log.Printf,
 		},
 	}
 	if *role == "worker" && *coordinator == "" {
@@ -147,9 +158,30 @@ func main() {
 		}
 	}
 
+	// An optional chaos plan wraps the whole API surface — the brownout
+	// smoke boots a worker behind injected latency and watches the
+	// coordinator quarantine it.
+	handler := svc.Handler()
+	if *chaosHTTP != "" {
+		data, err := os.ReadFile(*chaosHTTP)
+		if err != nil {
+			log.Fatalf("hmemd: reading chaos plan: %v", err)
+		}
+		var plan chaos.Plan
+		if err := json.Unmarshal(data, &plan); err != nil {
+			log.Fatalf("hmemd: parsing chaos plan %s: %v", *chaosHTTP, err)
+		}
+		inj, err := chaos.New(plan)
+		if err != nil {
+			log.Fatalf("hmemd: %v", err)
+		}
+		handler = inj.Handler(handler)
+		log.Printf("hmemd: chaos plan %s active (%d http faults)", *chaosHTTP, len(plan.HTTP))
+	}
+
 	srv := &http.Server{
 		Addr:              *addr,
-		Handler:           svc.Handler(),
+		Handler:           handler,
 		ReadHeaderTimeout: 10 * time.Second,
 	}
 

@@ -1,0 +1,316 @@
+// Package breaker implements a circuit breaker: a three-state machine
+// (closed / open / half-open) that watches a sliding window of call outcomes
+// and stops sending traffic to an upstream that is failing, then probes it
+// with a bounded trickle until it proves healthy again.
+//
+// The contract is deliberately minimal so both hmemd's typed client (one
+// breaker per host) and the cluster scheduler (one breaker per worker, via
+// Set) can share it:
+//
+//	done, ok := b.Allow()
+//	if !ok { /* refuse fast; the upstream is quarantined */ }
+//	err := call()
+//	done(err == nil /* or any success predicate */)
+//
+// Closed admits everything and records outcomes into a sliding window; when
+// the window's failure ratio crosses the threshold (with a minimum sample
+// count, so one early failure can't trip an idle breaker) it opens. Open
+// refuses everything until OpenFor has elapsed, then moves to half-open.
+// Half-open admits at most ProbeBudget concurrent probes: ProbeSuccesses
+// consecutive successful probes close the breaker, any probe failure snaps
+// it back to open for another full OpenFor.
+//
+// Everything is stdlib-only and safe for concurrent use.
+package breaker
+
+import (
+	"sync"
+	"time"
+)
+
+// State is the breaker's position in the closed → open → half-open cycle.
+type State int32
+
+const (
+	// Closed is normal operation: all calls admitted, outcomes recorded.
+	Closed State = iota
+	// Open is quarantine: all calls refused until OpenFor elapses.
+	Open
+	// HalfOpen is recovery probing: up to ProbeBudget concurrent calls
+	// admitted; their outcomes decide between Closed and Open.
+	HalfOpen
+)
+
+func (s State) String() string {
+	switch s {
+	case Closed:
+		return "closed"
+	case Open:
+		return "open"
+	case HalfOpen:
+		return "half-open"
+	}
+	return "unknown"
+}
+
+// Config tunes a Breaker. The zero value gives usable defaults throughout.
+type Config struct {
+	// Window is the sliding outcome window size (<=0 = 20 outcomes).
+	Window int
+	// MinSamples is the minimum number of recorded outcomes before the
+	// failure ratio can trip the breaker (<=0 = 5). Below it the breaker
+	// stays closed no matter what, so a cold upstream's first hiccup does
+	// not quarantine it.
+	MinSamples int
+	// FailureRatio is the windowed failure fraction at or above which a
+	// closed breaker trips (<=0 = 0.5).
+	FailureRatio float64
+	// OpenFor is the quarantine duration before an open breaker admits
+	// probes (<=0 = 5s).
+	OpenFor time.Duration
+	// ProbeBudget bounds concurrent half-open probes (<=0 = 1) — the
+	// recovering upstream must not be re-flooded by every waiter at once.
+	ProbeBudget int
+	// ProbeSuccesses is the number of consecutive successful probes needed
+	// to close again (<=0 = 2).
+	ProbeSuccesses int
+	// Now is the clock (nil = time.Now) — the test seam.
+	Now func() time.Time
+	// OnTransition, when set, is called after every state change, outside
+	// the breaker's lock (so it may call back into the breaker).
+	OnTransition func(from, to State)
+}
+
+func (c Config) window() int {
+	if c.Window > 0 {
+		return c.Window
+	}
+	return 20
+}
+
+func (c Config) minSamples() int {
+	if c.MinSamples > 0 {
+		return c.MinSamples
+	}
+	return 5
+}
+
+func (c Config) failureRatio() float64 {
+	if c.FailureRatio > 0 {
+		return c.FailureRatio
+	}
+	return 0.5
+}
+
+func (c Config) openFor() time.Duration {
+	if c.OpenFor > 0 {
+		return c.OpenFor
+	}
+	return 5 * time.Second
+}
+
+func (c Config) probeBudget() int {
+	if c.ProbeBudget > 0 {
+		return c.ProbeBudget
+	}
+	return 1
+}
+
+func (c Config) probeSuccesses() int {
+	if c.ProbeSuccesses > 0 {
+		return c.ProbeSuccesses
+	}
+	return 2
+}
+
+func (c Config) now() time.Time {
+	if c.Now != nil {
+		return c.Now()
+	}
+	return time.Now()
+}
+
+// Breaker is one circuit breaker. Create with New.
+type Breaker struct {
+	cfg Config
+
+	mu       sync.Mutex
+	state    State
+	outcomes []bool // ring buffer of recent outcomes (true = success)
+	head     int    // next write slot
+	n        int    // filled entries
+	fails    int    // failures among the filled entries
+	openedAt time.Time
+	probes   int // in-flight half-open probes
+	probeOK  int // consecutive successful probes this half-open episode
+
+	// counters (guarded by mu; read via Stats)
+	allowed, refused, opens, closes uint64
+}
+
+// New builds a breaker starting Closed.
+func New(cfg Config) *Breaker {
+	return &Breaker{cfg: cfg, outcomes: make([]bool, cfg.window())}
+}
+
+// Allow reports whether a call may proceed. When it returns true the caller
+// MUST invoke done exactly once with the call's outcome (true = success);
+// dropping it leaks a half-open probe slot. When it returns false the
+// upstream is quarantined and the caller should fail fast or go elsewhere.
+func (b *Breaker) Allow() (done func(success bool), ok bool) {
+	var tr *transition
+	b.mu.Lock()
+	switch b.state {
+	case Open:
+		if b.cfg.now().Sub(b.openedAt) < b.cfg.openFor() {
+			b.refused++
+			b.mu.Unlock()
+			return nil, false
+		}
+		tr = b.setState(HalfOpen)
+		fallthrough
+	case HalfOpen:
+		if b.probes >= b.cfg.probeBudget() {
+			b.refused++
+			b.mu.Unlock()
+			b.notify(tr)
+			return nil, false
+		}
+		b.probes++
+		b.allowed++
+		b.mu.Unlock()
+		b.notify(tr)
+		return b.recordProbe, true
+	default: // Closed
+		b.allowed++
+		b.mu.Unlock()
+		return b.recordClosed, true
+	}
+}
+
+// State returns the current state. An expired Open quarantine still reports
+// Open until traffic arrives — transitions are driven by Allow, not by a
+// timer goroutine.
+func (b *Breaker) State() State {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.state
+}
+
+// Stats is a point-in-time snapshot of breaker activity.
+type Stats struct {
+	State            State
+	Allowed, Refused uint64
+	Opens, Closes    uint64
+	// WindowSamples / WindowFailures describe the current sliding window.
+	WindowSamples, WindowFailures int
+}
+
+// Stats snapshots the counters.
+func (b *Breaker) Stats() Stats {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return Stats{
+		State:   b.state,
+		Allowed: b.allowed, Refused: b.refused,
+		Opens: b.opens, Closes: b.closes,
+		WindowSamples: b.n, WindowFailures: b.fails,
+	}
+}
+
+// transition is a pending OnTransition callback, invoked outside the lock.
+type transition struct{ from, to State }
+
+func (b *Breaker) notify(tr *transition) {
+	if tr != nil && b.cfg.OnTransition != nil {
+		b.cfg.OnTransition(tr.from, tr.to)
+	}
+}
+
+// setState moves the machine and resets the episode-local bookkeeping. Must
+// hold b.mu; the returned transition is fired by the caller after unlocking.
+func (b *Breaker) setState(to State) *transition {
+	from := b.state
+	if from == to {
+		return nil
+	}
+	b.state = to
+	switch to {
+	case Open:
+		b.opens++
+		b.openedAt = b.cfg.now()
+		b.resetWindow()
+	case HalfOpen:
+		b.probes = 0
+		b.probeOK = 0
+	case Closed:
+		b.closes++
+		b.resetWindow()
+	}
+	return &transition{from: from, to: to}
+}
+
+func (b *Breaker) resetWindow() {
+	b.head, b.n, b.fails = 0, 0, 0
+}
+
+// push records one outcome into the sliding window. Must hold b.mu.
+func (b *Breaker) push(success bool) {
+	w := len(b.outcomes)
+	if b.n == w {
+		if !b.outcomes[b.head] {
+			b.fails--
+		}
+	} else {
+		b.n++
+	}
+	b.outcomes[b.head] = success
+	if !success {
+		b.fails++
+	}
+	b.head = (b.head + 1) % w
+}
+
+// recordClosed lands the outcome of a call admitted while Closed. Outcomes
+// arriving after the breaker already left Closed (a slow call racing a trip)
+// are dropped — the episode they describe is over.
+func (b *Breaker) recordClosed(success bool) {
+	var tr *transition
+	b.mu.Lock()
+	if b.state == Closed {
+		b.push(success)
+		if b.n >= b.cfg.minSamples() &&
+			float64(b.fails) >= b.cfg.failureRatio()*float64(b.n) {
+			tr = b.setState(Open)
+		}
+	}
+	b.mu.Unlock()
+	b.notify(tr)
+}
+
+// recordProbe lands the outcome of a half-open probe: enough consecutive
+// successes close the breaker, any failure re-opens it for a full OpenFor.
+func (b *Breaker) recordProbe(success bool) {
+	var tr *transition
+	b.mu.Lock()
+	if b.probes > 0 {
+		b.probes--
+	}
+	switch b.state {
+	case HalfOpen:
+		if success {
+			b.probeOK++
+			if b.probeOK >= b.cfg.probeSuccesses() {
+				tr = b.setState(Closed)
+			}
+		} else {
+			tr = b.setState(Open)
+		}
+	case Closed:
+		// A sibling probe already closed us; this outcome is ordinary
+		// closed-state evidence.
+		b.push(success)
+	}
+	b.mu.Unlock()
+	b.notify(tr)
+}

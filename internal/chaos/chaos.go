@@ -80,12 +80,25 @@ type TaskFault struct {
 type HTTPFault struct {
 	// AtRequest is the 0-based request index at which the fault fires.
 	AtRequest int `json:"at_request"`
+	// ThroughRequest, when > 0, widens the fault into a window: it fires on
+	// every request with AtRequest <= index <= ThroughRequest. Zero keeps the
+	// original exact-index behavior. Windows are what brownout plans use — a
+	// bounded stretch of degraded service that ends on its own.
+	ThroughRequest int `json:"through_request,omitempty"`
 	// Mode is ModeLatency, ModeError, or ModeDrop.
 	Mode string `json:"mode"`
 	// LatencyMS is the added latency for ModeLatency.
 	LatencyMS int64 `json:"latency_ms,omitempty"`
 	// Code is the synthetic status for ModeError (default 503).
 	Code int `json:"code,omitempty"`
+}
+
+// matches reports whether the fault fires at request index idx.
+func (f HTTPFault) matches(idx int) bool {
+	if f.ThroughRequest > 0 {
+		return idx >= f.AtRequest && idx <= f.ThroughRequest
+	}
+	return idx == f.AtRequest
 }
 
 // WriteFault injects one fault into a wrapped io.Writer.
@@ -133,6 +146,10 @@ func (p Plan) Validate() error {
 	for i, f := range p.HTTP {
 		if f.AtRequest < 0 {
 			return fmt.Errorf("chaos: http fault %d: negative at_request", i)
+		}
+		if f.ThroughRequest > 0 && f.ThroughRequest < f.AtRequest {
+			return fmt.Errorf("chaos: http fault %d: through_request %d before at_request %d",
+				i, f.ThroughRequest, f.AtRequest)
 		}
 		switch f.Mode {
 		case ModeLatency, ModeError, ModeDrop:

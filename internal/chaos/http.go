@@ -16,7 +16,7 @@ import (
 func (inj *Injector) httpFaultFor() (HTTPFault, bool) {
 	idx := int(inj.httpReqs.Add(1)) - 1
 	for _, f := range inj.plan.HTTP {
-		if f.AtRequest == idx {
+		if f.matches(idx) {
 			return f, true
 		}
 	}

@@ -1,0 +1,82 @@
+package chaos
+
+import (
+	"net/http"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Slowdown is a client-side brownout: requests to slowed hosts are delayed by
+// a configured amount before reaching the real transport, while everything
+// else passes through untouched. It is the latency sibling of Partition —
+// addressed by host and togglable at runtime — for chaos tests that need a
+// worker to stay alive but turn straggler: slow it 10×, watch breakers open
+// and hedges fire, then clear the delay and watch recovery.
+//
+// Wire it in as an http.RoundTripper (e.g. service.ClusterConfig.Transport).
+// Safe for concurrent use.
+type Slowdown struct {
+	rt http.RoundTripper
+
+	mu     sync.Mutex
+	delays map[string]time.Duration
+
+	delayed atomic.Uint64
+}
+
+// NewSlowdown wraps rt (nil = http.DefaultTransport) with no hosts slowed.
+func NewSlowdown(rt http.RoundTripper) *Slowdown {
+	if rt == nil {
+		rt = http.DefaultTransport
+	}
+	return &Slowdown{rt: rt, delays: make(map[string]time.Duration)}
+}
+
+// SetDelay injects d of extra latency before every request to host
+// ("host:port" as it appears in request URLs). A non-positive d clears it.
+func (s *Slowdown) SetDelay(host string, d time.Duration) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if d <= 0 {
+		delete(s.delays, host)
+		return
+	}
+	s.delays[host] = d
+}
+
+// Clear removes the injected delay from the given hosts (no hosts = all).
+func (s *Slowdown) Clear(hosts ...string) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if len(hosts) == 0 {
+		clear(s.delays)
+		return
+	}
+	for _, h := range hosts {
+		delete(s.delays, h)
+	}
+}
+
+// Delayed counts requests that were slowed down.
+func (s *Slowdown) Delayed() uint64 { return s.delayed.Load() }
+
+// RoundTrip implements http.RoundTripper. The delay honors the request
+// context: a caller timeout fires during the injected sleep exactly as it
+// would during a real stall.
+func (s *Slowdown) RoundTrip(req *http.Request) (*http.Response, error) {
+	s.mu.Lock()
+	d := s.delays[req.URL.Host]
+	s.mu.Unlock()
+	if d > 0 {
+		s.delayed.Add(1)
+		t := time.NewTimer(d)
+		select {
+		case <-t.C:
+		case <-req.Context().Done():
+			t.Stop()
+			return nil, req.Context().Err()
+		}
+	}
+	return s.rt.RoundTrip(req)
+}

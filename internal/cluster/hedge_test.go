@@ -1,0 +1,69 @@
+package cluster
+
+import (
+	"testing"
+	"time"
+)
+
+func TestHedgeDelayAdaptive(t *testing.T) {
+	s := &Scheduler{StealAfter: 2 * time.Second, HedgeQuantile: 0.9}
+
+	// Below hedgeMinSamples the fixed StealAfter is the fallback.
+	if d := s.hedgeDelay(); d != 2*time.Second {
+		t.Fatalf("delay with no samples = %v, want StealAfter", d)
+	}
+	// 10 samples at 400ms: p90 = 400ms, ×2 multiplier = 800ms — inside the
+	// [StealAfter/4, StealAfter] = [500ms, 2s] clamp.
+	for i := 0; i < 10; i++ {
+		s.lat.observe(400 * time.Millisecond)
+	}
+	if d := s.hedgeDelay(); d != 800*time.Millisecond {
+		t.Fatalf("adaptive delay = %v, want 800ms (2 × p90)", d)
+	}
+	// Fast shards cannot collapse the delay below StealAfter/4.
+	for i := 0; i < latencyWindowCap; i++ {
+		s.lat.observe(time.Millisecond)
+	}
+	if d := s.hedgeDelay(); d != 500*time.Millisecond {
+		t.Fatalf("clamped-low delay = %v, want StealAfter/4", d)
+	}
+	// Slow shards cannot stretch it past StealAfter.
+	for i := 0; i < latencyWindowCap; i++ {
+		s.lat.observe(10 * time.Second)
+	}
+	if d := s.hedgeDelay(); d != 2*time.Second {
+		t.Fatalf("clamped-high delay = %v, want StealAfter", d)
+	}
+	// Zero StealAfter disables hedging regardless of samples.
+	s.StealAfter = 0
+	if d := s.hedgeDelay(); d != 0 {
+		t.Fatalf("delay with StealAfter=0 = %v, want 0", d)
+	}
+}
+
+func TestHedgeBudget(t *testing.T) {
+	s := &Scheduler{HedgeBurst: 2, HedgeRatio: 0.25}
+
+	// The burst allowance covers the first two hedges with no credit earned.
+	if !s.spendHedge() || !s.spendHedge() {
+		t.Fatal("burst allowance refused a hedge")
+	}
+	if s.spendHedge() {
+		t.Fatal("third hedge granted with no earned credit")
+	}
+	// Three placements earn 0.75 of a token — still short.
+	for i := 0; i < 3; i++ {
+		s.earnHedge()
+	}
+	if s.spendHedge() {
+		t.Fatal("hedge granted at 0.75 earned tokens")
+	}
+	// The fourth placement completes the token.
+	s.earnHedge()
+	if !s.spendHedge() {
+		t.Fatal("hedge refused with a full earned token")
+	}
+	if s.spendHedge() {
+		t.Fatal("hedge granted beyond the budget")
+	}
+}

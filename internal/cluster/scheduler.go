@@ -8,10 +8,13 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"sort"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"time"
 
+	"hmem/internal/breaker"
 	"hmem/internal/exec"
 	"hmem/internal/obs"
 )
@@ -59,10 +62,40 @@ type Scheduler struct {
 	// mirroring the journal's bounded attempt counting so a poison shard
 	// cannot ricochet around the cluster forever.
 	MaxAttempts int
-	// StealAfter launches a duplicate dispatch on the next ring candidate
-	// when the owner has not answered within this duration (0 disables
-	// stealing). First success wins; the loser's result is discarded.
+	// StealAfter launches a duplicate dispatch (a hedge) on the next ring
+	// candidate when the owner has not answered within this duration
+	// (0 disables hedging). First success wins; the loser's result is
+	// discarded. With HedgeQuantile set, StealAfter becomes the fallback
+	// and ceiling for the adaptive delay rather than the delay itself.
 	StealAfter time.Duration
+	// HedgeQuantile, when in (0,1), derives the hedge delay from observed
+	// shard latency instead of the fixed StealAfter: delay =
+	// HedgeMultiplier × that latency quantile, clamped to
+	// [HedgeMin, HedgeMax]. Zero keeps the fixed StealAfter delay.
+	HedgeQuantile float64
+	// HedgeMultiplier scales the latency quantile into the hedge delay
+	// (<=0 = 2): hedging at 2× the p95 only duplicates genuine outliers.
+	HedgeMultiplier float64
+	// HedgeMin / HedgeMax clamp the adaptive delay (<=0 = StealAfter/4 and
+	// StealAfter respectively), so a burst of fast cache-adjacent shards
+	// cannot collapse the delay to microseconds and duplicate everything.
+	HedgeMin time.Duration
+	HedgeMax time.Duration
+	// HedgeRatio is the hedge credit earned per primary dispatch
+	// (<=0 = 0.25): at most one hedge per 1/ratio placements beyond the
+	// burst allowance, the global budget that stops hedges from amplifying
+	// an overload.
+	HedgeRatio float64
+	// HedgeBurst is the up-front hedge allowance (<=0 = 2) so the first
+	// straggler of a run can still be hedged before any credit accrues.
+	HedgeBurst int
+	// Breakers, when set, quarantines failing workers: placement skips
+	// candidates whose breaker refuses, dispatch outcomes feed it (transport
+	// failures and retryable statuses count against the worker; application
+	// errors do not — the shard, not the worker, is broken). Workers with an
+	// open breaker are probed by the breaker's half-open trickle instead of
+	// being binary-expired from the ring.
+	Breakers *breaker.Set
 	// RequestTimeout bounds one shard POST (<=0 means 10 minutes —
 	// simulations are slow, wedged workers are not).
 	RequestTimeout time.Duration
@@ -74,7 +107,17 @@ type Scheduler struct {
 
 	cache Cache
 
-	placed, retries, steals, peerHits atomic.Uint64
+	placed, retries, hedges, peerHits, breakerSkips atomic.Uint64
+
+	// hedgeEarnedMilli/hedgeSpent implement the global hedge budget in
+	// milli-tokens: each placement earns HedgeRatio×1000, each hedge spends
+	// 1000, and HedgeBurst×1000 is free up front.
+	hedgeEarnedMilli atomic.Uint64
+	hedgeSpent       atomic.Uint64
+
+	// lat samples successful shard round-trip latencies for the adaptive
+	// hedge delay.
+	lat latencyWindow
 }
 
 func (s *Scheduler) maxAttempts() int {
@@ -111,6 +154,134 @@ func (s *Scheduler) logf(format string, args ...any) {
 	}
 }
 
+func (s *Scheduler) hedgeMultiplier() float64 {
+	if s.HedgeMultiplier > 0 {
+		return s.HedgeMultiplier
+	}
+	return 2
+}
+
+func (s *Scheduler) hedgeMin() time.Duration {
+	if s.HedgeMin > 0 {
+		return s.HedgeMin
+	}
+	return s.StealAfter / 4
+}
+
+func (s *Scheduler) hedgeMax() time.Duration {
+	if s.HedgeMax > 0 {
+		return s.HedgeMax
+	}
+	return s.StealAfter
+}
+
+func (s *Scheduler) hedgeRatio() float64 {
+	if s.HedgeRatio > 0 {
+		return s.HedgeRatio
+	}
+	return 0.25
+}
+
+func (s *Scheduler) hedgeBurst() int {
+	if s.HedgeBurst > 0 {
+		return s.HedgeBurst
+	}
+	return 2
+}
+
+// hedgeDelay picks this dispatch's hedge delay: the latency-quantile-derived
+// adaptive delay when configured and enough samples exist, the fixed
+// StealAfter otherwise. Zero disables hedging entirely.
+func (s *Scheduler) hedgeDelay() time.Duration {
+	if s.StealAfter <= 0 {
+		return 0
+	}
+	if s.HedgeQuantile <= 0 || s.HedgeQuantile >= 1 {
+		return s.StealAfter
+	}
+	q, ok := s.lat.quantile(s.HedgeQuantile)
+	if !ok {
+		return s.StealAfter
+	}
+	d := time.Duration(s.hedgeMultiplier() * q * float64(time.Second))
+	if min := s.hedgeMin(); d < min {
+		d = min
+	}
+	if max := s.hedgeMax(); max > 0 && d > max {
+		d = max
+	}
+	return d
+}
+
+// earnHedge credits the budget for one primary placement.
+func (s *Scheduler) earnHedge() {
+	s.hedgeEarnedMilli.Add(uint64(s.hedgeRatio() * 1000))
+}
+
+// spendHedge tries to debit one hedge from the global budget.
+func (s *Scheduler) spendHedge() bool {
+	for {
+		spent := s.hedgeSpent.Load()
+		if (spent+1)*1000 > uint64(s.hedgeBurst())*1000+s.hedgeEarnedMilli.Load() {
+			return false
+		}
+		if s.hedgeSpent.CompareAndSwap(spent, spent+1) {
+			return true
+		}
+	}
+}
+
+// workerHealthy is the breaker's success predicate for one dispatch: nil is
+// healthy, and so is a non-retryable WorkerError — the worker answered, the
+// shard itself is deterministically broken. Transport failures, timeouts,
+// and 429/503 count against the worker.
+func workerHealthy(err error) bool {
+	if err == nil {
+		return true
+	}
+	var werr *WorkerError
+	return errors.As(err, &werr) && !retryableStatus(werr.Status)
+}
+
+// latencyWindow is a fixed-capacity ring of recent successful shard
+// latencies (seconds). quantile sorts a copy; with fewer than
+// hedgeMinSamples entries it reports no estimate so early dispatches fall
+// back to the fixed delay.
+type latencyWindow struct {
+	mu      sync.Mutex
+	samples [latencyWindowCap]float64
+	head, n int
+}
+
+const (
+	latencyWindowCap = 128
+	hedgeMinSamples  = 8
+)
+
+func (lw *latencyWindow) observe(d time.Duration) {
+	lw.mu.Lock()
+	lw.samples[lw.head] = d.Seconds()
+	lw.head = (lw.head + 1) % latencyWindowCap
+	if lw.n < latencyWindowCap {
+		lw.n++
+	}
+	lw.mu.Unlock()
+}
+
+func (lw *latencyWindow) quantile(q float64) (float64, bool) {
+	lw.mu.Lock()
+	if lw.n < hedgeMinSamples {
+		lw.mu.Unlock()
+		return 0, false
+	}
+	tmp := make([]float64, lw.n)
+	copy(tmp, lw.samples[:lw.n])
+	lw.mu.Unlock()
+	sort.Float64s(tmp)
+	idx := int(q * float64(len(tmp)-1))
+	return tmp[idx], true
+}
+
 // Peek exposes the scheduler's completed-shard cache, so a coordinator also
 // answers peer-cache lookups.
 func (s *Scheduler) Peek(key string) ([]byte, bool) { return s.cache.Peek(key) }
@@ -141,8 +312,9 @@ func (s *Scheduler) RunAll(ctx context.Context, workers int, shards []Shard) ([]
 }
 
 // dispatch drives one shard to completion: peer-cache scan, then placement
-// on the ring owner with bounded retry-on-another-worker and optional
-// work-stealing.
+// on the ring owner with bounded retry-on-another-worker and hedging of
+// stragglers, both consulting per-worker circuit breakers so quarantined
+// workers are skipped rather than tried.
 func (s *Scheduler) dispatch(ctx context.Context, sh Shard, key string) ([]byte, error) {
 	if obs.Enabled(ctx) {
 		var sp *obs.Span
@@ -164,18 +336,49 @@ func (s *Scheduler) dispatch(ctx context.Context, sh Shard, key string) ([]byte,
 		from Worker
 	}
 	ch := make(chan outcome, len(cands))
-	launch := func(w Worker) {
-		s.placed.Add(1)
-		go func() {
-			body, err := s.post(ctx, w, sh)
-			ch <- outcome{body: body, err: err, from: w}
-		}()
+	inflight, next := 0, 0
+	// launchNext starts the dispatch on the next candidate whose breaker
+	// admits it, reporting the worker it landed on. Breaker-refused
+	// candidates are consumed (skipped), so an open breaker quarantines its
+	// worker from placement entirely.
+	launchNext := func() (Worker, bool) {
+		for next < len(cands) {
+			w := cands[next]
+			next++
+			var done func(bool)
+			if s.Breakers != nil {
+				var ok bool
+				done, ok = s.Breakers.Get(w.ID).Allow()
+				if !ok {
+					s.breakerSkips.Add(1)
+					s.logf("cluster: shard %s skipping %s (breaker open)", key, w.ID)
+					continue
+				}
+			}
+			s.placed.Add(1)
+			s.earnHedge()
+			inflight++
+			go func(w Worker, done func(bool)) {
+				start := time.Now()
+				body, err := s.post(ctx, w, sh)
+				if done != nil {
+					done(workerHealthy(err))
+				}
+				if err == nil {
+					s.lat.observe(time.Since(start))
+				}
+				ch <- outcome{body: body, err: err, from: w}
+			}(w, done)
+			return w, true
+		}
+		return Worker{}, false
 	}
-	launch(cands[0])
-	inflight, next := 1, 1
-	var stealT <-chan time.Time
-	if s.StealAfter > 0 && next < len(cands) {
-		stealT = time.After(s.StealAfter)
+	if _, ok := launchNext(); !ok {
+		return nil, fmt.Errorf("%w (all %d candidates quarantined by breakers)", ErrNoWorkers, len(cands))
+	}
+	var hedgeT <-chan time.Time
+	if d := s.hedgeDelay(); d > 0 && next < len(cands) {
+		hedgeT = time.After(d)
 	}
 	var lastErr error
 	for inflight > 0 {
@@ -191,23 +394,19 @@ func (s *Scheduler) dispatch(ctx context.Context, sh Shard, key string) ([]byte,
 				return nil, out.err
 			}
 			lastErr = out.err
-			if next < len(cands) {
+			if w, ok := launchNext(); ok {
 				s.retries.Add(1)
 				s.logf("cluster: shard %s failed on %s (%v), retrying on %s",
-					key, out.from.ID, out.err, cands[next].ID)
-				launch(cands[next])
-				inflight++
-				next++
+					key, out.from.ID, out.err, w.ID)
 			}
-		case <-stealT:
-			stealT = nil
-			if next < len(cands) {
-				s.steals.Add(1)
-				s.logf("cluster: shard %s straggling on %s, stealing onto %s",
-					key, cands[0].ID, cands[next].ID)
-				launch(cands[next])
-				inflight++
-				next++
+		case <-hedgeT:
+			hedgeT = nil
+			if next < len(cands) && s.spendHedge() {
+				if w, ok := launchNext(); ok {
+					s.hedges.Add(1)
+					s.logf("cluster: shard %s straggling on %s, hedging onto %s",
+						key, cands[0].ID, w.ID)
+				}
 			}
 		}
 	}
@@ -299,12 +498,18 @@ const maxShardResponse = 64 << 20
 // onto /metrics by the service.
 type SchedulerStats struct {
 	// Placed counts shard dispatches sent to workers (including retries and
-	// steals).
+	// hedges).
 	Placed uint64
 	// Retries counts re-placements after a failed dispatch.
 	Retries uint64
-	// Steals counts duplicate dispatches launched for stragglers.
+	// Hedges counts duplicate dispatches launched against stragglers.
+	Hedges uint64
+	// Steals is the pre-hedging name for Hedges, kept so existing callers
+	// and dashboards keep working.
 	Steals uint64
+	// BreakerSkips counts placement candidates passed over because their
+	// worker's breaker refused.
+	BreakerSkips uint64
 	// PeerHits counts shards answered from another node's cache.
 	PeerHits uint64
 	// CacheHits/CacheMisses are the coordinator-side shard cache counters.
@@ -314,12 +519,15 @@ type SchedulerStats struct {
 // Stats returns the placement counters.
 func (s *Scheduler) Stats() SchedulerStats {
 	hits, misses := s.cache.Stats()
+	hedges := s.hedges.Load()
 	return SchedulerStats{
-		Placed:      s.placed.Load(),
-		Retries:     s.retries.Load(),
-		Steals:      s.steals.Load(),
-		PeerHits:    s.peerHits.Load(),
-		CacheHits:   hits,
-		CacheMisses: misses,
+		Placed:       s.placed.Load(),
+		Retries:      s.retries.Load(),
+		Hedges:       hedges,
+		Steals:       hedges,
+		BreakerSkips: s.breakerSkips.Load(),
+		PeerHits:     s.peerHits.Load(),
+		CacheHits:    hits,
+		CacheMisses:  misses,
 	}
 }

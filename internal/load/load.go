@@ -37,14 +37,20 @@ const (
 // as an error; canceled marks operations cut off by the run deadline, which
 // says nothing about the server.
 const (
-	OutcomeOK        = "ok"
-	OutcomeHTTP429   = "http_429"
-	OutcomeHTTP503   = "http_503"
-	OutcomeHTTP4xx   = "http_4xx"
-	OutcomeHTTP5xx   = "http_5xx"
-	OutcomeFailed    = "failed" // job reached a terminal non-done state
-	OutcomeTransport = "transport"
-	OutcomeCanceled  = "canceled"
+	OutcomeOK      = "ok"
+	OutcomeHTTP429 = "http_429"
+	OutcomeHTTP503 = "http_503"
+	// OutcomeShedHinted is a 429/503 carrying a parseable Retry-After — the
+	// server shed the request honestly, telling the client when to return.
+	// It still counts as an error (IsError), but the unhinted error rate —
+	// what brownout SLOs gate on — excludes it: clean shedding under overload
+	// is the service working as designed.
+	OutcomeShedHinted = "shed_hinted"
+	OutcomeHTTP4xx    = "http_4xx"
+	OutcomeHTTP5xx    = "http_5xx"
+	OutcomeFailed     = "failed" // job reached a terminal non-done state
+	OutcomeTransport  = "transport"
+	OutcomeCanceled   = "canceled"
 )
 
 // IsError reports whether an outcome counts against the error budget.
@@ -90,6 +96,13 @@ func Profiles() []Profile {
 			Name:         "hostile",
 			Description:  "cache-hostile: unique option seeds defeat the result cache",
 			mix:          []classWeight{{ClassEvaluate, 80}, {ClassCompare, 20}},
+			CacheHostile: true,
+		},
+		{
+			Name: "brownout",
+			Description: "overload probe: cache-hostile sync pressure with job submissions, " +
+				"for driving a daemon into degraded/shedding states",
+			mix:          []classWeight{{ClassEvaluate, 60}, {ClassCompare, 30}, {ClassSubmit, 10}},
 			CacheHostile: true,
 		},
 		{

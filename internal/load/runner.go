@@ -83,13 +83,16 @@ func newRecorder(reg *obs.Registry) *recorder {
 	}
 }
 
-func (r *recorder) observe(class, outcome string, d time.Duration) {
+func (r *recorder) observe(class string, err error, d time.Duration) {
+	outcome := classify(err)
 	r.requests.With(class, outcome).Inc()
 	r.duration.With(class).Observe(d.Seconds())
-	switch outcome {
-	case OutcomeHTTP429:
+	// Hinted sheds keep their status-code label too, so the shed counters
+	// stay an honest 429/503 tally whether or not the hint was present.
+	switch {
+	case outcome == OutcomeHTTP429 || (outcome == OutcomeShedHinted && shedStatus(err) == http.StatusTooManyRequests):
 		r.shed.With("429").Inc()
-	case OutcomeHTTP503:
+	case outcome == OutcomeHTTP503 || (outcome == OutcomeShedHinted && shedStatus(err) == http.StatusServiceUnavailable):
 		r.shed.With("503").Inc()
 	}
 	r.mu.Lock()
@@ -138,6 +141,28 @@ func (s *Summary) ErrorRate() float64 {
 				considered += n
 			}
 			if IsError(outcome) {
+				errs += n
+			}
+		}
+	}
+	if considered == 0 {
+		return 0
+	}
+	return float64(errs) / float64(considered)
+}
+
+// UnhintedErrorRate is ErrorRate with honest sheds (429/503 + Retry-After)
+// forgiven: the error fraction a browned-out server cannot excuse. Canceled
+// stays excluded; hinted sheds stay in the denominator — they are real
+// responses, just not failures of the overload contract.
+func (s *Summary) UnhintedErrorRate() float64 {
+	var errs, considered uint64
+	for _, cs := range s.Classes {
+		for outcome, n := range cs.Outcomes {
+			if outcome != OutcomeCanceled {
+				considered += n
+			}
+			if IsError(outcome) && outcome != OutcomeShedHinted {
 				errs += n
 			}
 		}
@@ -232,7 +257,7 @@ func Run(ctx context.Context, cfg Config) (*Summary, error) {
 				op := OpAt(cfg.Profile, cfg.Seed, idx)
 				t0 := time.Now()
 				err := executeOp(runCtx, client, cfg, op)
-				rec.observe(op.Class, classify(err), time.Since(t0))
+				rec.observe(op.Class, err, time.Since(t0))
 				done.Add(1)
 			}
 		}(w)
@@ -424,8 +449,14 @@ func classify(err error) string {
 	if errors.As(err, &apiErr) {
 		switch {
 		case apiErr.StatusCode == http.StatusTooManyRequests:
+			if apiErr.RetryAfter > 0 {
+				return OutcomeShedHinted
+			}
 			return OutcomeHTTP429
 		case apiErr.StatusCode == http.StatusServiceUnavailable:
+			if apiErr.RetryAfter > 0 {
+				return OutcomeShedHinted
+			}
 			return OutcomeHTTP503
 		case apiErr.StatusCode >= 500:
 			return OutcomeHTTP5xx
@@ -434,4 +465,14 @@ func classify(err error) string {
 		}
 	}
 	return OutcomeTransport
+}
+
+// shedStatus extracts the HTTP status of a shed response (0 when not an API
+// error) — the code label for hinted sheds.
+func shedStatus(err error) int {
+	var apiErr *service.APIError
+	if errors.As(err, &apiErr) {
+		return apiErr.StatusCode
+	}
+	return 0
 }

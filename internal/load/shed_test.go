@@ -1,0 +1,69 @@
+package load
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"hmem/internal/service"
+)
+
+// TestClassifyShedHinted pins the outcome taxonomy for shed responses: a
+// 429/503 carrying a parseable Retry-After is shed_hinted; without the hint
+// it stays a plain status-code outcome.
+func TestClassifyShedHinted(t *testing.T) {
+	cases := []struct {
+		name string
+		err  error
+		want string
+	}{
+		{"nil", nil, OutcomeOK},
+		{"429 hinted", &service.APIError{StatusCode: 429, RetryAfter: time.Second}, OutcomeShedHinted},
+		{"503 hinted", &service.APIError{StatusCode: 503, RetryAfter: 2 * time.Second}, OutcomeShedHinted},
+		{"429 unhinted", &service.APIError{StatusCode: 429}, OutcomeHTTP429},
+		{"503 unhinted", &service.APIError{StatusCode: 503}, OutcomeHTTP503},
+		{"500", &service.APIError{StatusCode: 500, RetryAfter: time.Second}, OutcomeHTTP5xx},
+		{"transport", errors.New("connection refused"), OutcomeTransport},
+	}
+	for _, tc := range cases {
+		if got := classify(tc.err); got != tc.want {
+			t.Errorf("%s: classify = %q, want %q", tc.name, got, tc.want)
+		}
+	}
+	if !IsError(OutcomeShedHinted) {
+		t.Error("shed_hinted must still count as an error for the strict budget")
+	}
+}
+
+// TestUnhintedErrorRate pins the brownout budget's arithmetic: hinted sheds
+// stay in the denominator but out of the numerator.
+func TestUnhintedErrorRate(t *testing.T) {
+	sum := &Summary{Classes: map[string]ClassSummary{
+		"evaluate": {Outcomes: map[string]uint64{
+			OutcomeOK:         6,
+			OutcomeShedHinted: 3,
+			OutcomeHTTP5xx:    1,
+			OutcomeCanceled:   5, // excluded entirely
+		}},
+	}}
+	if got, want := sum.ErrorRate(), 0.4; got != want {
+		t.Fatalf("ErrorRate = %v, want %v (4 errors / 10 considered)", got, want)
+	}
+	if got, want := sum.UnhintedErrorRate(), 0.1; got != want {
+		t.Fatalf("UnhintedErrorRate = %v, want %v (1 unhinted / 10 considered)", got, want)
+	}
+
+	strict, degraded := 0.0, 0.15
+	spec := &SLO{MaxErrorRate: &strict, Degraded: &SLO{MaxUnhintedErrorRate: &degraded}}
+	if v := spec.Pick(false).Evaluate(sum); len(v) != 1 || v[0].Metric != "error_rate" {
+		t.Fatalf("strict evaluation = %v, want one error_rate violation", v)
+	}
+	if v := spec.Pick(true).Evaluate(sum); len(v) != 0 {
+		t.Fatalf("degraded evaluation = %v, want pass (sheds were hinted)", v)
+	}
+	tight := 0.05
+	spec.Degraded.MaxUnhintedErrorRate = &tight
+	if v := spec.Pick(true).Evaluate(sum); len(v) != 1 || v[0].Metric != "unhinted_error_rate" {
+		t.Fatalf("tight degraded evaluation = %v, want one unhinted_error_rate violation", v)
+	}
+}

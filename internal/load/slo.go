@@ -26,6 +26,10 @@ type SLO struct {
 	Note string `json:"note,omitempty"`
 	// MaxErrorRate bounds the run-wide error fraction (canceled excluded).
 	MaxErrorRate *float64 `json:"max_error_rate,omitempty"`
+	// MaxUnhintedErrorRate bounds the error fraction with honest sheds
+	// (429/503 carrying Retry-After) forgiven — the brownout budget: a
+	// degraded server may shed cleanly, but unhinted failures still count.
+	MaxUnhintedErrorRate *float64 `json:"max_unhinted_error_rate,omitempty"`
 	// MinThroughputRPS bounds achieved operations per second from below.
 	MinThroughputRPS float64 `json:"min_throughput_rps,omitempty"`
 	// Classes holds per-endpoint-class budgets.
@@ -71,6 +75,11 @@ func (s *SLO) Evaluate(sum *Summary) []Violation {
 	if s.MaxErrorRate != nil {
 		if got := sum.ErrorRate(); got > *s.MaxErrorRate {
 			out = append(out, Violation{Target: "run", Metric: "error_rate", Got: got, Limit: *s.MaxErrorRate})
+		}
+	}
+	if s.MaxUnhintedErrorRate != nil {
+		if got := sum.UnhintedErrorRate(); got > *s.MaxUnhintedErrorRate {
+			out = append(out, Violation{Target: "run", Metric: "unhinted_error_rate", Got: got, Limit: *s.MaxUnhintedErrorRate})
 		}
 	}
 	if s.MinThroughputRPS > 0 && sum.AchievedRPS < s.MinThroughputRPS {

@@ -14,10 +14,17 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/breaker"
 	"hmem/internal/cluster"
 	"hmem/internal/obs"
 	"hmem/internal/report"
 )
+
+// ErrCircuitOpen reports a request refused locally because the client's
+// circuit breaker has quarantined the server; nothing was sent. The retry
+// machinery treats it as retryable (the breaker half-opens on its own
+// schedule), so a bounded retry loop rides out short quarantines.
+var ErrCircuitOpen = errors.New("hmemd: circuit breaker open; request not sent")
 
 // Client is a typed hmemd client. The zero Retries/Backoff give one attempt;
 // set Retries for bounded retry-with-backoff on idempotent calls (every GET,
@@ -43,6 +50,13 @@ type Client struct {
 	// xrand stream) to make retry timing a pure function of the seed; the
 	// load harness does this so soak runs replay byte for byte.
 	Rand func(n uint64) uint64
+	// Breaker, when set, gates every request through a circuit breaker
+	// (one Client speaks to one BaseURL, so this is the per-host breaker).
+	// Requests refused by an open breaker fail fast with ErrCircuitOpen.
+	// Success feeding the breaker is "the server answered coherently":
+	// non-retryable API errors (4xx verdicts) count as healthy, transport
+	// failures and 5xx/429 count against the host.
+	Breaker *breaker.Breaker
 }
 
 func (c *Client) httpClient() *http.Client {
@@ -104,8 +118,23 @@ func retryable(err error) bool {
 	return true // transport-level failure
 }
 
-// do performs one round trip and decodes a 2xx JSON body into out.
+// do performs one breaker-gated round trip and decodes a 2xx JSON body into
+// out.
 func (c *Client) do(ctx context.Context, method, path string, in, out any) error {
+	if c.Breaker != nil {
+		done, ok := c.Breaker.Allow()
+		if !ok {
+			return ErrCircuitOpen
+		}
+		err := c.doOnce(ctx, method, path, in, out)
+		done(err == nil || !retryable(err))
+		return err
+	}
+	return c.doOnce(ctx, method, path, in, out)
+}
+
+// doOnce performs one round trip and decodes a 2xx JSON body into out.
+func (c *Client) doOnce(ctx context.Context, method, path string, in, out any) error {
 	var body io.Reader
 	if in != nil {
 		buf, err := json.Marshal(in)
@@ -340,21 +369,72 @@ func (c *Client) JobTrace(ctx context.Context, id string) ([]obs.SpanData, error
 
 // WaitJob streams the job's NDJSON progress events, invoking onEvent per
 // transition or progress heartbeat (nil is fine), until the job reaches a
-// terminal state; it then
-// fetches and returns the final status. Safe to call again after a dropped
-// connection — the stream replays all events from the start.
+// terminal state; it then fetches and returns the final status.
+//
+// A watch stream severed mid-flight — the connection dropped, a proxy gave
+// up, the decoder hit a torn line — is not a failure of the job, just of the
+// pipe. Job state is idempotent to re-read (the server replays every
+// transition from the start), so WaitJob reconnects up to Retries times with
+// the same jittered backoff as other idempotent calls, deduplicating
+// transitions by their Seq so onEvent sees each one exactly once across
+// however many connections it took.
 func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(JobEvent)) (JobStatus, error) {
+	lastSeq := 0
+	delay := c.backoff()
+	for attempt := 0; ; attempt++ {
+		err := c.watchOnce(ctx, id, &lastSeq, onEvent)
+		if err == nil {
+			// Terminal state observed; the final status (with result table)
+			// is one plain GET away.
+			return c.Job(ctx, id)
+		}
+		if ctx.Err() != nil {
+			return JobStatus{}, ctx.Err()
+		}
+		if attempt >= c.Retries || !retryable(err) {
+			return JobStatus{}, err
+		}
+		wait := c.jitteredWait(delay, err)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return JobStatus{}, ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+// watchOnce runs one watch connection until a terminal event (nil) or the
+// stream dies (error). lastSeq carries transition dedup state across
+// reconnects: replayed transitions at or below it are skipped; progress
+// heartbeats (which reuse their transition's seq) are always forwarded —
+// they are point-in-time telemetry, not history.
+func (c *Client) watchOnce(ctx context.Context, id string, lastSeq *int, onEvent func(JobEvent)) error {
+	var done func(bool)
+	if c.Breaker != nil {
+		var ok bool
+		done, ok = c.Breaker.Allow()
+		if !ok {
+			return ErrCircuitOpen
+		}
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet,
 		strings.TrimRight(c.BaseURL, "/")+"/v1/jobs/"+id+"?watch=1", nil)
 	if err != nil {
-		return JobStatus{}, fmt.Errorf("hmemd: building watch request: %w", err)
+		if done != nil {
+			done(false)
+		}
+		return fmt.Errorf("hmemd: building watch request: %w", err)
 	}
 	// Watching can outlive any fixed client timeout; rely on ctx instead.
 	hc := *c.httpClient()
 	hc.Timeout = 0
 	resp, err := hc.Do(req)
 	if err != nil {
-		return JobStatus{}, fmt.Errorf("hmemd: watching job %s: %w", id, err)
+		if done != nil {
+			done(false)
+		}
+		return fmt.Errorf("hmemd: watching job %s: %w", id, err)
 	}
 	defer resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
@@ -363,25 +443,42 @@ func (c *Client) WaitJob(ctx context.Context, id string, onEvent func(JobEvent))
 		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
 			msg = eb.Error
 		}
-		return JobStatus{}, &APIError{StatusCode: resp.StatusCode, Message: msg}
+		apiErr := &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		if done != nil {
+			done(!retryable(apiErr))
+		}
+		return apiErr
+	}
+	// The connection was established and answered coherently; mid-stream
+	// failures below are the pipe's fault, not evidence against the host.
+	if done != nil {
+		done(true)
 	}
 	dec := json.NewDecoder(resp.Body)
 	for {
 		var ev JobEvent
 		if err := dec.Decode(&ev); err != nil {
-			if err == io.EOF {
-				break
-			}
-			return JobStatus{}, fmt.Errorf("hmemd: reading job %s events: %w", id, err)
+			// EOF before a terminal event is a severed stream too: the server
+			// never ends a healthy watch early.
+			return fmt.Errorf("hmemd: reading job %s events: %w", id, err)
 		}
-		if onEvent != nil {
-			onEvent(ev)
+		isProgress := ev.Progress != nil
+		if isProgress || ev.Seq > *lastSeq {
+			if !isProgress {
+				*lastSeq = ev.Seq
+			}
+			if onEvent != nil {
+				onEvent(ev)
+			}
 		}
 		if terminal(ev.State) {
-			break
+			return nil
 		}
 	}
-	return c.Job(ctx, id)
 }
 
 // RunJob is SubmitJob + WaitJob + result extraction in one call.

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"hmem"
+	"hmem/internal/breaker"
 	"hmem/internal/cluster"
 	"hmem/internal/experiments"
 	"hmem/internal/faultsim"
@@ -51,16 +52,34 @@ type ClusterConfig struct {
 	Transport http.RoundTripper
 	// Logf receives placement decisions (nil = silent).
 	Logf func(format string, args ...any)
+	// Breaker tunes the per-worker circuit breakers guarding placement
+	// (zero value = breaker package defaults: 20-outcome window, 50%
+	// failure ratio after 5 samples, 5s quarantine, 1 probe, 2 successes
+	// to close).
+	Breaker breaker.Config
+	// HedgeQuantile, when in (0,1), derives the straggler-hedge delay from
+	// observed shard latency (HedgeMultiplier × that quantile, clamped to
+	// [StealAfter/4, StealAfter]) instead of the fixed StealAfter.
+	HedgeQuantile float64
+	// HedgeMultiplier scales the latency quantile into the hedge delay
+	// (<=0 = 2).
+	HedgeMultiplier float64
+	// HedgeRatio is the hedge credit earned per primary dispatch (<=0 =
+	// 0.25) — the global budget keeping hedges from amplifying overload.
+	HedgeRatio float64
+	// HedgeBurst is the up-front hedge allowance (<=0 = 2).
+	HedgeBurst int
 }
 
 // clusterState is the per-role cluster machinery hanging off a Service.
 // reg/sched are non-nil only on coordinators; the shard cache serves
 // GET /v1/cluster/cache/{key} on any clustered role.
 type clusterState struct {
-	role  string
-	reg   *cluster.Registry  // coordinator: worker membership + ring
-	sched *cluster.Scheduler // coordinator: shard placement
-	cache cluster.Cache      // worker: executed-shard results, peer-servable
+	role     string
+	reg      *cluster.Registry  // coordinator: worker membership + ring
+	sched    *cluster.Scheduler // coordinator: shard placement
+	breakers *breaker.Set       // coordinator: per-worker circuit breakers
+	cache    cluster.Cache      // worker: executed-shard results, peer-servable
 
 	executed atomic.Uint64 // shards this node ran for a coordinator
 	inflight atomic.Int64  // shard executions currently running
@@ -96,14 +115,37 @@ func (s *Service) initCluster() error {
 		}
 		httpClient := &http.Client{Transport: cc.Transport}
 		cs.reg = cluster.NewRegistry(ttl)
+		// Per-worker circuit breakers: transitions land on /metrics as the
+		// hmemd_breaker_state gauge, in the span stream as breaker.transition
+		// spans, and in the operator log.
+		breakers := &breaker.Set{
+			Config: cc.Breaker,
+			OnTransition: func(peer string, from, to breaker.State) {
+				s.met.breakerState.With(peer).Set(float64(to))
+				tr := obs.NewTracer("breaker", s.spanExp)
+				_, sp := obs.Start(obs.WithTracer(context.Background(), tr), "breaker.transition",
+					obs.Str("peer", peer), obs.Str("from", from.String()), obs.Str("to", to.String()))
+				sp.End()
+				s.met.spansDropped.Add(tr.Dropped())
+				if cc.Logf != nil {
+					cc.Logf("cluster: worker %s breaker %s -> %s", peer, from, to)
+				}
+			},
+		}
+		cs.breakers = breakers
 		cs.sched = &cluster.Scheduler{
-			Registry:       cs.reg,
-			Client:         httpClient,
-			MaxAttempts:    cc.MaxAttempts,
-			StealAfter:     stealAfter,
-			RequestTimeout: cc.RequestTimeout,
-			PeerTimeout:    cc.PeerTimeout,
-			Logf:           cc.Logf,
+			Registry:        cs.reg,
+			Client:          httpClient,
+			MaxAttempts:     cc.MaxAttempts,
+			StealAfter:      stealAfter,
+			HedgeQuantile:   cc.HedgeQuantile,
+			HedgeMultiplier: cc.HedgeMultiplier,
+			HedgeRatio:      cc.HedgeRatio,
+			HedgeBurst:      cc.HedgeBurst,
+			Breakers:        breakers,
+			RequestTimeout:  cc.RequestTimeout,
+			PeerTimeout:     cc.PeerTimeout,
+			Logf:            cc.Logf,
 		}
 		every := cc.HealthEvery
 		if every <= 0 {

@@ -339,6 +339,15 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if s.refuseIfClosing(w) {
 		return
 	}
+	// Jobs are the most expensive thing this daemon runs, so they are the
+	// first casualty of degraded health: refuse before even reading the
+	// body, with a hint derived from how fast jobs are finishing.
+	if st := s.adm.healthState(); st != healthOK {
+		writeRetryableError(w, http.StatusServiceUnavailable,
+			retryAfterSeconds(1, s.adm.jobsDrain.rate()),
+			fmt.Errorf("server is %s; job submission is disabled", healthName(st)))
+		return
+	}
 	var req JobRequest
 	if !s.readJSON(w, r, &req) {
 		return
@@ -388,7 +397,7 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	if s.queueClosed {
 		s.queueMu.Unlock()
 		s.setJobState(j, JobCancelled, "server is draining", nil)
-		writeRetryableError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		writeRetryableError(w, http.StatusServiceUnavailable, 1, errors.New("server is draining"))
 		return
 	}
 	select {
@@ -397,7 +406,10 @@ func (s *Service) handleSubmitJob(w http.ResponseWriter, r *http.Request) {
 	default:
 		s.queueMu.Unlock()
 		s.setJobState(j, JobCancelled, "job queue full", nil)
+		// The hint is the measured time for one job to drain from the queue
+		// (one slot must free up before a retry can land).
 		writeRetryableError(w, http.StatusTooManyRequests,
+			retryAfterSeconds(1, s.adm.jobsDrain.rate()),
 			fmt.Errorf("job queue full (depth %d); retry later", s.cfg.QueueDepth))
 		return
 	}
@@ -546,6 +558,17 @@ func (s *Service) runOneJob(j *job) {
 		s.setJobState(j, JobFailed, err.Error(), nil)
 		return
 	}
+	// An executing job weighs on the admission budget like the fan-out of
+	// evaluations it is: sustained job load pushes the node into degraded
+	// (new submissions refused) and, at the budget, into shedding. The job
+	// itself was 202-acknowledged, so it is charged, never shed.
+	cost := s.jobCost(e.Options())
+	jobStart := time.Now()
+	s.adm.charge(cost)
+	defer func() {
+		s.adm.release(cost, time.Since(jobStart))
+		s.adm.jobsDrain.observe(1)
+	}()
 	ctx := s.baseCtx
 	if j.timeoutMS > 0 {
 		var cancel context.CancelFunc

@@ -54,6 +54,21 @@ type serviceMetrics struct {
 	clusterCacheHits      *obs.Counter
 	clusterCacheMisses    *obs.Counter
 	clusterInflight       *obs.Gauge
+
+	admissionInflight  *obs.Gauge
+	admissionBudget    *obs.Gauge
+	admissionAdmitted  *obs.Counter
+	admissionShed      *obs.Counter
+	admissionDrainRate *obs.Gauge
+	admissionLatency   *obs.Gauge
+	healthState        *obs.Gauge
+
+	breakerState   *obs.GaugeVec
+	breakerOpens   *obs.Counter
+	breakerCloses  *obs.Counter
+	breakerRefused *obs.Counter
+	hedges         *obs.Counter
+	breakerSkips   *obs.Counter
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
@@ -114,6 +129,34 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Shard-cache misses on this node."),
 		clusterInflight: reg.Gauge("hmemd_cluster_inflight_shards",
 			"Shard executions currently running on this worker."),
+		admissionInflight: reg.Gauge("hmemd_admission_inflight_cost",
+			"Summed cost of admitted in-flight work, in units of one default-shaped evaluation."),
+		admissionBudget: reg.Gauge("hmemd_admission_cost_budget",
+			"In-flight cost ceiling; at or above it new costed requests are shed."),
+		admissionAdmitted: reg.Counter("hmemd_admission_admitted_total",
+			"Requests admitted by the cost-based admission controller."),
+		admissionShed: reg.Counter("hmemd_admission_shed_total",
+			"Requests shed over budget (429/503 with a drain-rate-derived Retry-After)."),
+		admissionDrainRate: reg.Gauge("hmemd_admission_drain_rate",
+			"EWMA of completed cost units per second — the denominator of the Retry-After hint."),
+		admissionLatency: reg.Gauge("hmemd_admission_latency_seconds",
+			"EWMA of admitted-request latency."),
+		healthState: reg.Gauge("hmemd_health_state",
+			"Current health rung: 0 ok, 1 degraded, 2 shedding, 3 draining."),
+		// Breaker and hedge families are registered on every role (zero when
+		// standalone) for the same stable-shape reason as the cluster ones.
+		breakerState: reg.GaugeVec("hmemd_breaker_state",
+			"Per-worker circuit breaker state: 0 closed, 1 open, 2 half-open.", "peer"),
+		breakerOpens: reg.Counter("hmemd_breaker_opens_total",
+			"Circuit breaker closed -> open transitions (worker quarantined)."),
+		breakerCloses: reg.Counter("hmemd_breaker_closes_total",
+			"Circuit breaker half-open -> closed transitions (worker recovered)."),
+		breakerRefused: reg.Counter("hmemd_breaker_refusals_total",
+			"Calls refused outright by an open or probe-saturated breaker."),
+		hedges: reg.Counter("hmemd_hedges_total",
+			"Duplicate shard dispatches launched against stragglers (hedged requests)."),
+		breakerSkips: reg.Counter("hmemd_cluster_breaker_skips_total",
+			"Placement candidates skipped because their breaker refused the dispatch."),
 	}
 }
 
@@ -150,6 +193,13 @@ func (s *Service) syncMetrics() {
 	m.journalCorrupt.Set(float64(s.recovery.CorruptLines))
 	m.journalAppendErrs.Set(s.journal.appendErrors())
 	m.journalSize.Set(float64(s.journal.size()))
+	m.admissionInflight.Set(s.adm.inflight())
+	m.admissionBudget.Set(s.adm.budget)
+	m.admissionAdmitted.Set(s.adm.admitted.Load())
+	m.admissionShed.Set(s.adm.shed.Load())
+	m.admissionDrainRate.Set(s.adm.drain.rate())
+	m.admissionLatency.Set(s.adm.latencyEWMA())
+	m.healthState.Set(float64(s.currentHealth()))
 	if cs := s.cluster; cs != nil {
 		hits, misses := cs.cache.Stats()
 		if cs.reg != nil {
@@ -162,9 +212,20 @@ func (s *Service) syncMetrics() {
 			m.clusterShardsPlaced.Set(ss.Placed)
 			m.clusterRetries.Set(ss.Retries)
 			m.clusterSteals.Set(ss.Steals)
+			m.hedges.Set(ss.Hedges)
+			m.breakerSkips.Set(ss.BreakerSkips)
 			m.clusterPeerHits.Set(ss.PeerHits)
 			hits += ss.CacheHits
 			misses += ss.CacheMisses
+		}
+		if cs.breakers != nil {
+			opens, closes, refused := cs.breakers.Totals()
+			m.breakerOpens.Set(opens)
+			m.breakerCloses.Set(closes)
+			m.breakerRefused.Set(refused)
+			for peer, st := range cs.breakers.States() {
+				m.breakerState.With(peer).Set(float64(st))
+			}
 		}
 		m.clusterShardsExecuted.Set(cs.executed.Load())
 		m.clusterCacheHits.Set(hits)

@@ -26,6 +26,7 @@ var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/metrics.g
 
 // maskMetricsPage replaces timing-dependent sample values with "X":
 //   - histogram _bucket and _sum lines (latencies vary run to run);
+//   - the admission latency and drain-rate gauges (EWMAs of wall time);
 //   - every line mentioning the "GET /metrics" route (the assertion loop
 //     below scrapes an unpredictable number of times).
 //
@@ -41,7 +42,8 @@ func maskMetricsPage(page string) string {
 		mask := strings.Contains(line, `route="GET /metrics"`)
 		if i := strings.IndexAny(line, "{ "); i >= 0 {
 			name := line[:i]
-			if strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum") {
+			if strings.HasSuffix(name, "_bucket") || strings.HasSuffix(name, "_sum") ||
+				name == "hmemd_admission_latency_seconds" || name == "hmemd_admission_drain_rate" {
 				mask = true
 			}
 		}

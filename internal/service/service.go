@@ -27,6 +27,7 @@ import (
 	"fmt"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"sync"
 	"sync/atomic"
@@ -80,6 +81,9 @@ type Config struct {
 	// Cluster tunes the coordinator/worker machinery; ignored when
 	// standalone.
 	Cluster ClusterConfig
+	// Admission tunes the cost-based admission controller (zero value =
+	// defaults; see AdmissionConfig).
+	Admission AdmissionConfig
 }
 
 const (
@@ -141,6 +145,11 @@ type Service struct {
 
 	// cluster is nil on standalone nodes; see cluster.go.
 	cluster *clusterState
+
+	// adm is the cost-based admission controller; resolvedDefaults are the
+	// fully-resolved default engine options its cost model prices against.
+	adm              *admission
+	resolvedDefaults hmem.Options
 }
 
 // New builds a Service and starts its job workers.
@@ -180,12 +189,16 @@ func New(cfg Config) (*Service, error) {
 		return nil, err
 	}
 	// Validate the configured defaults once, up front: a bad default option
-	// set should fail service start, not every request.
-	if _, _, err := s.engineFor(nil); err != nil {
+	// set should fail service start, not every request. The resolved option
+	// set anchors the admission cost model's unit (one default evaluate).
+	defEngine, _, err := s.engineFor(nil)
+	if err != nil {
 		cancel()
 		s.stopCluster()
 		return nil, fmt.Errorf("service: invalid default options: %w", err)
 	}
+	s.resolvedDefaults = defEngine.Options()
+	s.adm = newAdmission(cfg.Admission)
 	s.jobs.init()
 
 	// Replay the journal (if configured) before anything can submit or run:
@@ -420,10 +433,50 @@ func (s *Service) engineStats() exec.MemoStats {
 	return total
 }
 
+// resultKey is the result-cache key for one evaluation; the admission cost
+// model probes the same key to price cache hits as free.
+func resultKey(digest, workloadName string, policy hmem.PolicyName) string {
+	return digest + "|" + workloadName + "|" + string(policy)
+}
+
+// costUnit prices one evaluation of the given resolved options in units of a
+// default-shaped evaluation: simulation time scales with the trace length
+// (records per core) and the fault-study trial count, weighted evenly.
+func (s *Service) costUnit(opts hmem.Options) float64 {
+	u := 0.0
+	if d := s.resolvedDefaults.RecordsPerCore; d > 0 {
+		u += 0.5 * float64(opts.RecordsPerCore) / float64(d)
+	} else {
+		u += 0.5
+	}
+	if d := s.resolvedDefaults.FaultTrials; d > 0 {
+		u += 0.5 * float64(opts.FaultTrials) / float64(d)
+	} else {
+		u += 0.5
+	}
+	return u
+}
+
+// evaluateCost prices one evaluate request: a result already finished or in
+// flight shares existing work and is free; fresh work costs one unit scaled
+// by the request's options.
+func (s *Service) evaluateCost(digest, workloadName string, policy hmem.PolicyName, opts hmem.Options) float64 {
+	if s.results.Known(resultKey(digest, workloadName, policy)) {
+		return 0
+	}
+	return s.costUnit(opts)
+}
+
+// jobCost prices one experiment job: a flat multiple of the unit, since a
+// figure driver fans out to many evaluations.
+func (s *Service) jobCost(opts hmem.Options) float64 {
+	return s.adm.jobFactor * s.costUnit(opts)
+}
+
 // evaluateCached runs one evaluation through the result cache: concurrent
 // and repeated identical requests share a single simulation.
 func (s *Service) evaluateCached(ctx context.Context, e *hmem.Engine, digest, workloadName string, policy hmem.PolicyName) (hmem.Result, error) {
-	key := digest + "|" + workloadName + "|" + string(policy)
+	key := resultKey(digest, workloadName, policy)
 	return s.results.DoCtx(ctx, key, func() (hmem.Result, error) {
 		// Background, not ctx: the result is shared with every requester of
 		// the key, so one caller's cancellation must not be cached. The
@@ -525,7 +578,13 @@ func (s *Service) handleEvaluate(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	cost := s.evaluateCost(digest, req.Workload, req.Policy, e.Options())
+	if !s.admitCost(w, cost) {
+		return
+	}
+	start := time.Now()
 	res, err := s.evaluateCached(r.Context(), e, digest, req.Workload, req.Policy)
+	s.adm.release(cost, time.Since(start))
 	if err != nil {
 		writeEvaluationError(w, err)
 		return
@@ -554,6 +613,16 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 		writeError(w, http.StatusBadRequest, err)
 		return
 	}
+	// Compare is priced per policy: policies whose result is already cached
+	// (or in flight) are free, the rest cost one unit each.
+	var cost float64
+	for _, p := range req.Policies {
+		cost += s.evaluateCost(digest, req.Workload, p, e.Options())
+	}
+	if !s.admitCost(w, cost) {
+		return
+	}
+	start := time.Now()
 	// Compare goes policy-by-policy through the same result cache the
 	// evaluate endpoint uses, so mixed evaluate/compare traffic shares
 	// simulations. The engine's own memoization already collapses the
@@ -561,6 +630,7 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	results, err := exec.Map(r.Context(), e.Options().Parallel, len(req.Policies), func(i int) (hmem.Result, error) {
 		return s.evaluateCached(r.Context(), e, digest, req.Workload, req.Policies[i])
 	})
+	s.adm.release(cost, time.Since(start))
 	if err != nil {
 		writeEvaluationError(w, err)
 		return
@@ -568,23 +638,56 @@ func (s *Service) handleCompare(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]any{"results": results})
 }
 
+// handleHealthz reports the service's rung on the ok → degraded → shedding
+// ladder (draining, during shutdown, outranks them all). Degraded still
+// answers 200 — the node serves cheap work and sync evaluations, it has only
+// closed the expensive job endpoint; shedding and draining answer 503 so
+// load balancers rotate traffic away.
 func (s *Service) handleHealthz(w http.ResponseWriter, _ *http.Request) {
-	status := "ok"
+	st := s.currentHealth()
 	code := http.StatusOK
-	if s.closing.Load() {
-		status = "draining"
+	if st == healthShedding || st == healthDraining {
 		code = http.StatusServiceUnavailable
 	}
-	writeJSON(w, code, map[string]any{"status": status})
+	writeJSON(w, code, map[string]any{"status": healthName(st)})
+}
+
+// currentHealth folds shutdown state over the admission controller's ladder.
+func (s *Service) currentHealth() int {
+	if s.closing.Load() {
+		return healthDraining
+	}
+	return s.adm.healthState()
 }
 
 // refuseIfClosing 503s work submitted after Shutdown began.
 func (s *Service) refuseIfClosing(w http.ResponseWriter) bool {
 	if s.closing.Load() {
-		writeRetryableError(w, http.StatusServiceUnavailable, errors.New("server is draining"))
+		writeRetryableError(w, http.StatusServiceUnavailable, 1, errors.New("server is draining"))
 		return true
 	}
 	return false
+}
+
+// admitCost runs one costed request through health gating and budget
+// admission. In the shedding state all fresh work (cost > 0) is refused with
+// 503 — cached answers still flow; under that, the budget sheds the excess
+// with 429. Both carry a drain-rate-derived Retry-After. On true the caller
+// owes s.adm.release(cost, elapsed).
+func (s *Service) admitCost(w http.ResponseWriter, cost float64) bool {
+	if cost > 0 && s.adm.healthState() == healthShedding {
+		secs := retryAfterSeconds(s.adm.inflight()-s.adm.budget+cost, s.adm.drain.rate())
+		writeRetryableError(w, http.StatusServiceUnavailable, secs,
+			errors.New("server is shedding load"))
+		return false
+	}
+	ok, secs := s.adm.admit(cost)
+	if !ok {
+		writeRetryableError(w, http.StatusTooManyRequests, secs,
+			errors.New("admission: in-flight cost over budget; retry later"))
+		return false
+	}
+	return true
 }
 
 // --- plumbing ---
@@ -635,11 +738,15 @@ func writeError(w http.ResponseWriter, code int, err error) {
 	writeJSON(w, code, errorBody{Error: err.Error()})
 }
 
-// writeRetryableError is writeError plus a Retry-After hint, for transient
-// refusals (queue pressure, draining) the client should back off from and
-// retry rather than surface.
-func writeRetryableError(w http.ResponseWriter, code int, err error) {
-	w.Header().Set("Retry-After", "1")
+// writeRetryableError is writeError plus a Retry-After hint in seconds, for
+// transient refusals (cost shed, queue pressure, draining) the client should
+// back off from and retry rather than surface. Callers derive the hint from
+// the measured drain rate via retryAfterSeconds; 1 is the honest floor.
+func writeRetryableError(w http.ResponseWriter, code, retryAfterSecs int, err error) {
+	if retryAfterSecs < 1 {
+		retryAfterSecs = 1
+	}
+	w.Header().Set("Retry-After", strconv.Itoa(retryAfterSecs))
 	writeError(w, code, err)
 }
 

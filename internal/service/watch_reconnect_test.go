@@ -1,0 +1,161 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmem/internal/chaos"
+)
+
+// severOnce wraps the first watch connection's ResponseWriter and kills the
+// connection (via the net/http-sanctioned http.ErrAbortHandler panic) right
+// after the first NDJSON line goes out — the client sees a stream torn
+// mid-flight, after real event bytes arrived.
+type severOnce struct {
+	http.ResponseWriter
+	wroteLine bool
+}
+
+func (s *severOnce) Write(p []byte) (int, error) {
+	if s.wroteLine {
+		panic(http.ErrAbortHandler)
+	}
+	if i := strings.IndexByte(string(p), '\n'); i >= 0 {
+		s.wroteLine = true
+		n, err := s.ResponseWriter.Write(p[:i+1])
+		if f, ok := s.ResponseWriter.(http.Flusher); ok {
+			f.Flush()
+		}
+		return n, err
+	}
+	return s.ResponseWriter.Write(p)
+}
+
+func (s *severOnce) Flush() {
+	if f, ok := s.ResponseWriter.(http.Flusher); ok {
+		f.Flush()
+	}
+}
+
+// TestWatchReconnectAfterSeveredStream severs the first watch connection one
+// event into the NDJSON stream and asserts WaitJob reconnects, replays, and
+// still hands onEvent each transition exactly once (dedup by Seq).
+func TestWatchReconnectAfterSeveredStream(t *testing.T) {
+	svc, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var watches atomic.Int64
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if r.URL.Query().Get("watch") == "1" && watches.Add(1) == 1 {
+			inner.ServeHTTP(&severOnce{ResponseWriter: w}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		ts.Close()
+	})
+	c := &Client{BaseURL: ts.URL, Retries: 3, Backoff: 10 * time.Millisecond}
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "hwcost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seen := map[int]string{} // transition seq -> state
+	var order []int
+	final, err := c.WaitJob(ctx, st.ID, func(ev JobEvent) {
+		if ev.Progress != nil {
+			return // heartbeats may repeat across reconnects by design
+		}
+		if prev, dup := seen[ev.Seq]; dup {
+			t.Errorf("transition seq %d (%s) delivered twice (first as %s)", ev.Seq, ev.State, prev)
+		}
+		seen[ev.Seq] = ev.State
+		order = append(order, ev.Seq)
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if got := watches.Load(); got < 2 {
+		t.Fatalf("saw %d watch connections, want >= 2 (reconnect after sever)", got)
+	}
+	for i := 1; i < len(order); i++ {
+		if order[i] <= order[i-1] {
+			t.Fatalf("transition seqs out of order: %v", order)
+		}
+	}
+	states := make([]string, 0, len(order))
+	for _, seq := range order {
+		states = append(states, seen[seq])
+	}
+	if want := []string{JobQueued, JobRunning, JobDone}; len(states) != len(want) {
+		t.Fatalf("transitions = %v, want %v", states, want)
+	} else {
+		for i := range want {
+			if states[i] != want[i] {
+				t.Fatalf("transitions = %v, want %v", states, want)
+			}
+		}
+	}
+}
+
+// TestWatchReconnectAfterDroppedConnection is the same contract driven from
+// the client side: a chaos plan drops the first watch attempt's connection
+// before any bytes flow, and WaitJob rides it out.
+func TestWatchReconnectAfterDroppedConnection(t *testing.T) {
+	_, c := newTestServer(t, tinyConfig())
+	ctx := context.Background()
+
+	st, err := c.SubmitJob(ctx, JobRequest{Experiment: "hwcost"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Requests through the chaos transport: index 0 is the first watch
+	// attempt (SubmitJob above used the default transport).
+	inj, err := chaos.New(chaos.Plan{HTTP: []chaos.HTTPFault{
+		{AtRequest: 0, Mode: chaos.ModeDrop},
+	}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.HTTPClient = &http.Client{Transport: inj.RoundTripper(nil), Timeout: 5 * time.Minute}
+	c.Retries = 3
+	c.Backoff = 10 * time.Millisecond
+
+	seen := map[int]bool{}
+	final, err := c.WaitJob(ctx, st.ID, func(ev JobEvent) {
+		if ev.Progress != nil {
+			return
+		}
+		if seen[ev.Seq] {
+			t.Errorf("transition seq %d delivered twice", ev.Seq)
+		}
+		seen[ev.Seq] = true
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if final.State != JobDone {
+		t.Fatalf("job ended %s: %s", final.State, final.Error)
+	}
+	if got := inj.Stats().HTTP; got != 1 {
+		t.Fatalf("injected %d faults, want 1 (the dropped watch)", got)
+	}
+	if len(seen) != 3 {
+		t.Fatalf("saw %d distinct transitions, want 3 (queued, running, done)", len(seen))
+	}
+}
