@@ -45,6 +45,7 @@ import (
 	"hmem/internal/obs"
 	"hmem/internal/report"
 	"hmem/internal/sim"
+	"hmem/internal/trace"
 	"hmem/internal/workload"
 )
 
@@ -93,6 +94,14 @@ func Benchmarks() []string { return workload.Names() }
 // Options tunes an evaluation; the zero value uses the defaults from the
 // experiments package (1/64 capacity scale, 40 K records/core).
 type Options = experiments.Options
+
+// TraceStats is the trace-delivery counter pair (generator runs vs
+// coalesced replays) reported by Engine.TraceStats.
+type TraceStats = experiments.TraceStats
+
+// TraceStream is the per-core trace interface, re-exported for the
+// SetTraceWrap fault-injection seam.
+type TraceStream = trace.Stream
 
 // Result summarizes one workload x policy evaluation. The JSON field names
 // are the hmemd service's wire format; encoding/json emits them in struct
@@ -359,6 +368,33 @@ func (e *Engine) RunExperiment(ctx context.Context, id string) (*report.Table, e
 // CacheStats reports the shared runner's memo hit/miss counters: how much
 // simulation work requests have shared so far.
 func (e *Engine) CacheStats() exec.MemoStats { return e.r.CacheStats() }
+
+// AcquireTracePlan pins a materialized trace replay plan for a workload and
+// returns its release: while held, every evaluation of that workload on
+// this engine replays one collected trace instead of regenerating it per
+// simulation — the plan-coalescing primitive behind the hmemd batch
+// endpoint. Results are byte-identical to uncoalesced evaluation (the
+// generators are pure functions of the seed). Release is idempotent; the
+// records are dropped when the last holder releases. No-op (still returning
+// a valid release) when a cluster delegate is installed, because batch
+// items shard independently across workers.
+func (e *Engine) AcquireTracePlan(ctx context.Context, workloadName string) (release func(), err error) {
+	return e.r.AcquireTracePlan(ctx, workloadName)
+}
+
+// TraceStats reports the engine's trace-delivery counters: generator runs
+// (opens) versus simulations served a replay view from an active coalescing
+// plan (hits).
+func (e *Engine) TraceStats() experiments.TraceStats { return e.r.TraceStats() }
+
+// SetTraceWrap installs a wrapper over every trace stream a simulation on
+// this engine consumes, keyed by workload name — the per-item
+// fault-injection seam of the batch chaos tests. Results computed under a
+// wrap are memoized like any other, so long-lived engines should only wrap
+// in tests.
+func (e *Engine) SetTraceWrap(wrap func(workloadName string, s trace.Stream) trace.Stream) {
+	e.r.SetTraceWrap(wrap)
+}
 
 // SetDelegate installs a distribution delegate on the shared runner: every
 // memoized building block (profiles, policy runs, fault-study shards) is

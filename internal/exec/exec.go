@@ -365,6 +365,49 @@ func Map[T any](ctx context.Context, workers, n int, fn func(i int) (T, error)) 
 	return out, nil
 }
 
+// Settle evaluates fn(0..n-1) on at most workers goroutines and returns
+// every task's error by index — the error-isolating cousin of ForEach for
+// fan-outs where one item's failure must not abort the rest (the batch
+// endpoint's per-item execution). Unlike Map/ForEach, a failing or
+// panicking task never cancels its siblings: panics are converted to
+// *PanicError in that task's slot via Protect, and only tasks that have not
+// yet started when ctx is cancelled are skipped with ctx.Err(). The
+// returned slice always has length n; nil entries are tasks that completed
+// without error.
+func Settle(ctx context.Context, workers, n int, fn func(i int) error) []error {
+	errs := make([]error, n)
+	sem := make(chan struct{}, Workers(workers))
+	var wg sync.WaitGroup
+	f := newFanout(ctx, n)
+	for i := 0; i < n; i++ {
+		i := i
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			select {
+			case sem <- struct{}{}:
+			case <-ctx.Done():
+				errs[i] = ctx.Err()
+				return
+			}
+			defer func() { <-sem }()
+			if err := ctx.Err(); err != nil {
+				errs[i] = err
+				return
+			}
+			if f != nil {
+				sp := f.start(i)
+				errs[i] = Protect(func() error { return fn(i) })
+				f.finish(sp, errs[i])
+				return
+			}
+			errs[i] = Protect(func() error { return fn(i) })
+		}()
+	}
+	wg.Wait()
+	return errs
+}
+
 // ForEach evaluates fn(0..n-1) on at most workers goroutines and returns
 // the first error. Observed the same way as Map.
 func ForEach(ctx context.Context, workers, n int, fn func(i int) error) error {

@@ -35,7 +35,7 @@ func (r *Runner) annotationRun(ctx context.Context, spec workload.Spec) (sim.Res
 		if err != nil {
 			return sim.Result{}, err
 		}
-		return sim.Run(r.cfg, suite.Streams(), pins, true, nil)
+		return sim.Run(r.cfg, suite.streams, pins, true, nil)
 	})
 	if err != nil {
 		return sim.Result{}, nil, err

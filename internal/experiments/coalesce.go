@@ -1,0 +1,200 @@
+package experiments
+
+// Plan-level trace coalescing: N evaluations that share a workload but
+// differ in policy normally pay N trace generations, one per simulation,
+// because streams are consumed. A TracePlan materializes the workload's
+// per-core record slices once and, while at least one holder keeps it
+// acquired, every simulation of that workload replays a zero-copy
+// SliceStream view instead of regenerating — the batch endpoint's
+// one-trace-pass-drives-all-policies optimization. Plans are refcounted and
+// plan-scoped (dropped when the last holder releases), so coalescing never
+// grows the process's steady-state footprint the way memoizing traces
+// would.
+//
+// Generators are pure functions of (spec, recordsPerCore, seed), so the
+// collected records are bit-identical to what a fresh generator would emit;
+// results computed through a plan are byte-identical to uncoalesced runs.
+
+import (
+	"context"
+	"sync"
+
+	"hmem/internal/obs"
+	"hmem/internal/trace"
+	"hmem/internal/workload"
+)
+
+// TraceStats counts trace deliveries: Opens is how many times a workload's
+// generators were actually run (plan materializations included), and
+// CoalesceHits is how many simulations were served a replay view from an
+// active plan instead. Exported on /metrics as hmemd_trace_opens_total /
+// hmemd_coalesce_hits_total.
+type TraceStats struct {
+	Opens        uint64
+	CoalesceHits uint64
+}
+
+// Add returns the element-wise sum, for aggregating several runners.
+func (s TraceStats) Add(o TraceStats) TraceStats {
+	return TraceStats{Opens: s.Opens + o.Opens, CoalesceHits: s.CoalesceHits + o.CoalesceHits}
+}
+
+// suiteView is what a simulation consumes from a workload build: the merged
+// structure table plus one consumable stream per core. Fresh builds hand
+// through the suite's generators; an active plan hands out SliceStream
+// replay views over the materialized records.
+type suiteView struct {
+	structures []workload.Structure
+	streams    []trace.Stream
+}
+
+// tracePlan is one refcounted materialization of a workload's traces.
+type tracePlan struct {
+	refs       int
+	ready      chan struct{} // closed once records/err are final
+	records    [][]trace.Record
+	structures []workload.Structure
+	err        error
+}
+
+// TraceStats returns the runner's trace-delivery counters.
+func (r *Runner) TraceStats() TraceStats {
+	return TraceStats{Opens: r.traceOpens.Load(), CoalesceHits: r.coalesceHits.Load()}
+}
+
+// SetTraceWrap installs a wrapper applied to every trace stream a
+// simulation consumes, keyed by workload name — the fault-injection seam
+// batch chaos tests use to fail one item's trace while the rest of the
+// batch proceeds. A setter rather than an Options field: Options is
+// fingerprinted with %#v for cache keys, which function pointers would
+// break. Test-only; results computed under a wrap are cached like any
+// other, so production runners must leave it nil.
+func (r *Runner) SetTraceWrap(wrap func(workloadName string, s trace.Stream) trace.Stream) {
+	r.traceWrapMu.Lock()
+	r.traceWrap = wrap
+	r.traceWrapMu.Unlock()
+}
+
+func (r *Runner) getTraceWrap() func(string, trace.Stream) trace.Stream {
+	r.traceWrapMu.RLock()
+	defer r.traceWrapMu.RUnlock()
+	return r.traceWrap
+}
+
+// wrapStreams applies the installed trace wrap (if any) to a view's streams.
+// Applied at consumption time, never at plan materialization, so an injected
+// fault fails the simulations that consume it, not the shared plan.
+func (r *Runner) wrapStreams(workloadName string, v *suiteView) *suiteView {
+	wrap := r.getTraceWrap()
+	if wrap == nil {
+		return v
+	}
+	for i, s := range v.streams {
+		v.streams[i] = wrap(workloadName, s)
+	}
+	return v
+}
+
+// AcquireTracePlan pins a materialized replay plan for a workload and
+// returns its release. While held, every simulation of that workload on
+// this runner replays the plan's records instead of regenerating the trace
+// — K policies cost one trace pass. Acquisitions nest (refcounted); release
+// is idempotent and drops the records once the last holder lets go.
+//
+// With a cluster delegate installed this is a no-op: batch items shard
+// independently across workers, so a local materialization would cost
+// memory without saving any replay.
+func (r *Runner) AcquireTracePlan(ctx context.Context, workloadName string) (release func(), err error) {
+	spec, err := workload.SpecByName(workloadName)
+	if err != nil {
+		return nil, err
+	}
+	if r.getDelegate() != nil {
+		return func() {}, nil
+	}
+	r.plansMu.Lock()
+	if r.plans == nil {
+		r.plans = make(map[string]*tracePlan)
+	}
+	p, ok := r.plans[spec.Name]
+	if ok {
+		p.refs++
+		r.plansMu.Unlock()
+	} else {
+		p = &tracePlan{refs: 1, ready: make(chan struct{})}
+		r.plans[spec.Name] = p
+		r.plansMu.Unlock()
+		r.materializePlan(ctx, spec, p)
+	}
+	select {
+	case <-p.ready:
+	case <-ctx.Done():
+		r.releasePlan(spec.Name, p)
+		return nil, ctx.Err()
+	}
+	if p.err != nil {
+		err := p.err
+		r.releasePlan(spec.Name, p)
+		return nil, err
+	}
+	var once sync.Once
+	return func() { once.Do(func() { r.releasePlan(spec.Name, p) }) }, nil
+}
+
+// materializePlan runs the workload's generators once and collects every
+// core's records into the plan. Counts as one trace open; subsequent
+// consumers are coalesce hits.
+func (r *Runner) materializePlan(ctx context.Context, spec workload.Spec, p *tracePlan) {
+	defer close(p.ready)
+	if obs.Enabled(ctx) {
+		_, sp := obs.Start(ctx, "trace.plan",
+			obs.Str("workload", spec.Name), obs.Int("records_per_core", int64(r.opts.RecordsPerCore)))
+		defer sp.End()
+	}
+	suite, err := spec.Build(r.opts.RecordsPerCore, r.opts.Seed)
+	if err != nil {
+		p.err = err
+		return
+	}
+	r.traceOpens.Add(1)
+	records := make([][]trace.Record, len(suite.Generators))
+	for i, g := range suite.Generators {
+		if records[i], err = trace.Collect(g, 0); err != nil {
+			p.err = err
+			return
+		}
+	}
+	p.records = records
+	p.structures = suite.Structures
+}
+
+// releasePlan drops one reference; the last one retires the plan so its
+// records become garbage.
+func (r *Runner) releasePlan(name string, p *tracePlan) {
+	r.plansMu.Lock()
+	defer r.plansMu.Unlock()
+	p.refs--
+	if p.refs <= 0 && r.plans[name] == p {
+		delete(r.plans, name)
+	}
+}
+
+// activePlan returns the workload's materialized plan, or nil when none is
+// held (or it is still materializing / failed — callers then build fresh).
+func (r *Runner) activePlan(name string) *tracePlan {
+	r.plansMu.Lock()
+	p := r.plans[name]
+	r.plansMu.Unlock()
+	if p == nil {
+		return nil
+	}
+	select {
+	case <-p.ready:
+		if p.err != nil {
+			return nil
+		}
+		return p
+	default:
+		return nil
+	}
+}

@@ -1,0 +1,175 @@
+package experiments
+
+import (
+	"context"
+	"errors"
+	"io"
+	"reflect"
+	"testing"
+
+	"hmem/internal/core"
+	"hmem/internal/trace"
+	"hmem/internal/workload"
+)
+
+// tinyCoalesceOpts keeps plan tests fast: short traces, few trials.
+func tinyCoalesceOpts() Options {
+	return Options{RecordsPerCore: 1500, FaultTrials: 1500}
+}
+
+// TestTracePlanCoalesces is the plan's core contract: with a plan held, K
+// policy runs of one workload cost exactly one trace generation, and the
+// results are bit-identical to an uncoalesced runner's.
+func TestTracePlanCoalesces(t *testing.T) {
+	spec, err := workload.SpecByName("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	policies := []core.Policy{core.PerfFocused{}, core.Balanced{}, core.Wr2Ratio{}}
+	ctx := context.Background()
+
+	run := func(r *Runner) []interface{} {
+		var out []interface{}
+		prof, err := r.ProfileOf(ctx, spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		out = append(out, prof.Result)
+		for _, p := range policies {
+			res, err := r.RunStatic(ctx, spec, p)
+			if err != nil {
+				t.Fatal(err)
+			}
+			out = append(out, res)
+		}
+		return out
+	}
+
+	coalesced := mustRunner(t, tinyCoalesceOpts())
+	release, err := coalesced.AcquireTracePlan(ctx, "astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotCoalesced := run(coalesced)
+	st := coalesced.TraceStats()
+	if st.Opens != 1 {
+		t.Fatalf("coalesced run opened the trace %d times, want exactly 1 (materialization)", st.Opens)
+	}
+	// One profile build plus one build per static run, all served as replays.
+	if want := uint64(1 + len(policies)); st.CoalesceHits != want {
+		t.Fatalf("coalesce hits = %d, want %d", st.CoalesceHits, want)
+	}
+	release()
+	release() // idempotent
+
+	// After release the plan is gone: the next simulation regenerates.
+	if _, err := coalesced.buildSuite(spec); err != nil {
+		t.Fatal(err)
+	}
+	if st := coalesced.TraceStats(); st.Opens != 2 {
+		t.Fatalf("post-release build opened %d traces total, want 2", st.Opens)
+	}
+
+	plain := mustRunner(t, tinyCoalesceOpts())
+	gotPlain := run(plain)
+	if st := plain.TraceStats(); st.CoalesceHits != 0 {
+		t.Fatalf("uncoalesced runner recorded %d coalesce hits", st.CoalesceHits)
+	}
+	if !reflect.DeepEqual(gotCoalesced, gotPlain) {
+		t.Fatal("coalesced results differ from uncoalesced results")
+	}
+}
+
+// TestTracePlanNestedAcquire checks refcounting: a plan stays live until the
+// last holder releases.
+func TestTracePlanNestedAcquire(t *testing.T) {
+	r := mustRunner(t, tinyCoalesceOpts())
+	ctx := context.Background()
+	rel1, err := r.AcquireTracePlan(ctx, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel2, err := r.AcquireTracePlan(ctx, "mcf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st := r.TraceStats(); st.Opens != 1 {
+		t.Fatalf("nested acquire materialized %d times, want 1", st.Opens)
+	}
+	rel1()
+	if r.activePlan("mcf") == nil {
+		t.Fatal("plan retired while still held by the second acquirer")
+	}
+	rel2()
+	if r.activePlan("mcf") != nil {
+		t.Fatal("plan still active after the last release")
+	}
+}
+
+// TestTracePlanUnknownWorkload rejects bad names before materializing.
+func TestTracePlanUnknownWorkload(t *testing.T) {
+	r := mustRunner(t, tinyCoalesceOpts())
+	if _, err := r.AcquireTracePlan(context.Background(), "no-such-workload"); err == nil {
+		t.Fatal("expected an error for an unknown workload")
+	}
+}
+
+// TestTraceWrapSelectsWorkload proves the wrap seam is keyed by workload:
+// wrapping one workload's streams with a failing reader fails only that
+// workload's runs.
+func TestTraceWrapSelectsWorkload(t *testing.T) {
+	r := mustRunner(t, tinyCoalesceOpts())
+	injected := errors.New("injected trace fault")
+	r.SetTraceWrap(func(name string, s trace.Stream) trace.Stream {
+		if name == "mcf" {
+			return failingStream{err: injected}
+		}
+		return s
+	})
+	ctx := context.Background()
+	mcf, _ := workload.SpecByName("mcf")
+	if _, err := r.ProfileOf(ctx, mcf); !errors.Is(err, injected) {
+		t.Fatalf("wrapped workload error = %v, want the injected fault", err)
+	}
+	astar, _ := workload.SpecByName("astar")
+	if _, err := r.ProfileOf(ctx, astar); err != nil {
+		t.Fatalf("unwrapped workload failed: %v", err)
+	}
+}
+
+type failingStream struct{ err error }
+
+func (f failingStream) Next() (trace.Record, error) { return trace.Record{}, f.err }
+
+// TestCoalescedReplayZeroAllocs is the AllocsPerRun gate: replaying a
+// materialized plan through a SliceStream view adds zero allocations per
+// access — the coalesced inner loop is as lean as the generator path.
+func TestCoalescedReplayZeroAllocs(t *testing.T) {
+	spec, err := workload.SpecByName("astar")
+	if err != nil {
+		t.Fatal(err)
+	}
+	suite, err := spec.Build(2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	recs, err := trace.Collect(suite.Generators[0], 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stream := trace.NewSliceStream(recs)
+	allocs := testing.AllocsPerRun(10, func() {
+		stream.Reset()
+		for {
+			if _, err := stream.Next(); err != nil {
+				if err != io.EOF {
+					t.Fatal(err)
+				}
+				return
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("coalesced replay allocates %.1f per full pass, want 0", allocs)
+	}
+}

@@ -115,7 +115,7 @@ func (r *Runner) annotatedMigrationRun(ctx context.Context, spec workload.Spec) 
 		if err != nil {
 			return sim.Result{}, err
 		}
-		return sim.Run(r.cfg, suite.Streams(), pins, true,
+		return sim.Run(r.cfg, suite.streams, pins, true,
 			migration.NewFullCounter(r.opts.FCIntervalCycles))
 	})
 }

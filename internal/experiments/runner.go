@@ -13,12 +13,14 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"hmem/internal/core"
 	"hmem/internal/exec"
 	"hmem/internal/faultsim"
 	"hmem/internal/obs"
 	"hmem/internal/sim"
+	"hmem/internal/trace"
 	"hmem/internal/workload"
 )
 
@@ -89,6 +91,17 @@ type Runner struct {
 	fits     exec.Memo[struct{}, faultsim.TierFITs]
 	profiles exec.Memo[string, *Profile]
 	runs     exec.Memo[string, sim.Result]
+
+	// plans holds the active trace-coalescing plans by workload name;
+	// counters and the wrap seam live in coalesce.go.
+	plansMu sync.Mutex
+	plans   map[string]*tracePlan
+
+	traceOpens   atomic.Uint64
+	coalesceHits atomic.Uint64
+
+	traceWrapMu sync.RWMutex
+	traceWrap   func(workloadName string, s trace.Stream) trace.Stream
 
 	// delegate, when set, is offered every building block before local
 	// computation (the cluster distribution seam, see blocks.go).
@@ -267,22 +280,37 @@ func (r *Runner) CacheStats() exec.MemoStats {
 	return r.fits.Stats().Add(r.profiles.Stats()).Add(r.runs.Stats())
 }
 
-// buildSuite constructs a fresh suite for a spec (each simulation needs
-// fresh generators because streams are consumed).
-func (r *Runner) buildSuite(spec workload.Spec) (*workload.Suite, error) {
+// buildSuite constructs the trace view a simulation consumes: fresh
+// generators normally (streams are consumed, so every simulation needs its
+// own), or zero-copy replay views when a coalescing plan for the workload
+// is held (see coalesce.go).
+func (r *Runner) buildSuite(spec workload.Spec) (*suiteView, error) {
 	return r.buildSuiteCtx(context.Background(), spec)
 }
 
 // buildSuiteCtx is buildSuite recorded as a "trace.build" span — the trace
 // decode/generation seam.
-func (r *Runner) buildSuiteCtx(ctx context.Context, spec workload.Spec) (*workload.Suite, error) {
+func (r *Runner) buildSuiteCtx(ctx context.Context, spec workload.Spec) (*suiteView, error) {
 	// Gated on Enabled so the attribute slice is never built untraced.
 	if obs.Enabled(ctx) {
 		_, sp := obs.Start(ctx, "trace.build",
 			obs.Str("workload", spec.Name), obs.Int("records_per_core", int64(r.opts.RecordsPerCore)))
 		defer sp.End()
 	}
-	return spec.Build(r.opts.RecordsPerCore, r.opts.Seed)
+	if p := r.activePlan(spec.Name); p != nil {
+		r.coalesceHits.Add(1)
+		streams := make([]trace.Stream, len(p.records))
+		for i, recs := range p.records {
+			streams[i] = trace.NewSliceStream(recs)
+		}
+		return r.wrapStreams(spec.Name, &suiteView{structures: p.structures, streams: streams}), nil
+	}
+	suite, err := spec.Build(r.opts.RecordsPerCore, r.opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	r.traceOpens.Add(1)
+	return r.wrapStreams(spec.Name, &suiteView{structures: suite.Structures, streams: suite.Streams()}), nil
 }
 
 // ProfileOf returns the memoized DDR-only profiling run for a workload.
@@ -303,11 +331,11 @@ func (r *Runner) ProfileOf(ctx context.Context, spec workload.Spec) (*Profile, e
 		if err != nil {
 			return nil, err
 		}
-		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), nil, false, nil)
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.streams, nil, false, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiments: profiling %s: %w", spec.Name, err)
 		}
-		return &Profile{Structures: suite.Structures, Result: res, Stats: res.Stats()}, nil
+		return &Profile{Structures: suite.structures, Result: res, Stats: res.Stats()}, nil
 	})
 }
 
@@ -339,7 +367,7 @@ func (r *Runner) RunStatic(ctx context.Context, spec workload.Spec, policy core.
 		if err != nil {
 			return sim.Result{}, err
 		}
-		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), pages, false, nil)
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.streams, pages, false, nil)
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, policy.Name(), err)
 		}
@@ -376,7 +404,7 @@ func (r *Runner) RunDynamic(ctx context.Context, spec workload.Spec, mech string
 		if err != nil {
 			return sim.Result{}, err
 		}
-		res, err := sim.RunCtx(runCtx, r.cfg, suite.Streams(), pages, false, build())
+		res, err := sim.RunCtx(runCtx, r.cfg, suite.streams, pages, false, build())
 		if err != nil {
 			return sim.Result{}, fmt.Errorf("experiments: %s under %s: %w", spec.Name, mech, err)
 		}

@@ -31,6 +31,10 @@ const (
 	ClassWatch = "watch"
 	// ClassList is GET /v1/jobs with a limit/offset page.
 	ClassList = "list"
+	// ClassBatch is POST /v1/batch: one pipelined request carrying a
+	// same-workload multi-policy item set, streamed back as NDJSON. On the
+	// server the items coalesce onto one trace plan.
+	ClassBatch = "batch"
 )
 
 // Outcome taxonomy. Everything except OutcomeOK and OutcomeCanceled counts
@@ -111,11 +115,17 @@ func Profiles() []Profile {
 			mix:         []classWeight{{ClassCompare, 60}, {ClassEvaluate, 40}},
 		},
 		{
+			Name: "batch",
+			Description: "batch-pipelined: same-workload multi-policy /v1/batch " +
+				"with background sync load",
+			mix: []classWeight{{ClassBatch, 70}, {ClassEvaluate, 20}, {ClassList, 10}},
+		},
+		{
 			Name:        "mixed",
 			Description: "a bit of everything — the default smoke profile",
 			mix: []classWeight{
-				{ClassEvaluate, 40}, {ClassCompare, 15}, {ClassSubmit, 20},
-				{ClassWatch, 10}, {ClassList, 15},
+				{ClassEvaluate, 30}, {ClassCompare, 15}, {ClassSubmit, 15},
+				{ClassWatch, 10}, {ClassList, 15}, {ClassBatch, 15},
 			},
 		},
 	}
@@ -184,6 +194,15 @@ func OpAt(p Profile, seed, index uint64) Op {
 		op.Workload = workloads[rng.Intn(len(workloads))]
 		// 2–4 distinct policies; a coordinator turns each into a shard.
 		n := 2 + rng.Intn(3)
+		perm := rng.Perm(len(policies))
+		for _, pi := range perm[:n] {
+			op.Policies = append(op.Policies, policies[pi])
+		}
+	case ClassBatch:
+		// One workload, 3–6 distinct policies: the coalescing-friendly shape —
+		// every item shares the trace, so the server replays one plan.
+		op.Workload = workloads[rng.Intn(len(workloads))]
+		n := 3 + rng.Intn(4)
 		perm := rng.Perm(len(policies))
 		for _, pi := range perm[:n] {
 			op.Policies = append(op.Policies, policies[pi])

@@ -353,6 +353,16 @@ func (e *jobFailedError) Error() string {
 	return fmt.Sprintf("job %s %s: %s", e.id, e.state, e.msg)
 }
 
+// batchItemsError marks a batch whose stream completed but carried item
+// failures — the transport worked, some evaluations did not.
+type batchItemsError struct {
+	items, errors int
+}
+
+func (e *batchItemsError) Error() string {
+	return fmt.Sprintf("batch: %d of %d items failed", e.errors, e.items)
+}
+
 // executeOp performs one scripted operation through the typed client.
 func executeOp(ctx context.Context, c *service.Client, cfg Config, op Op) error {
 	patch := &service.OptionsPatch{
@@ -401,6 +411,22 @@ func executeOp(ctx context.Context, c *service.Client, cfg Config, op Op) error 
 	case ClassList:
 		_, _, err := c.Jobs(ctx, op.Limit, op.Offset)
 		return err
+	case ClassBatch:
+		items := make([]service.BatchItem, len(op.Policies))
+		for i, p := range op.Policies {
+			items[i] = service.BatchItem{
+				ID: fmt.Sprintf("op%d-%d", op.Index, i),
+				Workload: op.Workload, Policy: p, Options: patch,
+			}
+		}
+		_, sum, err := c.CollectBatch(ctx, service.BatchRequest{Items: items})
+		if err != nil {
+			return err
+		}
+		if sum.Errors > 0 {
+			return &batchItemsError{items: sum.Items, errors: sum.Errors}
+		}
+		return nil
 	default:
 		return fmt.Errorf("load: unknown op class %q", op.Class)
 	}
@@ -443,6 +469,10 @@ func classify(err error) string {
 	}
 	var jf *jobFailedError
 	if errors.As(err, &jf) {
+		return OutcomeFailed
+	}
+	var be *batchItemsError
+	if errors.As(err, &be) {
 		return OutcomeFailed
 	}
 	var apiErr *service.APIError

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"hmem"
+	"hmem/internal/chaos"
+)
+
+// TestBatchReconnectAfterSeveredStream severs the first batch connection one
+// NDJSON line into the stream and asserts EvaluateBatch reconnects, replays
+// the (deterministic, cached) stream, and still delivers every item exactly
+// once plus the terminal summary — the same Seq-dedup contract the job
+// watch stream keeps.
+func TestBatchReconnectAfterSeveredStream(t *testing.T) {
+	svc, err := New(tinyConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var batches atomic.Int64
+	inner := svc.Handler()
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if strings.HasSuffix(r.URL.Path, "/v1/batch") && batches.Add(1) == 1 {
+			inner.ServeHTTP(&severOnce{ResponseWriter: w}, r)
+			return
+		}
+		inner.ServeHTTP(w, r)
+	}))
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+		defer cancel()
+		_ = svc.Shutdown(ctx)
+		ts.Close()
+	})
+	c := &Client{BaseURL: ts.URL, Retries: 3, Backoff: 10 * time.Millisecond}
+
+	items := []BatchItem{
+		{ID: "a", Workload: "astar", Policy: hmem.PolicyDDROnly},
+		{ID: "b", Workload: "astar", Policy: hmem.PolicyBalanced},
+		{ID: "c", Workload: "mcf", Policy: hmem.PolicyDDROnly},
+		{ID: "d", Workload: "mcf", Policy: hmem.PolicyBalanced},
+	}
+	seen := make(map[int]int)
+	sum, err := c.EvaluateBatch(context.Background(), BatchRequest{Items: items}, func(r BatchResult) {
+		seen[r.Index]++
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := batches.Load(); got < 2 {
+		t.Fatalf("batch POSTs = %d, want at least 2 (sever must force a reconnect)", got)
+	}
+	if sum.Items != len(items) || sum.Errors != 0 {
+		t.Fatalf("summary = %+v, want %d items, 0 errors", sum, len(items))
+	}
+	for i := range items {
+		if seen[i] != 1 {
+			t.Errorf("item %d delivered %d times, want exactly once", i, seen[i])
+		}
+	}
+	if len(seen) != len(items) {
+		t.Errorf("delivered %d distinct items, want %d", len(seen), len(items))
+	}
+}
+
+// TestBatchItemFaultIsolation injects a trace fault into exactly one
+// workload via the Config.TraceWrap seam and asserts the blast radius is
+// one item: the faulted item carries its error on its own result line
+// while the rest of the batch — including another policy on a healthy
+// workload — completes normally.
+func TestBatchItemFaultIsolation(t *testing.T) {
+	inj, err := chaos.New(chaos.Plan{
+		Trace: []chaos.TraceFault{{AtRecord: 10, Mode: chaos.ModeError}},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := tinyConfig()
+	cfg.TraceWrap = func(workloadName string, s hmem.TraceStream) hmem.TraceStream {
+		if workloadName == "mcf" {
+			return inj.Stream(s)
+		}
+		return s
+	}
+	_, c := newTestServer(t, cfg)
+
+	items := []BatchItem{
+		{ID: "ok-1", Workload: "astar", Policy: hmem.PolicyDDROnly},
+		{ID: "bad", Workload: "mcf", Policy: hmem.PolicyDDROnly},
+		{ID: "ok-2", Workload: "soplex", Policy: hmem.PolicyBalanced},
+	}
+	results, sum, err := c.CollectBatch(context.Background(), BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.Items != 3 || sum.Errors != 1 {
+		t.Fatalf("summary = %+v, want 3 items with exactly 1 error", sum)
+	}
+	for _, res := range results {
+		switch res.ID {
+		case "bad":
+			if res.Error == "" {
+				t.Error("faulted item carried no error")
+			} else if !strings.Contains(res.Error, "injected") {
+				t.Errorf("faulted item error = %q, want the injected trace fault", res.Error)
+			}
+			if len(res.Result) != 0 {
+				t.Error("faulted item carried a result payload")
+			}
+		default:
+			if res.Error != "" {
+				t.Errorf("healthy item %s failed: %s", res.ID, res.Error)
+			}
+			if _, err := res.Evaluation(); err != nil {
+				t.Errorf("healthy item %s: %v", res.ID, err)
+			}
+		}
+	}
+	if inj.Stats().Trace == 0 {
+		t.Error("injector never fired; the fault seam is not wired")
+	}
+}

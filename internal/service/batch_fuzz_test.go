@@ -1,0 +1,84 @@
+package service
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzBatchRequest drives the exact production decode path for POST
+// /v1/batch bodies. The invariants: no panic on any input, and every body
+// the decoder accepts satisfies the handler's preconditions (non-empty,
+// bounded, every item structurally valid) — the handler relies on them
+// without re-checking.
+func FuzzBatchRequest(f *testing.F) {
+	f.Add([]byte(`{"items":[{"workload":"astar","policy":"ddr-only"}]}`))
+	f.Add([]byte(`{"items":[{"id":"x","workload":"mcf","policies":["ddr-only","balanced"]}]}`))
+	f.Add([]byte(`{"items":[{"workload":"astar","policy":"balanced","options":{"records_per_core":1000,"seed":7}}]}`))
+	f.Add([]byte(`{"items":[]}`))
+	f.Add([]byte(`{"items":[{"workload":"astar","policy":"ddr-only"}]}{}`))
+	f.Add([]byte(`{"items":[{"workload":"astar","policy":"ddr-only","policies":["balanced"]}]}`))
+	f.Add([]byte(`{"items":null}`))
+	f.Add([]byte(`[]`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, body []byte) {
+		req, err := decodeBatchRequest(body)
+		if err != nil {
+			return
+		}
+		if len(req.Items) == 0 || len(req.Items) > maxBatchItems {
+			t.Fatalf("accepted a batch of %d items", len(req.Items))
+		}
+		for i := range req.Items {
+			it := &req.Items[i]
+			if it.Policy != "" && len(it.Policies) > 0 {
+				t.Fatalf("item %d accepted with both policy and policies", i)
+			}
+			if it.Policy == "" && len(it.Policies) == 0 {
+				t.Fatalf("item %d accepted with no policy", i)
+			}
+			if err := it.validate(); err != nil {
+				t.Fatalf("accepted item %d fails validate: %v", i, err)
+			}
+		}
+	})
+}
+
+// FuzzBatchFrame round-trips NDJSON stream frames through the same
+// encode/decode pair the server and client use. Any frame the decoder
+// accepts must re-encode to a fixed point: encode(decode(encode(v))) ==
+// encode(v). That pins the wire framing — a field added on one side but
+// not the other, or asymmetric omitempty handling, breaks the fixed point
+// before it breaks a user.
+func FuzzBatchFrame(f *testing.F) {
+	f.Add([]byte(`{"seq":1,"index":0,"id":"a","result":{"workload":"astar","policy":"ddr-only","ipc":1.5}}`))
+	f.Add([]byte(`{"seq":2,"index":1,"results":[{"ipc":1},{"ipc":2}]}`))
+	f.Add([]byte(`{"seq":3,"index":2,"id":"x","error":"boom"}`))
+	f.Add([]byte(`{"seq":4,"done":{"items":3,"errors":1}}`))
+	f.Add([]byte(`{"seq":0}`))
+	f.Add([]byte(`{}`))
+	f.Add([]byte(`null`))
+	f.Fuzz(func(t *testing.T, line []byte) {
+		v1, err := decodeBatchLine(line)
+		if err != nil {
+			return
+		}
+		b1, err := encodeBatchLine(v1)
+		if err != nil {
+			// A decoded frame can hold RawMessage fragments that only
+			// re-marshal if they were valid JSON; the decoder guarantees
+			// that, so encode must succeed.
+			t.Fatalf("decoded frame fails to encode: %v", err)
+		}
+		v2, err := decodeBatchLine(b1)
+		if err != nil {
+			t.Fatalf("our own encoding fails to decode: %v\nframe: %s", err, b1)
+		}
+		b2, err := encodeBatchLine(v2)
+		if err != nil {
+			t.Fatalf("second encode failed: %v", err)
+		}
+		if !bytes.Equal(b1, b2) {
+			t.Fatalf("framing is not a fixed point:\nfirst:  %s\nsecond: %s", b1, b2)
+		}
+	})
+}

@@ -1,0 +1,170 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// NewPooledClient returns a Client tuned for high-throughput batch
+// traffic: a dedicated transport whose per-host connection pool is deep
+// enough that concurrent batches and their NDJSON streams ride warm
+// keep-alive connections instead of paying a dial per request. conns
+// bounds the idle pool (<=0 = 64). The returned client is a plain Client —
+// set Retries/Breaker as usual.
+func NewPooledClient(baseURL string, conns int) *Client {
+	if conns <= 0 {
+		conns = 64
+	}
+	return &Client{
+		BaseURL: baseURL,
+		HTTPClient: &http.Client{
+			Timeout: 5 * time.Minute,
+			Transport: &http.Transport{
+				MaxIdleConns:        conns,
+				MaxIdleConnsPerHost: conns,
+				IdleConnTimeout:     90 * time.Second,
+			},
+		},
+		Retries: 2,
+	}
+}
+
+// EvaluateBatch posts N evaluations as one pipelined request and streams
+// the per-item results, invoking onResult (nil is fine) for each item line
+// exactly once — in item order — across however many connections the
+// stream takes. Matching is by the server's echoed index and opaque item
+// ID, verified against the submitted items.
+//
+// A batch stream severed mid-flight is not a failure of the evaluations —
+// results are deterministic and cached server side, so EvaluateBatch
+// re-posts the same batch up to Retries times with the usual jittered
+// backoff and deduplicates replayed lines by Seq, exactly like the job
+// watch stream's reconnect machinery.
+func (c *Client) EvaluateBatch(ctx context.Context, req BatchRequest, onResult func(BatchResult)) (BatchSummary, error) {
+	if len(req.Items) == 0 {
+		return BatchSummary{}, errors.New("hmemd: empty batch")
+	}
+	body, err := json.Marshal(req)
+	if err != nil {
+		return BatchSummary{}, fmt.Errorf("hmemd: encoding batch: %w", err)
+	}
+	lastSeq := 0
+	delay := c.backoff()
+	for attempt := 0; ; attempt++ {
+		sum, err := c.batchOnce(ctx, req.Items, body, &lastSeq, onResult)
+		if err == nil {
+			return sum, nil
+		}
+		if ctx.Err() != nil {
+			return BatchSummary{}, ctx.Err()
+		}
+		if attempt >= c.Retries || !retryable(err) {
+			return BatchSummary{}, err
+		}
+		wait := c.jitteredWait(delay, err)
+		select {
+		case <-time.After(wait):
+		case <-ctx.Done():
+			return BatchSummary{}, ctx.Err()
+		}
+		delay *= 2
+	}
+}
+
+// CollectBatch is EvaluateBatch gathering the item lines into a slice, in
+// item order.
+func (c *Client) CollectBatch(ctx context.Context, req BatchRequest) ([]BatchResult, BatchSummary, error) {
+	out := make([]BatchResult, 0, len(req.Items))
+	sum, err := c.EvaluateBatch(ctx, req, func(r BatchResult) { out = append(out, r) })
+	if err != nil {
+		return nil, BatchSummary{}, err
+	}
+	return out, sum, nil
+}
+
+// batchOnce runs one batch connection until the terminal summary line
+// (returned) or the stream dies (error). lastSeq carries dedup state
+// across reconnects: replayed lines at or below it are skipped.
+func (c *Client) batchOnce(ctx context.Context, items []BatchItem, body []byte, lastSeq *int, onResult func(BatchResult)) (BatchSummary, error) {
+	var done func(bool)
+	if c.Breaker != nil {
+		var ok bool
+		done, ok = c.Breaker.Allow()
+		if !ok {
+			return BatchSummary{}, ErrCircuitOpen
+		}
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodPost,
+		strings.TrimRight(c.BaseURL, "/")+"/v1/batch", bytes.NewReader(body))
+	if err != nil {
+		if done != nil {
+			done(false)
+		}
+		return BatchSummary{}, fmt.Errorf("hmemd: building batch request: %w", err)
+	}
+	req.Header.Set("Content-Type", "application/json")
+	// A large batch can outlive any fixed client timeout; rely on ctx.
+	hc := *c.httpClient()
+	hc.Timeout = 0
+	resp, err := hc.Do(req)
+	if err != nil {
+		if done != nil {
+			done(false)
+		}
+		return BatchSummary{}, fmt.Errorf("hmemd: posting batch: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		var eb errorBody
+		msg := resp.Status
+		if json.NewDecoder(io.LimitReader(resp.Body, 4096)).Decode(&eb) == nil && eb.Error != "" {
+			msg = eb.Error
+		}
+		apiErr := &APIError{
+			StatusCode: resp.StatusCode,
+			Message:    msg,
+			RetryAfter: parseRetryAfter(resp.Header.Get("Retry-After")),
+		}
+		if done != nil {
+			done(!retryable(apiErr))
+		}
+		return BatchSummary{}, apiErr
+	}
+	// Connection established and answered coherently; mid-stream failures
+	// below are the pipe's fault, not evidence against the host.
+	if done != nil {
+		done(true)
+	}
+	dec := json.NewDecoder(resp.Body)
+	for {
+		var ev BatchResult
+		if err := dec.Decode(&ev); err != nil {
+			// EOF before the terminal line is a severed stream too: a healthy
+			// batch always ends with its summary.
+			return BatchSummary{}, fmt.Errorf("hmemd: reading batch results: %w", err)
+		}
+		if ev.Done != nil {
+			return *ev.Done, nil
+		}
+		if ev.Seq <= *lastSeq {
+			continue
+		}
+		// Opaque request matching: the server echoes each item's index and
+		// ID; a mismatch means the stream is answering a different batch.
+		if ev.Index < 0 || ev.Index >= len(items) || ev.ID != items[ev.Index].ID {
+			return BatchSummary{}, fmt.Errorf(
+				"hmemd: batch stream mismatch: seq %d carries index %d id %q", ev.Seq, ev.Index, ev.ID)
+		}
+		*lastSeq = ev.Seq
+		if onResult != nil {
+			onResult(ev)
+		}
+	}
+}

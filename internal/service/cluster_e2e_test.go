@@ -116,6 +116,70 @@ func TestClusterByteIdenticalToStandalone(t *testing.T) {
 	}
 }
 
+// TestClusterBatchByteIdentical routes a batch through a coordinator: each
+// item shards independently across the ring (coalescing no-ops under the
+// cluster delegate — a plan would serialize what the ring parallelizes),
+// and every item's bytes still match a standalone server's batch answer.
+func TestClusterBatchByteIdentical(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runs full simulations across multiple in-process nodes")
+	}
+	items := []BatchItem{
+		{ID: "a", Workload: "astar", Policy: "cc-migration"},
+		{ID: "b", Workload: "astar", Policy: "balanced"},
+		{ID: "c", Workload: "mix1", Policy: "perf-focused"},
+	}
+	ctx := context.Background()
+
+	cfg := clusterTestConfig(RoleStandalone)
+	cfg.Role = ""
+	standaloneSvc, standalone := newTestServer(t, cfg)
+	want, wantSum, err := standalone.CollectBatch(ctx, BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if wantSum.Errors != 0 {
+		t.Fatalf("standalone summary = %+v", wantSum)
+	}
+	if st := standaloneSvc.TraceStats(); st.CoalesceHits == 0 {
+		t.Error("standalone batch never coalesced — the contrast below is vacuous")
+	}
+
+	coord, cc := newTestServer(t, clusterTestConfig(RoleCoordinator))
+	workerSvcs, _ := startWorkers(t, coord, 2)
+	got, gotSum, err := cc.CollectBatch(ctx, BatchRequest{Items: items})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gotSum != wantSum {
+		t.Fatalf("cluster summary = %+v, want %+v", gotSum, wantSum)
+	}
+	for i := range want {
+		if string(got[i].Result) != string(want[i].Result) || got[i].ID != want[i].ID {
+			t.Errorf("item %s: cluster bytes differ from standalone\nstandalone: %s\ncluster:    %s",
+				want[i].ID, want[i].Result, got[i].Result)
+		}
+	}
+	// The work really sharded: the ring placed and executed, and no item was
+	// served from a coordinator-side plan. (Opens may be nonzero: a shard
+	// that exhausts the ring falls back to a local fresh build by design.
+	// CoalesceHits is the coalescing invariant — with the delegate installed,
+	// AcquireTracePlan no-ops, so nothing can replay locally.)
+	if coord.cluster.sched.Stats().Placed == 0 {
+		t.Error("coordinator placed no shards for the batch")
+	}
+	var executed uint64
+	for _, w := range workerSvcs {
+		executed += w.cluster.executed.Load()
+	}
+	if executed == 0 {
+		t.Error("no worker executed a shard for the batch")
+	}
+	if st := coord.TraceStats(); st.CoalesceHits != 0 {
+		t.Errorf("coordinator served %d coalesce hits; delegated items must not coalesce locally", st.CoalesceHits)
+	}
+}
+
 // TestClusterSurvivesWorkerKill cuts one of two workers off mid-run: every
 // shard it owned must be re-placed on the survivor exactly once, and the
 // final answer must still be byte-identical to standalone.

@@ -33,6 +33,11 @@ type serviceMetrics struct {
 	resultHits, resultMisses *obs.Counter
 	engineHits, engineMisses *obs.Counter
 
+	batchRequests *obs.Counter
+	batchItems    *obs.CounterVec
+	traceOpens    *obs.Counter
+	coalesceHits  *obs.Counter
+
 	queueDepth     *obs.Gauge
 	queueOldestAge *obs.Gauge
 	jobsByState    *obs.GaugeVec
@@ -72,7 +77,7 @@ type serviceMetrics struct {
 }
 
 func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
-	return &serviceMetrics{
+	m := &serviceMetrics{
 		requests: reg.CounterVec("hmemd_requests_total",
 			"HTTP requests served, by route and status code.", "route", "code"),
 		latency: reg.HistogramVec("hmemd_request_duration_seconds",
@@ -89,6 +94,14 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 			"Engine-level memo hits (profiles, policy runs, fault studies) across all engines."),
 		engineMisses: reg.Counter("hmemd_engine_memo_misses_total",
 			"Engine-level memo misses across all engines."),
+		batchRequests: reg.Counter("hmemd_batch_requests_total",
+			"Batch requests accepted by POST /v1/batch (validated and admitted)."),
+		batchItems: reg.CounterVec("hmemd_batch_items_total",
+			"Batch items streamed, by terminal outcome.", "outcome"),
+		traceOpens: reg.Counter("hmemd_trace_opens_total",
+			"Workload trace generations across all engines (coalescing-plan materializations included)."),
+		coalesceHits: reg.Counter("hmemd_coalesce_hits_total",
+			"Simulations served a trace replay from an active coalescing plan instead of regenerating."),
 		queueDepth: reg.Gauge("hmemd_job_queue_depth",
 			"Jobs waiting in the queue."),
 		queueOldestAge: reg.Gauge("hmemd_job_queue_oldest_age_seconds",
@@ -158,6 +171,11 @@ func newServiceMetrics(reg *obs.Registry) *serviceMetrics {
 		breakerSkips: reg.Counter("hmemd_cluster_breaker_skips_total",
 			"Placement candidates skipped because their breaker refused the dispatch."),
 	}
+	// Pre-touch the batch outcome series so the exposition page keeps one
+	// stable shape from the very first scrape.
+	m.batchItems.With("ok").Add(0)
+	m.batchItems.With("error").Add(0)
+	return m
 }
 
 // observe records one served request.
@@ -181,6 +199,9 @@ func (s *Service) syncMetrics() {
 	es := s.engineStats()
 	m.engineHits.Set(es.Hits)
 	m.engineMisses.Set(es.Misses)
+	ts := s.TraceStats()
+	m.traceOpens.Set(ts.Opens)
+	m.coalesceHits.Set(ts.CoalesceHits)
 	m.queueDepth.Set(float64(len(s.queue)))
 	m.queueOldestAge.Set(s.jobs.oldestQueuedAge().Seconds())
 	counts := s.jobs.countByState()

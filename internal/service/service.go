@@ -63,6 +63,13 @@ type Config struct {
 	// fault-injection seam chaos tests use to make the experiment driver
 	// panic, stall, or fail on demand.
 	TaskWrap func(func() error) func() error
+	// TraceWrap, when set, wraps every trace stream a simulation consumes,
+	// keyed by workload name — the per-item fault-injection seam batch chaos
+	// tests use (wrap one workload's streams with a chaos injector and only
+	// that batch item fails). Installed on every engine this service
+	// creates; results computed under a wrap are cached like any other, so
+	// this is for tests and fault drills only.
+	TraceWrap func(workloadName string, s hmem.TraceStream) hmem.TraceStream
 	// WrapJournalWriter, when set, decorates the journal's append writer
 	// (fault-injection seam for disk-failure tests).
 	WrapJournalWriter func(io.Writer) io.Writer
@@ -102,10 +109,19 @@ type Service struct {
 	// request shape shares one memoized runner per option set.
 	enginesMu sync.Mutex
 	engines   map[string]*hmem.Engine
+	// enginesByPatch short-circuits engineFor: OptionsPatch value →
+	// *patchResolution, skipping the probe engine and digest per request.
+	enginesByPatch sync.Map
 
 	// results collapses identical evaluate requests — concurrent and
 	// repeated — into one simulation. Keyed by digest|workload|policy.
 	results exec.Memo[string, hmem.Result]
+
+	// encodedResults caches the marshaled form of successful results for
+	// the batch stream, which would otherwise re-encode each warm hit
+	// twice (payload + envelope). Same keys as results, bytes are
+	// immutable once stored.
+	encodedResults sync.Map
 
 	jobs jobStore
 
@@ -303,6 +319,7 @@ func (s *Service) routes() *http.ServeMux {
 	mux.HandleFunc("GET /v1/topologies", s.handleTopologies)
 	mux.HandleFunc("POST /v1/evaluate", s.handleEvaluate)
 	mux.HandleFunc("POST /v1/compare", s.handleCompare)
+	mux.HandleFunc("POST /v1/batch", s.handleBatch)
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmitJob)
 	mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
@@ -388,12 +405,38 @@ func optionsDigest(o hmem.Options) string {
 // engineFor returns the process-lifetime engine for an option patch,
 // creating it on first use. The digest of the engine's resolved options is
 // the cache-key prefix for its results.
+//
+// The patch → (engine, digest) resolution is cached: OptionsPatch is a
+// small comparable struct, and resolving it from scratch (a probe engine
+// plus a reflective digest) per request dominated the warm path once
+// batches carried many items per request. Entries are keyed by patch
+// value — distinct patches resolving to the same options share the engine
+// through the digest map as before.
 func (s *Service) engineFor(patch *OptionsPatch) (*hmem.Engine, string, error) {
+	key := OptionsPatch{}
+	if patch != nil {
+		key = *patch
+	}
+	if v, ok := s.enginesByPatch.Load(key); ok {
+		r := v.(*patchResolution)
+		return r.engine, r.digest, nil
+	}
 	opts := s.cfg.Defaults
 	if patch != nil {
 		opts = patch.apply(opts)
 	}
-	return s.engineForOptions(opts)
+	e, digest, err := s.engineForOptions(opts)
+	if err != nil {
+		return nil, "", err
+	}
+	s.enginesByPatch.Store(key, &patchResolution{engine: e, digest: digest})
+	return e, digest, nil
+}
+
+// patchResolution is one cached engineFor answer.
+type patchResolution struct {
+	engine *hmem.Engine
+	digest string
 }
 
 // engineForOptions is engineFor on a fully-resolved option set — also the
@@ -418,6 +461,9 @@ func (s *Service) engineForOptions(opts hmem.Options) (*hmem.Engine, string, err
 		}
 		probe.SetDelegate(d)
 	}
+	if s.cfg.TraceWrap != nil {
+		probe.SetTraceWrap(s.cfg.TraceWrap)
+	}
 	s.engines[digest] = probe
 	return probe, digest, nil
 }
@@ -429,6 +475,20 @@ func (s *Service) engineStats() exec.MemoStats {
 	var total exec.MemoStats
 	for _, e := range s.engines {
 		total = total.Add(e.CacheStats())
+	}
+	return total
+}
+
+// TraceStats sums the trace-delivery counters of every engine: generator
+// runs (opens) versus simulations served a coalesced replay (hits). Feeds
+// hmemd_trace_opens_total / hmemd_coalesce_hits_total and the coalescing
+// correctness tests.
+func (s *Service) TraceStats() hmem.TraceStats {
+	s.enginesMu.Lock()
+	defer s.enginesMu.Unlock()
+	var total hmem.TraceStats
+	for _, e := range s.engines {
+		total = total.Add(e.TraceStats())
 	}
 	return total
 }
@@ -490,27 +550,38 @@ func (s *Service) ResultCacheStats() exec.MemoStats { return s.results.Stats() }
 
 // --- validation ---
 
-func knownWorkload(name string) bool {
+// knownTargets holds the valid workload and policy names, built once: the
+// lists are static, and rebuilding them per validation was a measurable
+// slice of the warm request path once batches multiplied validations per
+// request.
+var (
+	knownOnce      sync.Once
+	knownWorkloads map[string]bool
+	knownPolicies  map[hmem.PolicyName]bool
+)
+
+func buildKnownTargets() {
+	knownWorkloads = make(map[string]bool)
 	for _, w := range hmem.Workloads() {
-		if w == name {
-			return true
-		}
+		knownWorkloads[w] = true
 	}
 	for _, b := range hmem.Benchmarks() {
-		if b == name {
-			return true
-		}
+		knownWorkloads[b] = true
 	}
-	return false
+	knownPolicies = make(map[hmem.PolicyName]bool, len(hmem.Policies()))
+	for _, q := range hmem.Policies() {
+		knownPolicies[q] = true
+	}
+}
+
+func knownWorkload(name string) bool {
+	knownOnce.Do(buildKnownTargets)
+	return knownWorkloads[name]
 }
 
 func knownPolicy(p hmem.PolicyName) bool {
-	for _, q := range hmem.Policies() {
-		if q == p {
-			return true
-		}
-	}
-	return false
+	knownOnce.Do(buildKnownTargets)
+	return knownPolicies[p]
 }
 
 // validateTarget 400s unknown workloads/policies before any simulation (or

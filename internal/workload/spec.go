@@ -2,6 +2,7 @@ package workload
 
 import (
 	"fmt"
+	"sync"
 
 	"hmem/internal/trace"
 )
@@ -92,12 +93,25 @@ func AllSpecs() []Spec {
 	return append(out, MixSpecs()...)
 }
 
+// specIndex is the lazily-built name → spec table behind SpecByName; the
+// spec list is static, and hot paths (request validation, trace-plan
+// acquisition) resolve names per call.
+var (
+	specIndexOnce sync.Once
+	specIndex     map[string]Spec
+)
+
 // SpecByName resolves a workload name against AllSpecs.
 func SpecByName(name string) (Spec, error) {
-	for _, s := range AllSpecs() {
-		if s.Name == name {
-			return s, nil
+	specIndexOnce.Do(func() {
+		all := AllSpecs()
+		specIndex = make(map[string]Spec, len(all))
+		for _, s := range all {
+			specIndex[s.Name] = s
 		}
+	})
+	if s, ok := specIndex[name]; ok {
+		return s, nil
 	}
 	// Any single benchmark is also addressable as a homogeneous workload.
 	if _, err := Lookup(name); err == nil {
